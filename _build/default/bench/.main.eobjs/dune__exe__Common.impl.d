@@ -1,0 +1,1 @@
+bench/common.ml: Char Filename Float Format Gc Hashtbl List Option Printf String Unix Whirlpool Wp_pattern Wp_score Wp_xmark Wp_xml

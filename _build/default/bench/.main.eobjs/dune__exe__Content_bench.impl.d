@@ -1,0 +1,1 @@
+bench/content_bench.ml: Array Common Hashtbl List Option Printf String Whirlpool Wp_pattern Wp_relax Wp_score Wp_xml

@@ -1,0 +1,1 @@
+bench/corpus.ml: Common Hashtbl List Printf Whirlpool Wp_pattern Wp_xmark Wp_xml

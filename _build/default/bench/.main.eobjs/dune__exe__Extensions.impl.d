@@ -1,0 +1,1 @@
+bench/extensions.ml: Common Format List Printf Whirlpool Wp_pattern Wp_relax Wp_score

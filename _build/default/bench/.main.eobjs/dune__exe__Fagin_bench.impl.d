@@ -1,0 +1,1 @@
+bench/fagin_bench.ml: Common List Printf Whirlpool

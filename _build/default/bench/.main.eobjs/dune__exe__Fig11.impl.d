@@ -1,0 +1,1 @@
+bench/fig11.ml: Common List Printf Whirlpool

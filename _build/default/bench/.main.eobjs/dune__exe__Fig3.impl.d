@@ -1,0 +1,1 @@
+bench/fig3.ml: Common List Printf String Whirlpool

@@ -1,0 +1,1 @@
+bench/fig5.ml: Common List Printf Whirlpool

@@ -1,0 +1,1 @@
+bench/fig67.ml: Common Float List Option Printf Whirlpool

@@ -1,0 +1,1 @@
+bench/fig9.ml: Common List Printf Whirlpool

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Common Content_bench Corpus Extensions Fagin_bench Fig10 Fig11 Fig3 Fig5 Fig67 Fig8 Fig9 Hashtbl List Micro Option Printf Queues Scoring String Sys Table2 Term Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Common Hashtbl List Measure Option Printf Staged String Test Time Toolkit Whirlpool Wp_xml

@@ -1,0 +1,1 @@
+bench/queues.ml: Common Format List Printf Whirlpool

@@ -1,0 +1,1 @@
+bench/scoring.ml: Common Format List Printf Whirlpool Wp_score

@@ -1,0 +1,133 @@
+(* Ablations for the extension features.
+
+   - [batching]: the paper's Section 6.3.3 future work (bulk adaptivity)
+     — routing decisions amortized over batches of queue heads.
+   - [threads]: the paper's Section 7 future work — several worker
+     threads per server.
+   - [estimator]: sampled root-candidate statistics vs the structural
+     synopsis (selectivity-estimation style) behind min_alive routing.
+   - [quality]: the paper's deferred scoring validation — precision and
+     nDCG of the engine ranking against relaxation-distance relevance. *)
+
+let batching (scale : Common.scale) =
+  Common.header "Ablation: bulk adaptivity (batch routing, Q2, Whirlpool-S)";
+  let plan = Common.plan_for ~size:scale.default_size Common.q2 in
+  let k = scale.default_k in
+  let widths = [ 8; 14; 12; 12; 12 ] in
+  Common.print_row widths [ "batch"; "time"; "decisions"; "ops"; "created" ];
+  List.iter
+    (fun batch ->
+      let (r : Whirlpool.Engine.result), dt =
+        Common.timed_runs (fun () -> Whirlpool.Engine.run ~batch plan ~k)
+      in
+      Common.print_row widths
+        [
+          Common.fint batch; Common.fsec dt;
+          Common.fint r.stats.routing_decisions;
+          Common.fint r.stats.server_ops;
+          Common.fint r.stats.matches_created;
+        ])
+    [ 1; 4; 16; 64; 256 ];
+  Printf.printf
+    "\nBatching trades decision count against decision quality: larger\n\
+     batches reuse stale routing choices but amortize the overhead.\n"
+
+let threads (scale : Common.scale) =
+  Common.header "Ablation: threads per server (Whirlpool-M, Q3)";
+  let plan = Common.plan_for ~size:scale.default_size Common.q3 in
+  let k = scale.default_k in
+  let widths = [ 10; 14; 12; 12 ] in
+  Common.print_row widths [ "threads"; "time"; "ops"; "created" ];
+  List.iter
+    (fun threads_per_server ->
+      let (r : Whirlpool.Engine.result), dt =
+        Common.timed_runs (fun () ->
+            Whirlpool.Engine_mt.run ~threads_per_server plan ~k)
+      in
+      Common.print_row widths
+        [
+          Common.fint threads_per_server; Common.fsec dt;
+          Common.fint r.stats.server_ops;
+          Common.fint r.stats.matches_created;
+        ])
+    [ 1; 2; 4 ];
+  Printf.printf
+    "\nPaper Section 7: \"increasing the number of threads per server for\n\
+     maximal parallelism\" — useful once a single hot server saturates.\n"
+
+let estimator (scale : Common.scale) =
+  Common.header "Ablation: routing estimates — sampling vs synopsis (Q2)";
+  let idx = Common.index_for scale.default_size in
+  let pattern = Wp_pattern.Xpath_parser.parse Common.q2 in
+  let k = scale.default_k in
+  let widths = [ 12; 14; 14; 12; 12 ] in
+  Common.print_row widths [ "estimator"; "compile"; "time"; "ops"; "created" ];
+  List.iter
+    (fun (name, estimator) ->
+      let plan, compile_dt =
+        Common.time (fun () ->
+            Whirlpool.Plan.compile ~estimator idx Wp_relax.Relaxation.all
+              pattern)
+      in
+      let (r : Whirlpool.Engine.result), dt =
+        Common.timed_runs (fun () -> Whirlpool.Engine.run plan ~k)
+      in
+      Common.print_row widths
+        [
+          name;
+          Common.fsec compile_dt;
+          Common.fsec dt;
+          Common.fint r.stats.server_ops;
+          Common.fint r.stats.matches_created;
+        ])
+    [ ("sampled", Whirlpool.Plan.Sampled); ("synopsis", Whirlpool.Plan.Synopsis) ];
+  Printf.printf
+    "\nThe synopsis amortizes across queries (one pass per document); the\n\
+     sample is per-plan.  Routing quality should be comparable.\n"
+
+let quality (scale : Common.scale) =
+  Common.header
+    "Scoring validation: precision / nDCG vs relaxation-distance relevance";
+  (* Grading enumerates the relaxation closure and the exact matches of
+     each relaxed query, so use a bounded document. *)
+  let size = min scale.default_size 1_000_000 in
+  let idx = Common.index_for size in
+  let k = scale.default_k in
+  let widths = [ 8; 16; 10; 10; 10 ] in
+  Common.print_row widths [ "query"; "scoring"; "P@k"; "R@k"; "nDCG@k" ];
+  List.iter
+    (fun (qname, q) ->
+      let pattern = Wp_pattern.Xpath_parser.parse q in
+      let grades =
+        Wp_score.Quality.relevance_grades idx Wp_relax.Relaxation.all pattern
+      in
+      List.iter
+        (fun normalization ->
+          let plan =
+            Whirlpool.Plan.compile ~normalization idx Wp_relax.Relaxation.all
+              pattern
+          in
+          let r = Whirlpool.Engine.run plan ~k in
+          let ranking =
+            List.map (fun (e : Whirlpool.Topk_set.entry) -> e.root) r.answers
+          in
+          Common.print_row widths
+            [
+              qname;
+              Format.asprintf "%a" Wp_score.Score_table.pp_normalization
+                normalization;
+              Printf.sprintf "%.3f"
+                (Wp_score.Quality.precision_at grades ~relevant_above:0.01
+                   ~ranking ~k);
+              Printf.sprintf "%.3f"
+                (Wp_score.Quality.recall_at grades ~relevant_above:0.99
+                   ~ranking ~k);
+              Printf.sprintf "%.3f" (Wp_score.Quality.ndcg_at grades ~ranking ~k);
+            ])
+        [ Wp_score.Score_table.Raw; Wp_score.Score_table.Sparse;
+          Wp_score.Score_table.Dense ])
+    [ ("Q1", Common.q1); ("Q2", Common.q2) ];
+  Printf.printf
+    "\nThe paper defers this validation to future work; relevance here is\n\
+     graded by relaxation distance (exact = 1, one step = 1/2, ...).\n\
+     R@k counts how many grade-1 (exact) answers made the top-k.\n"

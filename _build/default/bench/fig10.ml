@@ -1,0 +1,30 @@
+(* Figure 10 — execution time vs k and query size (log scale in the
+   paper): Whirlpool-S and Whirlpool-M for Q1-Q3 with k in {3, 15, 75}
+   on the default (10Mb-class) document. *)
+
+let run (scale : Common.scale) =
+  Common.header "Figure 10: execution time vs k and query size";
+  let widths = [ 8; 6; 14; 14; 12; 12 ] in
+  Common.print_row widths
+    [ "query"; "k"; "Whirlpool-S"; "Whirlpool-M"; "W-S ops"; "W-M ops" ];
+  List.iter
+    (fun (qname, q) ->
+      let plan = Common.plan_for ~size:scale.default_size q in
+      List.iter
+        (fun k ->
+          let (rs : Whirlpool.Engine.result), ts =
+            Common.timed_runs (fun () -> Whirlpool.Engine.run plan ~k)
+          in
+          let (rm : Whirlpool.Engine.result), tm =
+            Common.timed_runs (fun () -> Whirlpool.Engine_mt.run plan ~k)
+          in
+          Common.print_row widths
+            [
+              qname; Common.fint k; Common.fsec ts; Common.fsec tm;
+              Common.fint rs.stats.server_ops; Common.fint rm.stats.server_ops;
+            ])
+        scale.ks)
+    Common.queries;
+  Printf.printf
+    "\nPaper: time grows roughly exponentially with query size and\n\
+     linearly with k; the W-M advantage over W-S widens with both.\n"

@@ -1,0 +1,273 @@
+(* wp_cli — the Whirlpool command-line interface.
+
+   Subcommands:
+     generate   write an XMark-style document to a file
+     query      run a top-k query against an XML file
+     explain    print the compiled plan and score table for a query
+     relax      enumerate the relaxations of a query
+
+   Examples:
+     wp_cli generate -o /tmp/site.xml --size 1000000 --seed 7
+     wp_cli query /tmp/site.xml -q "//item[./description/parlist]" -k 10
+     wp_cli explain /tmp/site.xml -q "//item[./name]"
+     wp_cli relax -q "/book[./title and ./info/publisher]"
+*)
+
+open Cmdliner
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"XPATH" ~doc:"Tree-pattern query.")
+
+let parse_query q =
+  match Wp_pattern.Xpath_parser.parse_opt q with
+  | Some p -> p
+  | None ->
+      prerr_endline ("cannot parse query: " ^ q);
+      exit 2
+
+(* Documents load from XML or from a binary snapshot (.wpdoc), detected
+   by content. *)
+let load_index path =
+  let t0 = Unix.gettimeofday () in
+  let is_snapshot =
+    match open_in_bin path with
+    | ic ->
+        let probe =
+          try really_input_string ic (String.length Wp_xml.Doc_io.magic)
+          with End_of_file -> ""
+        in
+        close_in_noerr ic;
+        String.equal probe Wp_xml.Doc_io.magic
+    | exception Sys_error m ->
+        prerr_endline m;
+        exit 1
+  in
+  let doc =
+    if is_snapshot then
+      try Wp_xml.Doc_io.load path with
+      | Failure m ->
+          Printf.eprintf "%s: %s\n" path m;
+          exit 1
+    else
+      try Wp_xml.Doc.of_tree (Wp_xml.Parser.parse_file path) with
+      | Wp_xml.Parser.Error { position; message } ->
+          Printf.eprintf "%s: parse error at byte %d: %s\n" path position
+            message;
+          exit 1
+      | Sys_error m ->
+          prerr_endline m;
+          exit 1
+  in
+  let idx = Wp_xml.Index.build doc in
+  Printf.printf "Loaded %s%s: %d nodes in %.2fs\n" path
+    (if is_snapshot then " (snapshot)" else "")
+    (Wp_xml.Doc.size doc)
+    (Unix.gettimeofday () -. t0);
+  idx
+
+(* --- generate --- *)
+
+let generate out size seed =
+  let tree = Wp_xmark.Generator.generate ~seed ~target_bytes:size () in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Wp_xml.Printer.to_channel oc tree);
+  Printf.printf "Wrote %s (%d bytes, %d elements)\n" out
+    (Wp_xmark.Generator.tree_bytes tree)
+    (Wp_xml.Tree.size tree)
+
+let generate_cmd =
+  let out =
+    Arg.(
+      value & opt string "site.xml"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let size =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Target serialized size.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"generate an XMark-style benchmark document")
+    Term.(const generate $ out $ size $ seed)
+
+(* --- query --- *)
+
+let query_run path q k threshold algo routing exact explain json =
+  let idx = load_index path in
+  let pattern = parse_query q in
+  let algo =
+    match Whirlpool.Run.algorithm_of_string algo with
+    | Some a -> a
+    | None ->
+        prerr_endline ("unknown algorithm: " ^ algo);
+        exit 2
+  in
+  let routing =
+    match Whirlpool.Strategy.routing_of_string routing with
+    | Some r -> r
+    | None ->
+        prerr_endline ("unknown routing: " ^ routing);
+        exit 2
+  in
+  let config =
+    if exact then Wp_relax.Relaxation.exact else Wp_relax.Relaxation.all
+  in
+  let plan = Whirlpool.Run.compile ~config idx pattern in
+  let r =
+    match threshold with
+    | Some threshold ->
+        Printf.printf "All answers above %.3f for %s:\n" threshold
+          (Wp_pattern.Pattern.to_string pattern);
+        Whirlpool.Engine.run_above ~routing plan ~threshold
+    | None ->
+        Printf.printf "Top-%d for %s:\n" k (Wp_pattern.Pattern.to_string pattern);
+        Whirlpool.Run.run ~routing algo plan ~k
+  in
+  let doc = Wp_xml.Index.doc idx in
+  if json then
+    Format.printf "%a@." Wp_json.Json.pp (Whirlpool.Answer.result_to_json plan r)
+  else begin
+    if explain then
+      List.iter
+        (fun a -> Format.printf "%a@." (Whirlpool.Answer.pp plan) a)
+        (Whirlpool.Answer.of_result plan r)
+    else
+      List.iteri
+        (fun i (e : Whirlpool.Topk_set.entry) ->
+          Printf.printf "%3d. %-24s score %.4f\n" (i + 1)
+            (Format.asprintf "%a" (Wp_xml.Doc.pp_node doc) e.root)
+            e.score)
+        r.answers;
+    Printf.printf "\n%s\n" (Format.asprintf "%a" Whirlpool.Stats.pp r.stats)
+  end
+
+let query_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"XML document.")
+  in
+  let k = Arg.(value & opt int 10 & info [ "k" ] ~doc:"Answers to return.") in
+  let algo =
+    Arg.(
+      value & opt string "whirlpool-s"
+      & info [ "algo" ]
+          ~doc:"whirlpool-s, whirlpool-m, lockstep or lockstep-noprun.")
+  in
+  let routing =
+    Arg.(
+      value & opt string "min_alive"
+      & info [ "routing" ] ~doc:"min_alive, max_score or min_score.")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Disable relaxations.")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ]
+          ~doc:"Return every answer scoring above this value instead of \
+                the top-k.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Show per-binding detail (which nodes matched, how exactly).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the answers and statistics as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"run a top-k query against an XML file or snapshot")
+    Term.(
+      const query_run $ path $ query_arg $ k $ threshold $ algo $ routing
+      $ exact $ explain $ json)
+
+(* --- snapshot --- *)
+
+let snapshot path out =
+  let idx = load_index path in
+  let doc = Wp_xml.Index.doc idx in
+  Wp_xml.Doc_io.save out doc;
+  Printf.printf "Wrote snapshot %s (%d nodes, %d bytes)\n" out
+    (Wp_xml.Doc.size doc)
+    (Unix.stat out).Unix.st_size
+
+let snapshot_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"XML document.")
+  in
+  let out =
+    Arg.(
+      value & opt string "doc.wpdoc"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Snapshot file.")
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"freeze an XML file into a binary snapshot for fast loading")
+    Term.(const snapshot $ path $ out)
+
+(* --- explain --- *)
+
+let explain path q =
+  let idx = load_index path in
+  let pattern = parse_query q in
+  let plan = Whirlpool.Run.compile idx pattern in
+  Format.printf "%a@." Whirlpool.Plan.pp plan;
+  Format.printf "@[<v>score table:@,%a@]@." Wp_score.Score_table.pp
+    plan.scores
+
+let explain_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"XML document.")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"print the compiled plan for a query")
+    Term.(const explain $ path $ query_arg)
+
+(* --- relax --- *)
+
+let relax q limit =
+  let pattern = parse_query q in
+  let relaxed =
+    Wp_relax.Relaxation.closure ~limit Wp_relax.Relaxation.all pattern
+  in
+  Printf.printf "%d distinct relaxations of %s:\n" (List.length relaxed)
+    (Wp_pattern.Pattern.to_string pattern);
+  List.iter
+    (fun p -> Printf.printf "  %s\n" (Wp_pattern.Pattern.to_string p))
+    relaxed
+
+let relax_cmd =
+  let limit =
+    Arg.(
+      value & opt int 2000
+      & info [ "limit" ] ~doc:"Abort beyond this many relaxations.")
+  in
+  Cmd.v
+    (Cmd.info "relax" ~doc:"enumerate the relaxations of a query")
+    Term.(const relax $ query_arg $ limit)
+
+let () =
+  let doc = "adaptive top-k XPath matching (Whirlpool)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "wp_cli" ~version:"1.0.0" ~doc)
+          [ generate_cmd; query_cmd; explain_cmd; relax_cmd; snapshot_cmd ]))

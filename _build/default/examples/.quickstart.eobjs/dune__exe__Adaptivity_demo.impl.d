@@ -1,0 +1,1 @@
+examples/adaptivity_demo.ml: List Printf String Whirlpool Wp_pattern Wp_xmark Wp_xml

@@ -1,0 +1,1 @@
+examples/adaptivity_demo.mli:

@@ -1,0 +1,1 @@
+examples/approximate_search.ml: Format Index List Parser Printf Whirlpool Wp_json Wp_pattern Wp_relax Wp_score Wp_xml

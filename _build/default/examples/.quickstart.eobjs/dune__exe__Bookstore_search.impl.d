@@ -1,0 +1,1 @@
+examples/bookstore_search.ml: Doc Format Index List Option Printf Tree Whirlpool Wp_pattern Wp_relax Wp_score Wp_xmark Wp_xml

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Doc Format Index List Parser Printf String Whirlpool Wp_pattern Wp_score Wp_xml

@@ -1,0 +1,1 @@
+examples/scoring_explorer.ml: Array Component Format List Printf Score_table Tfidf Wp_pattern Wp_relax Wp_score Wp_xml

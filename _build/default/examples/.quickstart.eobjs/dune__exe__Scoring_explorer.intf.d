@@ -1,0 +1,1 @@
+examples/scoring_explorer.mli:

@@ -1,0 +1,1 @@
+examples/xmark_topk.ml: Arg Cmd Cmdliner Format List Printf Term Unix Whirlpool Wp_pattern Wp_relax Wp_score Wp_xmark Wp_xml

@@ -1,0 +1,1 @@
+lib/core/answer.ml: Array Engine Format List Plan Stats Topk_set Wp_json Wp_pattern Wp_relax Wp_score Wp_xml

@@ -1,0 +1,1 @@
+lib/core/answer.mli: Engine Format Plan Topk_set Wp_json Wp_pattern Wp_xml

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Float Format Hashtbl Int Int64 List Partial_match Plan Pqueue Server Stats Strategy Topk_set Trace Unix

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Format Plan Stats Strategy Topk_set Trace

@@ -1,0 +1,1 @@
+lib/core/engine_mt.ml: Array Atomic Condition Domain Engine Fun Int64 List Mutex Partial_match Plan Pqueue Server Stats Strategy Topk_set Unix

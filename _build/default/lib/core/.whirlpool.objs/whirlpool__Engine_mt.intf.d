@@ -1,0 +1,1 @@
+lib/core/engine_mt.mli: Engine Plan Strategy

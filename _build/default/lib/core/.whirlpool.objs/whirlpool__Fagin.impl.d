@@ -1,0 +1,1 @@
+lib/core/fagin.ml: Array Float Hashtbl Int List Option Plan Wp_relax Wp_score Wp_xml

@@ -1,0 +1,1 @@
+lib/core/fagin.mli: Plan

@@ -1,0 +1,1 @@
+lib/core/join_plan.ml: Array Float List

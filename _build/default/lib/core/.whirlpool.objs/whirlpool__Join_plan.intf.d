@@ -1,0 +1,1 @@
+lib/core/join_plan.mli:

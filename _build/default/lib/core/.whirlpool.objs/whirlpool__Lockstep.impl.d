@@ -1,0 +1,1 @@
+lib/core/lockstep.ml: Array Engine Int64 List Partial_match Plan Pqueue Server Stats Strategy Topk_set Unix

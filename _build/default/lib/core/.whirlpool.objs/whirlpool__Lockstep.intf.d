@@ -1,0 +1,1 @@
+lib/core/lockstep.mli: Engine Plan Strategy

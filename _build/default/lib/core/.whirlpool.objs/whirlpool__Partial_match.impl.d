@@ -1,0 +1,1 @@
+lib/core/partial_match.ml: Array Format

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Float Format Hashtbl List Sys Wp_pattern Wp_relax Wp_score Wp_stats Wp_xml

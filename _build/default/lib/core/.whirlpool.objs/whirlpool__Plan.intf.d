@@ -1,0 +1,1 @@
+lib/core/plan.mli: Format Wp_pattern Wp_relax Wp_score Wp_stats Wp_xml

@@ -1,0 +1,1 @@
+lib/core/run.ml: Answer Engine Engine_mt Format Lockstep Option Plan Wp_relax

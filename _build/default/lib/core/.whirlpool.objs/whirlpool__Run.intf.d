@@ -1,0 +1,1 @@
+lib/core/run.mli: Answer Engine Format Plan Strategy Wp_pattern Wp_relax Wp_score Wp_xml

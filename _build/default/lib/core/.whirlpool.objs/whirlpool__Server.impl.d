@@ -1,0 +1,1 @@
+lib/core/server.ml: Array List Partial_match Plan Stats Wp_pattern Wp_relax Wp_score Wp_xml

@@ -1,0 +1,1 @@
+lib/core/server.mli: Partial_match Plan Stats

@@ -1,0 +1,1 @@
+lib/core/sim_exec.ml: Array Engine List Lockstep Option Partial_match Plan Pqueue Queue Server Stats Strategy Topk_set

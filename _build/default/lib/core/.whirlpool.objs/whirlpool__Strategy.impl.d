@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Float Format List Partial_match Plan String Wp_score

@@ -1,0 +1,1 @@
+lib/core/topk_set.ml: Array Float Format Hashtbl Int List Partial_match

@@ -1,0 +1,1 @@
+lib/core/topk_set.mli: Format Partial_match

@@ -1,0 +1,46 @@
+(** Materialized answers.
+
+    The engines return compact {!Topk_set.entry} records (node ids and
+    scores).  This module turns them into user-facing answers: the XML
+    fragment rooted at the answer node, the per-query-node bindings, and
+    an explanation of how exactly each binding satisfied its predicate —
+    the information a ranked-retrieval UI would display. *)
+
+type exactness =
+  | Exact  (** the binding satisfies the original composed predicate *)
+  | Relaxed  (** it satisfies only the relaxed predicate *)
+  | Unbound  (** the query node was deleted for this answer *)
+
+type binding = {
+  query_node : Wp_pattern.Pattern.node_id;
+  tag : string;
+  node : Wp_xml.Doc.node_id option;
+  exactness : exactness;
+  weight : float;  (** score contribution of this binding *)
+}
+
+type t = {
+  rank : int;  (** 1-based position in the answer list *)
+  root : Wp_xml.Doc.node_id;
+  score : float;
+  bindings : binding list;  (** in pattern preorder *)
+}
+
+val of_entry : Plan.t -> rank:int -> Topk_set.entry -> t
+val of_result : Plan.t -> Engine.result -> t list
+
+val fragment : Plan.t -> t -> Wp_xml.Tree.t
+(** The document subtree rooted at the answer node. *)
+
+val pp : Plan.t -> Format.formatter -> t -> unit
+(** Multi-line rendering with tags, Dewey labels and per-binding
+    exactness. *)
+
+val pp_exactness : Format.formatter -> exactness -> unit
+
+val to_json : Plan.t -> t -> Wp_json.Json.t
+(** Machine-readable form: root node id and Dewey label, score, and the
+    per-binding detail. *)
+
+val result_to_json : Plan.t -> Engine.result -> Wp_json.Json.t
+(** The whole answer list plus execution statistics. *)

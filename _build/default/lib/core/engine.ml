@@ -1,0 +1,205 @@
+type result = { answers : Topk_set.entry list; stats : Stats.t }
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let run ?(routing = Strategy.Min_alive)
+    ?(queue_policy = Strategy.Max_final_score) ?(batch = 1)
+    ?(trace = Trace.ignore_tracer) (plan : Plan.t) ~k =
+  if batch < 1 then invalid_arg "Engine.run: batch >= 1";
+  let stats = Stats.create () in
+  let t0 = now_ns () in
+  let topk = Topk_set.create ~k ~admit_partial:(Plan.admits_partial_answers plan) in
+  let queue : Partial_match.t Pqueue.t = Pqueue.create () in
+  let seq = ref 0 in
+  let next_id =
+    let n = ref 0 in
+    fun () -> incr n; !n
+  in
+  let enqueue (pm : Partial_match.t) =
+    incr seq;
+    (* Equal priorities break toward the higher current score: matches
+       closer to completion finish first, raising the threshold early. *)
+    Pqueue.push queue ~tie:pm.score
+      (Strategy.priority queue_policy plan ~seq:!seq ~server:None pm)
+      pm
+  in
+  let single_node = plan.n_servers = 1 in
+  List.iter
+    (fun pm ->
+      Topk_set.consider topk ~complete:single_node pm;
+      if single_node then stats.completed <- stats.completed + 1
+      else if Topk_set.should_prune topk pm then
+        stats.matches_pruned <- stats.matches_pruned + 1
+      else enqueue pm)
+    (Server.initial_matches plan stats ~next_id);
+  let process_at (pm : Partial_match.t) server =
+    let { Server.extensions; died } =
+      Server.process plan stats ~next_id pm ~server
+    in
+    if died then begin
+      trace (Trace.Died { id = pm.id; server });
+      Topk_set.retract topk pm
+    end;
+    List.iter
+      (fun (ext : Partial_match.t) ->
+        let complete = Partial_match.is_complete ext ~full_mask:plan.full_mask in
+        trace
+          (Trace.Extended
+             {
+               parent = pm.id;
+               id = ext.id;
+               server;
+               bound = Partial_match.bound ext server <> None;
+             });
+        Topk_set.consider topk ~complete ext;
+        if complete then begin
+          trace (Trace.Completed { id = ext.id; score = ext.score });
+          stats.completed <- stats.completed + 1
+        end
+        else if Topk_set.should_prune topk ext then begin
+          trace (Trace.Pruned { id = ext.id });
+          stats.matches_pruned <- stats.matches_pruned + 1
+        end
+        else enqueue ext)
+      extensions
+  in
+  let rec loop () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some pm ->
+        trace
+          (Trace.Popped
+             { id = pm.id; score = pm.score; max_possible = pm.max_possible });
+        if Topk_set.should_prune topk pm then begin
+          trace (Trace.Pruned { id = pm.id });
+          stats.matches_pruned <- stats.matches_pruned + 1
+        end
+        else begin
+          let server =
+            Strategy.choose_next routing plan
+              ~threshold:(Topk_set.threshold topk) pm
+          in
+          stats.routing_decisions <- stats.routing_decisions + 1;
+          trace (Trace.Routed { id = pm.id; server });
+          process_at pm server;
+          (* Bulk adaptivity: reuse the decision for queue heads that
+             have visited the same servers (and therefore admit the same
+             choice), without paying another decision. *)
+          let rec drain_batch budget =
+            if budget > 0 then
+              match Pqueue.peek queue with
+              | Some (head : Partial_match.t)
+                when head.visited_mask = pm.visited_mask -> (
+                  match Pqueue.pop queue with
+                  | Some next ->
+                      trace
+                        (Trace.Popped
+                           {
+                             id = next.id;
+                             score = next.score;
+                             max_possible = next.max_possible;
+                           });
+                      if Topk_set.should_prune topk next then begin
+                        trace (Trace.Pruned { id = next.id });
+                        stats.matches_pruned <- stats.matches_pruned + 1
+                      end
+                      else begin
+                        trace (Trace.Routed { id = next.id; server });
+                        process_at next server
+                      end;
+                      drain_batch (budget - 1)
+                  | None -> ())
+              | Some _ | None -> ()
+          in
+          drain_batch (batch - 1)
+        end;
+        loop ()
+  in
+  loop ();
+  stats.wall_ns <- Int64.sub (now_ns ()) t0;
+  { answers = Topk_set.entries topk; stats }
+
+(* Threshold mode: no top-k set — a fixed bar prunes instead, and every
+   completed match above the bar is an answer (best score per root). *)
+let run_above ?(routing = Strategy.Min_alive)
+    ?(queue_policy = Strategy.Max_final_score) (plan : Plan.t) ~threshold =
+  let stats = Stats.create () in
+  let t0 = now_ns () in
+  let queue : Partial_match.t Pqueue.t = Pqueue.create () in
+  let seq = ref 0 in
+  let next_id =
+    let n = ref 0 in
+    fun () -> incr n; !n
+  in
+  let answers : (int, Topk_set.entry) Hashtbl.t = Hashtbl.create 64 in
+  let record (pm : Partial_match.t) =
+    stats.completed <- stats.completed + 1;
+    if pm.score > threshold then begin
+      let root = Partial_match.root_binding pm in
+      let entry =
+        {
+          Topk_set.root;
+          score = pm.score;
+          match_id = pm.id;
+          bindings = Array.copy pm.bindings;
+          progress = plan.n_servers;
+        }
+      in
+      match Hashtbl.find_opt answers root with
+      | Some e when e.Topk_set.score >= pm.score -> ()
+      | Some _ | None -> Hashtbl.replace answers root entry
+    end
+  in
+  let hopeless (pm : Partial_match.t) = pm.max_possible <= threshold in
+  let enqueue (pm : Partial_match.t) =
+    incr seq;
+    Pqueue.push queue ~tie:pm.score
+      (Strategy.priority queue_policy plan ~seq:!seq ~server:None pm)
+      pm
+  in
+  let single_node = plan.n_servers = 1 in
+  List.iter
+    (fun pm ->
+      if single_node then record pm
+      else if hopeless pm then
+        stats.matches_pruned <- stats.matches_pruned + 1
+      else enqueue pm)
+    (Server.initial_matches plan stats ~next_id);
+  let rec loop () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some pm ->
+        let server = Strategy.choose_next routing plan ~threshold pm in
+        stats.routing_decisions <- stats.routing_decisions + 1;
+        let { Server.extensions; died = _ } =
+          Server.process plan stats ~next_id pm ~server
+        in
+        List.iter
+          (fun ext ->
+            if Partial_match.is_complete ext ~full_mask:plan.full_mask then
+              record ext
+            else if hopeless ext then
+              stats.matches_pruned <- stats.matches_pruned + 1
+            else enqueue ext)
+          extensions;
+        loop ()
+  in
+  loop ();
+  stats.wall_ns <- Int64.sub (now_ns ()) t0;
+  let sorted =
+    List.sort
+      (fun (a : Topk_set.entry) b ->
+        match Float.compare b.score a.score with
+        | 0 -> Int.compare a.root b.root
+        | c -> c)
+      (Hashtbl.fold (fun _ e acc -> e :: acc) answers [])
+  in
+  { answers = sorted; stats }
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>%a@," Stats.pp r.stats;
+  List.iteri
+    (fun i (e : Topk_set.entry) ->
+      Format.fprintf ppf "%d. root=%d score=%.4f@," (i + 1) e.root e.score)
+    r.answers;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Whirlpool-S — the single-threaded adaptive engine.
+
+    As in the paper (Section 6.1.2), the single-threaded variant needs no
+    per-server queues: a partial match is processed by a server as soon
+    as it is routed there, so matches wait only in the router queue,
+    ordered by maximum possible final score by default.  Each iteration
+    pops the best match, re-checks it against the top-k threshold (which
+    may have risen since it was queued), asks the routing strategy for
+    its next server, processes it there, and feeds surviving incomplete
+    extensions back to the router. *)
+
+type result = {
+  answers : Topk_set.entry list;  (** the top-k, best first *)
+  stats : Stats.t;
+}
+
+val run :
+  ?routing:Strategy.routing ->
+  ?queue_policy:Strategy.queue_policy ->
+  ?batch:int ->
+  ?trace:Trace.t ->
+  Plan.t ->
+  k:int ->
+  result
+(** [routing] defaults to [Min_alive], [queue_policy] to
+    [Max_final_score].
+
+    [batch] (default 1) implements the paper's bulk-adaptivity extension
+    (Section 6.3.3: route tuples "in bulk, by grouping tuples based on
+    similarity"): one routing decision is reused for up to [batch]
+    consecutive queue heads that have visited the same set of servers,
+    amortizing the decision overhead when server operations are cheap. *)
+
+val run_above :
+  ?routing:Strategy.routing ->
+  ?queue_policy:Strategy.queue_policy ->
+  Plan.t ->
+  threshold:float ->
+  result
+(** Threshold variant (the mode of the paper's predecessor system,
+    Amer-Yahia et al. EDBT 2002): return {e every} answer whose score
+    strictly exceeds [threshold], best first, pruning partial matches
+    whose maximum possible final score cannot beat it.  The cardinality
+    of the answer set is data-dependent rather than fixed at [k]. *)
+
+val pp_result : Format.formatter -> result -> unit

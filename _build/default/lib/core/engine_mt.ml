@@ -1,0 +1,230 @@
+(* A blocking priority queue: pop waits until an element arrives or the
+   shared stop flag is raised. *)
+module Shared_queue = struct
+  type 'a t = {
+    queue : 'a Pqueue.t;
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable seq : int;
+  }
+
+  let create () =
+    { queue = Pqueue.create (); mutex = Mutex.create (); cond = Condition.create (); seq = 0 }
+
+  let push t ~tie ~priority_of x =
+    Mutex.lock t.mutex;
+    t.seq <- t.seq + 1;
+    Pqueue.push t.queue ~tie (priority_of ~seq:t.seq x) x;
+    Condition.signal t.cond;
+    Mutex.unlock t.mutex
+
+  let pop t ~stopped =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      match Pqueue.pop t.queue with
+      | Some x ->
+          Mutex.unlock t.mutex;
+          Some x
+      | None ->
+          if stopped () then begin
+            Mutex.unlock t.mutex;
+            None
+          end
+          else begin
+            Condition.wait t.cond t.mutex;
+            wait ()
+          end
+    in
+    wait ()
+
+  let wake_all t =
+    Mutex.lock t.mutex;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+end
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+type shared = {
+  plan : Plan.t;
+  routing : Strategy.routing;
+  queue_policy : Strategy.queue_policy;
+  topk : Topk_set.t;
+  topk_mutex : Mutex.t;
+  router_queue : Partial_match.t Shared_queue.t;
+  server_queues : Partial_match.t Shared_queue.t array;  (* index 0 unused *)
+  pending : int Atomic.t;  (* partial matches alive in queues or in flight *)
+  stop : bool Atomic.t;
+  next_id : int Atomic.t;
+}
+
+let stopped shared () = Atomic.get shared.stop
+
+let finish shared =
+  Atomic.set shared.stop true;
+  Shared_queue.wake_all shared.router_queue;
+  Array.iter Shared_queue.wake_all shared.server_queues
+
+(* Decrement the in-flight count; the thread that reaches zero shuts the
+   system down. *)
+let retire shared =
+  if Atomic.fetch_and_add shared.pending (-1) = 1 then finish shared
+
+let router_priority shared ~seq pm =
+  Strategy.priority shared.queue_policy shared.plan ~seq ~server:None pm
+
+let server_priority shared server ~seq pm =
+  Strategy.priority shared.queue_policy shared.plan ~seq ~server:(Some server) pm
+
+let with_topk shared f =
+  Mutex.lock shared.topk_mutex;
+  let r = f shared.topk in
+  Mutex.unlock shared.topk_mutex;
+  r
+
+let router_loop shared (stats : Stats.t) =
+  let rec loop () =
+    match Shared_queue.pop shared.router_queue ~stopped:(stopped shared) with
+    | None -> ()
+    | Some pm ->
+        let pruned, threshold =
+          with_topk shared (fun topk ->
+              (Topk_set.should_prune topk pm, Topk_set.threshold topk))
+        in
+        if pruned then begin
+          stats.matches_pruned <- stats.matches_pruned + 1;
+          retire shared
+        end
+        else begin
+          let server = Strategy.choose_next shared.routing shared.plan ~threshold pm in
+          stats.routing_decisions <- stats.routing_decisions + 1;
+          Shared_queue.push shared.server_queues.(server) ~tie:pm.Partial_match.score
+            ~priority_of:(server_priority shared server) pm
+        end;
+        loop ()
+  in
+  loop ()
+
+let server_loop shared server (stats : Stats.t) =
+  let next_id () = Atomic.fetch_and_add shared.next_id 1 in
+  let rec loop () =
+    match Shared_queue.pop shared.server_queues.(server) ~stopped:(stopped shared) with
+    | None -> ()
+    | Some pm ->
+        let pruned = with_topk shared (fun topk -> Topk_set.should_prune topk pm) in
+        if pruned then stats.matches_pruned <- stats.matches_pruned + 1
+        else begin
+          let { Server.extensions; died } =
+            Server.process shared.plan stats ~next_id pm ~server
+          in
+          if died then with_topk shared (fun topk -> Topk_set.retract topk pm);
+          let alive =
+            List.filter_map
+              (fun ext ->
+                let complete =
+                  Partial_match.is_complete ext ~full_mask:shared.plan.full_mask
+                in
+                let keep =
+                  with_topk shared (fun topk ->
+                      Topk_set.consider topk ~complete ext;
+                      (not complete) && not (Topk_set.should_prune topk ext))
+                in
+                if complete then begin
+                  stats.completed <- stats.completed + 1;
+                  None
+                end
+                else if keep then Some ext
+                else begin
+                  stats.matches_pruned <- stats.matches_pruned + 1;
+                  None
+                end)
+              extensions
+          in
+          (* Register the new in-flight matches before retiring the
+             consumed one, so the count never dips to zero early. *)
+          List.iter
+            (fun ext ->
+              Atomic.incr shared.pending;
+              Shared_queue.push shared.router_queue ~tie:ext.Partial_match.score
+                ~priority_of:(router_priority shared) ext)
+            alive
+        end;
+        retire shared;
+        loop ()
+  in
+  loop ()
+
+let run ?(routing = Strategy.Min_alive)
+    ?(queue_policy = Strategy.Max_final_score) ?(threads_per_server = 1)
+    (plan : Plan.t) ~k =
+  if threads_per_server < 1 then
+    invalid_arg "Engine_mt.run: threads_per_server >= 1";
+  let t0 = now_ns () in
+  let main_stats = Stats.create () in
+  let shared =
+    {
+      plan;
+      routing;
+      queue_policy;
+      topk = Topk_set.create ~k ~admit_partial:(Plan.admits_partial_answers plan);
+      topk_mutex = Mutex.create ();
+      router_queue = Shared_queue.create ();
+      server_queues = Array.init plan.n_servers (fun _ -> Shared_queue.create ());
+      pending = Atomic.make 0;
+      stop = Atomic.make false;
+      next_id = Atomic.make 1;
+    }
+  in
+  let next_id () = Atomic.fetch_and_add shared.next_id 1 in
+  let initial = Server.initial_matches plan main_stats ~next_id in
+  let single_node = plan.n_servers = 1 in
+  let to_route =
+    List.filter_map
+      (fun pm ->
+        Topk_set.consider shared.topk ~complete:single_node pm;
+        if single_node then begin
+          main_stats.completed <- main_stats.completed + 1;
+          None
+        end
+        else if Topk_set.should_prune shared.topk pm then begin
+          main_stats.matches_pruned <- main_stats.matches_pruned + 1;
+          None
+        end
+        else Some pm)
+      initial
+  in
+  if to_route = [] then Atomic.set shared.stop true
+  else begin
+    Atomic.set shared.pending (List.length to_route);
+    List.iter
+      (fun pm ->
+        Shared_queue.push shared.router_queue ~tie:pm.Partial_match.score
+          ~priority_of:(router_priority shared) pm)
+      to_route
+  end;
+  let router_stats = Stats.create () in
+  let server_stats =
+    Array.init (plan.n_servers * threads_per_server) (fun _ -> Stats.create ())
+  in
+  let router_domain =
+    Domain.spawn (fun () -> router_loop shared router_stats)
+  in
+  (* One or more worker domains per server, all draining that server's
+     queue. *)
+  let server_domains =
+    List.concat_map
+      (fun i ->
+        let s = i + 1 in
+        List.init threads_per_server (fun t ->
+            let stats = server_stats.(((s - 1) * threads_per_server) + t) in
+            Domain.spawn (fun () -> server_loop shared s stats)))
+      (List.init (plan.n_servers - 1) Fun.id)
+  in
+  Domain.join router_domain;
+  List.iter Domain.join server_domains;
+  let stats = Stats.create () in
+  Stats.add stats main_stats;
+  Stats.add stats router_stats;
+  Array.iter (Stats.add stats) server_stats;
+  stats.wall_ns <- Int64.sub (now_ns ()) t0;
+  { Engine.answers = Topk_set.entries shared.topk; stats }

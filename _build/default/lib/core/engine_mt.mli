@@ -1,0 +1,31 @@
+(** Whirlpool-M — the multi-threaded adaptive engine.
+
+    Mirrors the paper's architecture (Figure 4): one thread per server,
+    each with its own priority queue of partial matches, plus a router
+    thread with the router queue; the number of threads is therefore the
+    query size + 2 counting the coordinating main thread.  Threads are
+    OCaml 5 domains, so available cores give true parallelism.  The
+    top-k set is shared under a mutex; termination is detected by an
+    atomic count of in-flight partial matches.
+
+    Because server and router threads interleave nondeterministically,
+    pruning decisions — and hence the operation counts — can differ from
+    run to run and from Whirlpool-S; the paper observes exactly this
+    effect (Section 6.3.5: the threshold grows at a different pace,
+    changing the adaptive routing choices). *)
+
+val run :
+  ?routing:Strategy.routing ->
+  ?queue_policy:Strategy.queue_policy ->
+  ?threads_per_server:int ->
+  Plan.t ->
+  k:int ->
+  Engine.result
+(** Defaults as in {!Engine.run}: [Min_alive] routing, server and router
+    queues on maximum possible final score.
+
+    [threads_per_server] (default 1) implements the paper's future-work
+    extension of Section 7 ("increasing the number of threads per server
+    for maximal parallelism"): each server's queue is drained by that
+    many domains, so a single hot server no longer serializes the
+    system. *)

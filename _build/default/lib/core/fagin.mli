@@ -1,0 +1,53 @@
+(** Fagin-style Threshold Algorithm baseline.
+
+    The paper positions Whirlpool against the classical top-k family of
+    Fagin et al., which assumes {e independent subsystems}, each
+    delivering (candidate, score) pairs sorted by score, combined by a
+    monotone aggregate.  That model fits our setting exactly when all
+    relaxations are enabled: every query node then binds independently
+    below the root, so the best match score of a root is the {e sum over
+    query nodes of the root's best per-node binding weight} — a monotone
+    sum of per-node scores.
+
+    [build_lists] materializes one sorted list per query node (the
+    mediator-setting inputs Fagin assumes pre-exist; building them costs
+    a full scan, which is precisely the paper's argument for not using
+    this family on XML joins).  [top_k] then runs TA: round-robin sorted
+    access, random access to complete each newly seen candidate, and the
+    [threshold = sum of last-seen scores] stopping rule.
+
+    With any relaxation disabled, per-node independence fails and the
+    TA result is only an upper-bound ranking; {!top_k} refuses plans
+    whose configuration is not fully relaxed. *)
+
+type lists
+
+val build_lists : Plan.t -> lists
+(** One sorted (root, best-binding-weight) list per query node.
+    @raise Invalid_argument if the plan's configuration disables any
+    relaxation. *)
+
+type result = {
+  answers : (int * float) list;  (** top-k (root, score), best first *)
+  sorted_accesses : int;
+  random_accesses : int;
+  rounds : int;  (** sorted-access rounds before the threshold stopped TA *)
+}
+
+val top_k : lists -> k:int -> result
+(** The classic TA guarantee: the returned {e scores} are the k best
+    aggregate scores.  When several candidates tie at the k-th score, TA
+    may legitimately return a different (equally valid) tie subset than
+    an exhaustive scan, because its stopping rule fires as soon as the
+    k-th score matches the threshold. *)
+
+val top_k_nra : lists -> k:int -> result
+(** The No-Random-Access variant: candidates accumulate [lower, upper]
+    score bounds from sorted accesses only ([random_accesses] is 0);
+    the algorithm halts once the k best lower bounds are fully resolved
+    and no other candidate's upper bound can intrude.  Same score
+    guarantee (and tie caveat) as {!top_k}. *)
+
+val scan_top_k : lists -> k:int -> (int * float) list
+(** Reference: aggregate every candidate and sort — what TA's result
+    must equal. *)

@@ -1,0 +1,67 @@
+type predicate = { name : string; binding_scores : float array }
+
+type metrics = {
+  comparisons : int;
+  tuples_created : int;
+  tuple_joins : int;
+  best_score : float;
+  survivors : int;
+}
+
+let max_binding p = Array.fold_left Float.max 0.0 p.binding_scores
+
+let evaluate ~root_score ~order ~current_topk =
+  let comparisons = ref 0 in
+  let tuples_created = ref 0 in
+  let tuple_joins = ref 0 in
+  (* rest_max.(i) = best score obtainable from predicates i.. *)
+  let n = List.length order in
+  let preds = Array.of_list order in
+  let rest_max = Array.make (n + 1) 0.0 in
+  for i = n - 1 downto 0 do
+    rest_max.(i) <- rest_max.(i + 1) +. max_binding preds.(i)
+  done;
+  let tuples = ref [ root_score ] in
+  for i = 0 to n - 1 do
+    let p = preds.(i) in
+    let next = ref [] in
+    List.iter
+      (fun score ->
+        (* Prune before the join: the tuple must still be able to beat
+           the current top-k score. *)
+        if score +. rest_max.(i) > current_topk then begin
+          incr tuple_joins;
+          Array.iter
+            (fun b ->
+              incr comparisons;
+              incr tuples_created;
+              next := (score +. b) :: !next)
+            p.binding_scores
+        end)
+      !tuples;
+    tuples := !next
+  done;
+  let survivors = List.filter (fun s -> s > current_topk) !tuples in
+  {
+    comparisons = !comparisons;
+    tuples_created = !tuples_created;
+    tuple_joins = !tuple_joins;
+    best_score = List.fold_left Float.max 0.0 !tuples;
+    survivors = List.length survivors;
+  }
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let book_d_example =
+  [
+    { name = "title"; binding_scores = [| 0.3; 0.3; 0.3 |] };
+    { name = "location"; binding_scores = [| 0.3; 0.2; 0.1; 0.1; 0.1 |] };
+    { name = "price"; binding_scores = [| 0.2 |] };
+  ]

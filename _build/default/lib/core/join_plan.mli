@@ -1,0 +1,34 @@
+(** Static left-deep join plans — the paper's motivating example.
+
+    Section 2 studies a single root tuple joined against a set of
+    predicates, each carrying the scores of its matching bindings, under
+    every static join order, as the current top-k threshold varies
+    (Figure 3).  A tuple is pruned before a join when its current score
+    plus the best it can still gain cannot strictly beat the threshold;
+    joining an alive tuple against a predicate costs one comparison per
+    binding and spawns one extended tuple per binding. *)
+
+type predicate = {
+  name : string;
+  binding_scores : float array;  (** one entry per matching binding *)
+}
+
+type metrics = {
+  comparisons : int;  (** join predicate comparisons performed *)
+  tuples_created : int;  (** tuples spawned by the joins *)
+  tuple_joins : int;  (** alive tuples fed into a join *)
+  best_score : float;  (** best complete tuple score (threshold-independent input aside) *)
+  survivors : int;  (** complete tuples alive at the end *)
+}
+
+val evaluate :
+  root_score:float -> order:predicate list -> current_topk:float -> metrics
+(** Evaluate one static plan at a fixed threshold. *)
+
+val permutations : 'a list -> 'a list list
+(** All orderings, in a deterministic order. *)
+
+val book_d_example : predicate list
+(** The paper's book (d): three exact [title] matches scoring 0.3, five
+    approximate [location] matches scoring 0.3, 0.2, 0.1, 0.1, 0.1, and
+    one exact [price] match scoring 0.2. *)

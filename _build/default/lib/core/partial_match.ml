@@ -1,0 +1,54 @@
+type t = {
+  id : int;
+  bindings : int array;
+  mutable visited_mask : int;
+  mutable score : float;
+  mutable max_possible : float;
+}
+
+let unbound = -1
+let root_binding t = t.bindings.(0)
+
+let create_root ~plan_servers ~id ~root ~weight ~max_rest =
+  let bindings = Array.make plan_servers unbound in
+  bindings.(0) <- root;
+  {
+    id;
+    bindings;
+    visited_mask = 1;
+    score = weight;
+    max_possible = weight +. max_rest;
+  }
+
+let visited t s = t.visited_mask land (1 lsl s) <> 0
+let is_complete t ~full_mask = t.visited_mask = full_mask
+
+let unvisited_servers t ~n_servers =
+  let rec go s acc =
+    if s < 1 then acc
+    else go (s - 1) (if visited t s then acc else s :: acc)
+  in
+  go (n_servers - 1) []
+
+let extend t ~id ~server ~binding ~weight ~server_max =
+  let bindings = Array.copy t.bindings in
+  bindings.(server) <- (match binding with Some n -> n | None -> unbound);
+  {
+    id;
+    bindings;
+    visited_mask = t.visited_mask lor (1 lsl server);
+    score = t.score +. weight;
+    max_possible = t.max_possible -. server_max +. weight;
+  }
+
+let bound t s = if t.bindings.(s) = unbound then None else Some t.bindings.(s)
+
+let pp ppf t =
+  Format.fprintf ppf "#%d score=%.4f max=%.4f [" t.id t.score t.max_possible;
+  Array.iteri
+    (fun i b ->
+      if i > 0 then Format.pp_print_char ppf ' ';
+      if b = unbound then Format.pp_print_string ppf "_"
+      else Format.pp_print_int ppf b)
+    t.bindings;
+  Format.pp_print_char ppf ']'

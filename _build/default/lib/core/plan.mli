@@ -1,0 +1,66 @@
+(** Compiled query plans.
+
+    A plan bundles everything the engines share: the pattern, the
+    relaxation configuration, the per-server predicate specs (Algorithm
+    1), the scoring table, the document index, and per-server statistics
+    estimated from a sample of root candidates (average fan-out, fraction
+    of exact-level extensions, fraction of empty joins) that feed the
+    size-based and score-based routing strategies. *)
+
+type t = {
+  pattern : Wp_pattern.Pattern.t;
+  config : Wp_relax.Relaxation.config;
+  specs : Wp_relax.Server_spec.t array;  (** by pattern node id *)
+  scores : Wp_score.Score_table.t;
+  index : Wp_xml.Index.t;
+  n_servers : int;  (** = pattern size; server ids are pattern node ids *)
+  full_mask : int;  (** bitmask with one bit per server *)
+  est_fanout : float array;
+      (** estimated candidate extensions per partial match, per server *)
+  est_p_exact : float array;
+      (** estimated fraction of extensions earning the exact weight *)
+  est_p_empty : float array;
+      (** estimated fraction of partial matches finding no extension *)
+}
+
+type estimator =
+  | Sampled  (** inspect a sample of root candidates (default) *)
+  | Synopsis
+      (** derive the estimates from a {!Wp_stats.Synopsis} of the
+          document — selectivity-estimation style, no per-query
+          sampling *)
+
+val compile :
+  ?normalization:Wp_score.Score_table.normalization ->
+  ?sample:int ->
+  ?estimator:estimator ->
+  Wp_xml.Index.t ->
+  Wp_relax.Relaxation.config ->
+  Wp_pattern.Pattern.t ->
+  t
+(** [compile idx config pat] builds a plan.  [normalization] defaults to
+    [Sparse]; [sample] (default 100) bounds the number of root candidates
+    inspected for the routing estimates when [estimator] is
+    [Sampled]. *)
+
+val synopsis_for : Wp_xml.Index.t -> Wp_stats.Synopsis.t
+(** The (memoized per index) structural synopsis used by the [Synopsis]
+    estimator. *)
+
+val admits_partial_answers : t -> bool
+(** Whether the top-k set may hold partial matches: true as soon as leaf
+    deletion or subtree promotion can leave nodes unbound; under the
+    exact configuration only complete matches are answers. *)
+
+val max_weight : t -> int -> float
+(** Best score contribution of a server (its exact weight). *)
+
+val server_op_cost_hint : t -> int -> float
+(** Relative cost estimate of one operation at a server (its fan-out),
+    used by cost-aware routing variants. *)
+
+val root_candidates : t -> Wp_xml.Doc.node_id list
+(** Document nodes matching the pattern root's tag, value and (relaxed)
+    root edge — the tuples the root server generates. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,173 @@
+type costs = { op_cost : float; route_cost : float }
+
+type result = {
+  makespan : float;
+  engine : Engine.result;
+  busy_time : float;
+}
+
+let priced (engine : Engine.result) ~costs =
+  let ops = float_of_int engine.stats.server_ops in
+  let decisions = float_of_int engine.stats.routing_decisions in
+  let makespan = (ops *. costs.op_cost) +. (decisions *. costs.route_cost) in
+  { makespan; engine; busy_time = makespan }
+
+let simulate_s ?routing ?queue_policy ~costs plan ~k =
+  priced (Engine.run ?routing ?queue_policy plan ~k) ~costs
+
+let simulate_lockstep ?order ?prune ~costs plan ~k =
+  (* LockStep routing is positional: we charge its stage bookkeeping at
+     the same per-decision price the caller chose. *)
+  priced (Lockstep.run ?order ?prune plan ~k) ~costs
+
+(* --- Event-driven Whirlpool-M simulation. --- *)
+
+module Event_heap = struct
+  type 'a t = (float * int * 'a) Pqueue.t
+  (* Pqueue is a max-queue; negate times for earliest-first. *)
+
+  let create () : 'a t = Pqueue.create ()
+  let push (h : 'a t) time seq x = Pqueue.push h (-.time) (time, seq, x)
+  let pop (h : 'a t) = Pqueue.pop h
+end
+
+type thread_state = {
+  queue : Partial_match.t Pqueue.t;
+  mutable busy : bool;
+  mutable current : Partial_match.t option;
+  mutable in_ready : bool;
+}
+
+let simulate_m ?(routing = Strategy.Min_alive)
+    ?(queue_policy = Strategy.Max_final_score) ~costs ~processors
+    (plan : Plan.t) ~k =
+  if processors < 1 then invalid_arg "Sim_exec.simulate_m: processors >= 1";
+  let stats = Stats.create () in
+  let topk = Topk_set.create ~k ~admit_partial:(Plan.admits_partial_answers plan) in
+  let next_id =
+    let n = ref 0 in
+    fun () -> incr n; !n
+  in
+  let n_threads = plan.n_servers in
+  (* Thread 0 is the router; threads 1 .. n-1 are the servers with the
+     same ids as their pattern nodes. *)
+  let threads =
+    Array.init n_threads (fun _ ->
+        { queue = Pqueue.create (); busy = false; current = None; in_ready = false })
+  in
+  let ready = Queue.create () in
+  let free_cpus = ref (min processors n_threads) in
+  let events : int Event_heap.t = Event_heap.create () in
+  let event_seq = ref 0 in
+  let seq = ref 0 in
+  let makespan = ref 0.0 in
+  let busy_time = ref 0.0 in
+  let cost_of thread = if thread = 0 then costs.route_cost else costs.op_cost in
+  let mark_ready t =
+    let th = threads.(t) in
+    if (not th.busy) && (not th.in_ready) && not (Pqueue.is_empty th.queue) then begin
+      th.in_ready <- true;
+      Queue.push t ready
+    end
+  in
+  let enqueue_router pm =
+    incr seq;
+    Pqueue.push threads.(0).queue ~tie:pm.Partial_match.score
+      (Strategy.priority queue_policy plan ~seq:!seq ~server:None pm)
+      pm;
+    mark_ready 0
+  in
+  let enqueue_server s pm =
+    incr seq;
+    Pqueue.push threads.(s).queue ~tie:pm.Partial_match.score
+      (Strategy.priority queue_policy plan ~seq:!seq ~server:(Some s) pm)
+      pm;
+    mark_ready s
+  in
+  (* Pop the next match a thread should actually work on: consulting the
+     top-k set is part of picking work up, so matches pruned here cost no
+     simulated time — exactly as the real servers check the set before
+     processing. *)
+  let rec pop_alive th =
+    match Pqueue.pop th.queue with
+    | None -> None
+    | Some pm ->
+        if Topk_set.should_prune topk pm then begin
+          stats.matches_pruned <- stats.matches_pruned + 1;
+          pop_alive th
+        end
+        else Some pm
+  in
+  let dispatch now =
+    while !free_cpus > 0 && not (Queue.is_empty ready) do
+      let t = Queue.pop ready in
+      let th = threads.(t) in
+      th.in_ready <- false;
+      match pop_alive th with
+      | None -> ()
+      | Some pm ->
+          th.busy <- true;
+          th.current <- Some pm;
+          decr free_cpus;
+          busy_time := !busy_time +. cost_of t;
+          incr event_seq;
+          Event_heap.push events (now +. cost_of t) !event_seq t
+    done
+  in
+  let handle_router pm =
+    let server =
+      Strategy.choose_next routing plan ~threshold:(Topk_set.threshold topk) pm
+    in
+    stats.routing_decisions <- stats.routing_decisions + 1;
+    enqueue_server server pm
+  in
+  let handle_server s pm =
+    let { Server.extensions; died } =
+      Server.process plan stats ~next_id pm ~server:s
+    in
+    if died then Topk_set.retract topk pm;
+    List.iter
+      (fun ext ->
+        let complete = Partial_match.is_complete ext ~full_mask:plan.full_mask in
+        Topk_set.consider topk ~complete ext;
+        if complete then stats.completed <- stats.completed + 1
+        else if Topk_set.should_prune topk ext then
+          stats.matches_pruned <- stats.matches_pruned + 1
+        else enqueue_router ext)
+      extensions
+  in
+  (* Seed with the root server's output; the root evaluation itself is
+     charged as one op of lead time. *)
+  let single_node = plan.n_servers = 1 in
+  List.iter
+    (fun pm ->
+      Topk_set.consider topk ~complete:single_node pm;
+      if single_node then stats.completed <- stats.completed + 1
+      else if Topk_set.should_prune topk pm then
+        stats.matches_pruned <- stats.matches_pruned + 1
+      else enqueue_router pm)
+    (Server.initial_matches plan stats ~next_id);
+  makespan := costs.op_cost;
+  dispatch !makespan;
+  let rec loop () =
+    match Event_heap.pop events with
+    | None -> ()
+    | Some (time, _, t) ->
+        makespan := time;
+        let th = threads.(t) in
+        let pm = Option.get th.current in
+        th.current <- None;
+        th.busy <- false;
+        incr free_cpus;
+        if t = 0 then handle_router pm else handle_server t pm;
+        mark_ready t;
+        dispatch time;
+        loop ()
+  in
+  loop ();
+  stats.wall_ns <- 0L;
+  {
+    makespan = !makespan;
+    engine = { Engine.answers = Topk_set.entries topk; stats };
+    busy_time = !busy_time;
+  }

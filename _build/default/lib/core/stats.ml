@@ -1,0 +1,50 @@
+type t = {
+  mutable server_ops : int;
+  mutable comparisons : int;
+  mutable matches_created : int;
+  mutable matches_pruned : int;
+  mutable matches_died : int;
+  mutable routing_decisions : int;
+  mutable completed : int;
+  mutable wall_ns : int64;
+}
+
+let create () =
+  {
+    server_ops = 0;
+    comparisons = 0;
+    matches_created = 0;
+    matches_pruned = 0;
+    matches_died = 0;
+    routing_decisions = 0;
+    completed = 0;
+    wall_ns = 0L;
+  }
+
+let reset t =
+  t.server_ops <- 0;
+  t.comparisons <- 0;
+  t.matches_created <- 0;
+  t.matches_pruned <- 0;
+  t.matches_died <- 0;
+  t.routing_decisions <- 0;
+  t.completed <- 0;
+  t.wall_ns <- 0L
+
+let add acc x =
+  acc.server_ops <- acc.server_ops + x.server_ops;
+  acc.comparisons <- acc.comparisons + x.comparisons;
+  acc.matches_created <- acc.matches_created + x.matches_created;
+  acc.matches_pruned <- acc.matches_pruned + x.matches_pruned;
+  acc.matches_died <- acc.matches_died + x.matches_died;
+  acc.routing_decisions <- acc.routing_decisions + x.routing_decisions;
+  acc.completed <- acc.completed + x.completed;
+  if Int64.compare x.wall_ns acc.wall_ns > 0 then acc.wall_ns <- x.wall_ns
+
+let wall_seconds t = Int64.to_float t.wall_ns /. 1e9
+
+let pp ppf t =
+  Format.fprintf ppf
+    "ops=%d cmp=%d created=%d pruned=%d died=%d routed=%d completed=%d wall=%.4fs"
+    t.server_ops t.comparisons t.matches_created t.matches_pruned
+    t.matches_died t.routing_decisions t.completed (wall_seconds t)

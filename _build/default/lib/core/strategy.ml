@@ -1,0 +1,117 @@
+module Score_table = Wp_score.Score_table
+
+type routing = Static of int array | Max_score | Min_score | Min_alive
+
+let pp_routing ppf = function
+  | Static order ->
+      Format.fprintf ppf "static[%s]"
+        (String.concat ";" (Array.to_list (Array.map string_of_int order)))
+  | Max_score -> Format.pp_print_string ppf "max_score"
+  | Min_score -> Format.pp_print_string ppf "min_score"
+  | Min_alive -> Format.pp_print_string ppf "min_alive_partial_matches"
+
+let routing_of_string = function
+  | "max_score" -> Some Max_score
+  | "min_score" -> Some Min_score
+  | "min_alive" | "min_alive_partial_matches" -> Some Min_alive
+  | _ -> None
+
+let default_static_order (plan : Plan.t) =
+  Array.init (plan.n_servers - 1) (fun i -> i + 1)
+
+let static_permutations (plan : Plan.t) =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            let rest = List.filter (fun y -> y <> x) l in
+            List.map (fun p -> x :: p) (perms rest))
+          l
+  in
+  List.map Array.of_list (perms (List.init (plan.n_servers - 1) (fun i -> i + 1)))
+
+(* Expected score contribution of routing a match to [server]: the
+   sampled mix of exact and relaxed extensions. *)
+let expected_weight (plan : Plan.t) server =
+  let e = Score_table.entry plan.scores server in
+  let pe = plan.est_p_exact.(server) in
+  let p_empty = plan.est_p_empty.(server) in
+  (1.0 -. p_empty)
+  *. ((pe *. e.exact_weight) +. ((1.0 -. pe) *. e.relaxed_weight))
+
+let estimated_alive (plan : Plan.t) ~threshold (pm : Partial_match.t) ~server =
+  let e = Score_table.entry plan.scores server in
+  (* Maximum score the match can still reach from the servers other than
+     [server]. *)
+  let rest_max = pm.max_possible -. e.exact_weight in
+  let survives w = if rest_max +. w > threshold then 1.0 else 0.0 in
+  let fanout = plan.est_fanout.(server) in
+  let pe = plan.est_p_exact.(server) in
+  let p_empty = plan.est_p_empty.(server) in
+  let bound_alive =
+    fanout *. ((pe *. survives e.exact_weight) +. ((1.0 -. pe) *. survives e.relaxed_weight))
+  in
+  let unbound_alive =
+    if plan.specs.(server).optional then p_empty *. survives 0.0 else 0.0
+  in
+  bound_alive +. unbound_alive
+
+let choose_next routing (plan : Plan.t) ~threshold (pm : Partial_match.t) =
+  match Partial_match.unvisited_servers pm ~n_servers:plan.n_servers with
+  | [] -> invalid_arg "Strategy.choose_next: match is complete"
+  | [ s ] -> s
+  | candidates -> (
+      match routing with
+      | Static order ->
+          let rec first = function
+            | [] -> invalid_arg "Strategy.choose_next: order misses a server"
+            | s :: rest -> if Partial_match.visited pm s then first rest else s
+          in
+          first (Array.to_list order)
+      | Max_score ->
+          let best s acc =
+            if expected_weight plan s > expected_weight plan acc then s else acc
+          in
+          List.fold_left (fun acc s -> best s acc) (List.hd candidates) candidates
+      | Min_score ->
+          let best s acc =
+            if expected_weight plan s < expected_weight plan acc then s else acc
+          in
+          List.fold_left (fun acc s -> best s acc) (List.hd candidates) candidates
+      | Min_alive ->
+          let objective s = estimated_alive plan ~threshold pm ~server:s in
+          let best s acc = if objective s < objective acc then s else acc in
+          List.fold_left (fun acc s -> best s acc) (List.hd candidates) candidates)
+
+type queue_policy = Fifo | Current_score | Max_next_score | Max_final_score
+
+let pp_queue_policy ppf = function
+  | Fifo -> Format.pp_print_string ppf "fifo"
+  | Current_score -> Format.pp_print_string ppf "current_score"
+  | Max_next_score -> Format.pp_print_string ppf "max_next_score"
+  | Max_final_score -> Format.pp_print_string ppf "max_final_score"
+
+let queue_policy_of_string = function
+  | "fifo" -> Some Fifo
+  | "current" | "current_score" -> Some Current_score
+  | "max_next" | "max_next_score" -> Some Max_next_score
+  | "max_final" | "max_final_score" -> Some Max_final_score
+  | _ -> None
+
+let priority policy (plan : Plan.t) ~seq ~server (pm : Partial_match.t) =
+  match policy with
+  | Fifo -> -.float_of_int seq
+  | Current_score -> pm.score
+  | Max_final_score -> pm.max_possible
+  | Max_next_score -> (
+      match server with
+      | Some s -> pm.score +. (Score_table.entry plan.scores s).exact_weight
+      | None ->
+          let best =
+            List.fold_left
+              (fun acc s -> Float.max acc (Plan.max_weight plan s))
+              0.0
+              (Partial_match.unvisited_servers pm ~n_servers:plan.n_servers)
+          in
+          pm.score +. best)

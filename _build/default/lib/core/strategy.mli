@@ -1,0 +1,53 @@
+(** Routing strategies and queue prioritization policies (Sections 6.1.3
+    and 6.1.4 of the paper). *)
+
+type routing =
+  | Static of int array
+      (** fixed order over the non-root servers; every partial match
+          visits the remaining servers in this sequence *)
+  | Max_score
+      (** send to the unvisited server expected to raise the score most *)
+  | Min_score  (** ... to raise it least *)
+  | Min_alive
+      (** size-based: to the server expected to leave the fewest alive
+          extensions after pruning — the paper's winning strategy *)
+
+val pp_routing : Format.formatter -> routing -> unit
+val routing_of_string : string -> routing option
+(** Recognizes ["max_score"], ["min_score"], ["min_alive"]. *)
+
+val default_static_order : Plan.t -> int array
+(** The identity order [1 .. n-1]. *)
+
+val static_permutations : Plan.t -> int array list
+(** Every permutation of the non-root servers (the 120 plans of the
+    paper's Figure 6 for a 6-node query). *)
+
+val choose_next :
+  routing -> Plan.t -> threshold:float -> Partial_match.t -> int
+(** The next server for a partial match (among unvisited ones).
+    [threshold] is the current k-th score, used by [Min_alive].
+    @raise Invalid_argument on a complete match. *)
+
+val estimated_alive :
+  Plan.t -> threshold:float -> Partial_match.t -> server:int -> float
+(** The [Min_alive] objective: expected number of extensions surviving
+    pruning if the match goes to [server] next, from the plan's sampled
+    fan-out/exactness/emptiness statistics. *)
+
+type queue_policy =
+  | Fifo
+  | Current_score
+  | Max_next_score
+  | Max_final_score
+
+val pp_queue_policy : Format.formatter -> queue_policy -> unit
+val queue_policy_of_string : string -> queue_policy option
+
+val priority :
+  queue_policy -> Plan.t -> seq:int -> server:int option ->
+  Partial_match.t -> float
+(** Priority of a match in a queue under the policy; [server] names the
+    server whose queue it is ([None] for the router queue, where
+    [Max_next_score] uses the best unvisited server).  [seq] is the
+    arrival sequence number, consumed by [Fifo]. *)

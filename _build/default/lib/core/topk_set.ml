@@ -1,0 +1,102 @@
+type entry = {
+  root : int;
+  score : float;
+  match_id : int;
+  bindings : int array;
+  progress : int;  (* servers visited when the snapshot was taken *)
+}
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+type t = {
+  k : int;
+  admit_partial : bool;
+  by_root : (int, entry) Hashtbl.t;  (* at most k bindings *)
+}
+
+let create ~k ~admit_partial =
+  if k < 1 then invalid_arg "Topk_set.create: k must be positive";
+  { k; admit_partial; by_root = Hashtbl.create (2 * k) }
+
+let k t = t.k
+let cardinality t = Hashtbl.length t.by_root
+
+let min_entry t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match acc with
+      | None -> Some e
+      | Some m -> if e.score < m.score then Some e else acc)
+    t.by_root None
+
+let threshold t =
+  if Hashtbl.length t.by_root < t.k then neg_infinity
+  else match min_entry t with None -> neg_infinity | Some e -> e.score
+
+let consider t ~complete (pm : Partial_match.t) =
+  if complete || t.admit_partial then begin
+    let root = Partial_match.root_binding pm in
+    let entry =
+      {
+        root;
+        score = pm.score;
+        match_id = pm.id;
+        bindings = Array.copy pm.bindings;
+        progress = popcount pm.visited_mask;
+      }
+    in
+    match Hashtbl.find_opt t.by_root root with
+    | Some existing ->
+        (* Equal scores prefer the more-processed match, so the reported
+           bindings reflect a maximal match rather than an early partial
+           snapshot. *)
+        if
+          pm.score > existing.score
+          || (pm.score = existing.score && entry.progress > existing.progress)
+        then Hashtbl.replace t.by_root root entry
+    | None ->
+        if Hashtbl.length t.by_root < t.k then Hashtbl.add t.by_root root entry
+        else begin
+          match min_entry t with
+          | Some m when pm.score > m.score ->
+              Hashtbl.remove t.by_root m.root;
+              Hashtbl.add t.by_root root entry
+          | Some _ | None -> ()
+        end
+  end
+
+let should_prune t (pm : Partial_match.t) =
+  let theta = threshold t in
+  if pm.max_possible < theta then true
+  else if pm.max_possible > theta then false
+  else
+    (* A match that can at best tie the threshold can still improve the
+       entry holding its own root, but cannot displace any other
+       entry. *)
+    match Hashtbl.find_opt t.by_root (Partial_match.root_binding pm) with
+    | Some e -> pm.max_possible <= e.score && e.match_id <> pm.id
+    | None -> true
+
+let retract t (pm : Partial_match.t) =
+  let root = Partial_match.root_binding pm in
+  match Hashtbl.find_opt t.by_root root with
+  | Some e when e.match_id = pm.id -> Hashtbl.remove t.by_root root
+  | Some _ | None -> ()
+
+let entries t =
+  let compare_entries a b =
+    match Float.compare b.score a.score with
+    | 0 -> Int.compare a.root b.root
+    | c -> c
+  in
+  List.sort compare_entries
+    (Hashtbl.fold (fun _ e acc -> e :: acc) t.by_root [])
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>top-%d (threshold %.4f):@," t.k (threshold t);
+  List.iteri
+    (fun i e -> Format.fprintf ppf "%d. root=%d score=%.4f@," (i + 1) e.root e.score)
+    (entries t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+type event =
+  | Popped of { id : int; score : float; max_possible : float }
+  | Routed of { id : int; server : int }
+  | Extended of { parent : int; id : int; server : int; bound : bool }
+  | Pruned of { id : int }
+  | Died of { id : int; server : int }
+  | Completed of { id : int; score : float }
+
+type t = event -> unit
+
+let ignore_tracer (_ : event) = ()
+
+let collector () =
+  let events = ref [] in
+  let trace e = events := e :: !events in
+  (trace, fun () -> List.rev !events)
+
+let src = Logs.Src.create "whirlpool" ~doc:"Whirlpool engine tracing"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let event_id = function
+  | Popped { id; _ }
+  | Routed { id; _ }
+  | Extended { id; _ }
+  | Pruned { id }
+  | Died { id; _ }
+  | Completed { id; _ } ->
+      id
+
+let pp_event ppf = function
+  | Popped { id; score; max_possible } ->
+      Format.fprintf ppf "pop #%d score=%.4f max=%.4f" id score max_possible
+  | Routed { id; server } -> Format.fprintf ppf "route #%d -> q%d" id server
+  | Extended { parent; id; server; bound } ->
+      Format.fprintf ppf "extend #%d -> #%d at q%d (%s)" parent id server
+        (if bound then "bound" else "deleted")
+  | Pruned { id } -> Format.fprintf ppf "prune #%d" id
+  | Died { id; server } -> Format.fprintf ppf "die #%d at q%d" id server
+  | Completed { id; score } ->
+      Format.fprintf ppf "complete #%d score=%.4f" id score
+
+let logs () = fun e -> Log.debug (fun m -> m "%a" pp_event e)

@@ -1,0 +1,31 @@
+(** Execution tracing.
+
+    A tracer receives one event per engine action — match popped, routing
+    decision, extension spawned, pruning, death, completion, top-k
+    admission — giving both a debugging lens (via {!val-logs}) and a way
+    for tests to assert scheduling invariants (via {!collector}).
+    Tracing is opt-in per run ({!Engine.run}'s [?trace]) and free when
+    absent. *)
+
+type event =
+  | Popped of { id : int; score : float; max_possible : float }
+  | Routed of { id : int; server : int }
+  | Extended of { parent : int; id : int; server : int; bound : bool }
+  | Pruned of { id : int }
+  | Died of { id : int; server : int }
+  | Completed of { id : int; score : float }
+
+type t = event -> unit
+
+val ignore_tracer : t
+
+val collector : unit -> t * (unit -> event list)
+(** A tracer that records events, and the function that returns them in
+    emission order. *)
+
+val logs : unit -> t
+(** A tracer that reports every event at debug level on the
+    ["whirlpool"] {!Logs} source. *)
+
+val event_id : event -> int
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,25 @@
+(** Minimal JSON emission (no parsing).
+
+    Enough for the CLI and benchmark harness to produce
+    machine-consumable output without an external dependency.  Strings
+    are escaped per RFC 8259; floats print with round-trip precision
+    ([%.17g] trimmed), and non-finite floats are emitted as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape_string : string -> string
+(** Escaped content without the surrounding quotes. *)
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented rendering (2-space). *)

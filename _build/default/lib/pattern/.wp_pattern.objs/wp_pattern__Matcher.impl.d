@@ -1,0 +1,1 @@
+lib/pattern/matcher.ml: Array Hashtbl List Option Pattern Stdlib String Wp_xml

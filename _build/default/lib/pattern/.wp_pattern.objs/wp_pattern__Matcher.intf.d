@@ -1,0 +1,1 @@
+lib/pattern/matcher.mli: Pattern Wp_xml

@@ -1,0 +1,1 @@
+lib/pattern/xpath_parser.ml: List Pattern Printf String

@@ -1,0 +1,38 @@
+(** Naive exact tree-pattern matcher.
+
+    Enumerates every embedding of a pattern into a document by exhaustive
+    search.  This is the reference semantics the Whirlpool engine is
+    tested against, and the source of the "maximum possible number of
+    partial matches" baseline (paper's Table 2): with outer-join
+    semantics, a pattern embedding may leave non-root nodes unbound.
+
+    An embedding maps each pattern node to a document node satisfying the
+    tag, value and axis constraints; [None] entries appear only in
+    {e partial} embeddings produced by {!iter_outer_embeddings}. *)
+
+type embedding = Wp_xml.Doc.node_id option array
+(** Indexed by pattern node id; [Some n] binds the pattern node to [n]. *)
+
+val iter_embeddings :
+  Wp_xml.Index.t -> Pattern.t -> (Wp_xml.Doc.node_id array -> unit) -> unit
+(** Iterate all {e complete, exact} embeddings (every pattern node bound,
+    every edge satisfied literally). *)
+
+val count_embeddings : Wp_xml.Index.t -> Pattern.t -> int
+
+val matching_roots : Wp_xml.Index.t -> Pattern.t -> Wp_xml.Doc.node_id list
+(** Distinct document nodes that root at least one exact embedding, in
+    document order. *)
+
+val root_candidates : Wp_xml.Index.t -> Pattern.t -> Wp_xml.Doc.node_id list
+(** Document nodes matching just the pattern root (tag, value and the
+    root edge) — the tuples the root server generates. *)
+
+val iter_outer_embeddings :
+  Wp_xml.Index.t -> Pattern.t -> (embedding -> unit) -> unit
+(** Iterate all maximal outer-join embeddings: each pattern node below a
+    bound node is bound when a satisfying document node exists and left
+    [None] otherwise; one embedding is produced per combination of bound
+    nodes.  This is the match space explored by LockStep-NoPrun. *)
+
+val count_outer_embeddings : Wp_xml.Index.t -> Pattern.t -> int

@@ -1,0 +1,141 @@
+type edge = Pc | Ad
+
+type spec = {
+  tag : string;
+  value : string option;
+  children : (edge * spec) list;
+}
+
+type node_id = int
+
+type t = {
+  tags : string array;
+  values : string option array;
+  parents : int array;  (* -1 for the root *)
+  edges : edge array;  (* edges.(0) is the root edge to the document root *)
+}
+
+let n ?value tag children = { tag; value; children }
+
+let spec_size spec =
+  let rec go s = List.fold_left (fun acc (_, c) -> acc + go c) 1 s.children in
+  go spec
+
+let of_spec ?(root_edge = Ad) spec =
+  let size = spec_size spec in
+  let tags = Array.make size "" in
+  let values = Array.make size None in
+  let parents = Array.make size (-1) in
+  let edges = Array.make size root_edge in
+  let next = ref 0 in
+  let rec assign parent edge s =
+    let id = !next in
+    incr next;
+    tags.(id) <- s.tag;
+    values.(id) <- s.value;
+    parents.(id) <- parent;
+    edges.(id) <- edge;
+    List.iter (fun (e, c) -> assign id e c) s.children
+  in
+  assign (-1) root_edge spec;
+  { tags; values; parents; edges }
+
+let root _ = 0
+let size p = Array.length p.tags
+let root_edge p = p.edges.(0)
+let tag p i = p.tags.(i)
+let value p i = p.values.(i)
+let parent p i = if p.parents.(i) < 0 then None else Some p.parents.(i)
+
+let edge p i =
+  if i = 0 then invalid_arg "Pattern.edge: the root has no parent edge"
+  else p.edges.(i)
+
+let children p i =
+  let out = ref [] in
+  for j = size p - 1 downto i + 1 do
+    if p.parents.(j) = i then out := j :: !out
+  done;
+  !out
+
+let is_strict_descendant p ~anc j =
+  let rec up k = k >= 0 && (p.parents.(k) = anc || up p.parents.(k)) in
+  up j
+
+let descendants p i =
+  let out = ref [] in
+  for j = size p - 1 downto i + 1 do
+    if is_strict_descendant p ~anc:i j then out := j :: !out
+  done;
+  !out
+
+(* Nearest ancestor first. *)
+let ancestors p i =
+  let rec up acc k =
+    if p.parents.(k) < 0 then List.rev acc
+    else up (p.parents.(k) :: acc) p.parents.(k)
+  in
+  up [] i
+
+let is_leaf p i = children p i = []
+let node_ids p = List.init (size p) Fun.id
+
+let path_edges p anc desc =
+  let rec up acc k =
+    if k = anc then Some acc
+    else if k <= 0 then None
+    else up (p.edges.(k) :: acc) p.parents.(k)
+  in
+  if anc = desc then Some [] else up [] desc
+
+let to_spec p =
+  let rec go i =
+    {
+      tag = p.tags.(i);
+      value = p.values.(i);
+      children = List.map (fun c -> (p.edges.(c), go c)) (children p i);
+    }
+  in
+  go 0
+
+let equal a b =
+  size a = size b
+  && a.tags = b.tags && a.values = b.values && a.parents = b.parents
+  && a.edges = b.edges
+
+let pp_edge ppf = function
+  | Pc -> Format.pp_print_string ppf "/"
+  | Ad -> Format.pp_print_string ppf "//"
+
+let pp ppf p =
+  (* Reconstructs XPath syntax: inside predicates a chain of only-children
+     prints as a path (./a/b/c); branching prints as [pred and pred].  The
+     returned node (the query root) always keeps the bracket form, since
+     the grammar's top level is a single step. *)
+  let rec pp_step ~top ppf i =
+    Format.pp_print_string ppf p.tags.(i);
+    (match (children p i, p.values.(i)) with
+    | [], _ -> ()
+    | [ c ], None when not top ->
+        pp_edge ppf p.edges.(c);
+        pp_step ~top:false ppf c
+    | cs, _ ->
+        Format.pp_print_char ppf '[';
+        List.iteri
+          (fun k c ->
+            if k > 0 then Format.pp_print_string ppf " and ";
+            pp_pred ppf c)
+          cs;
+        Format.pp_print_char ppf ']');
+    match p.values.(i) with
+    | None -> ()
+    | Some v -> Format.fprintf ppf " = '%s'" v
+  and pp_pred ppf i =
+    Format.pp_print_char ppf '.';
+    pp_edge ppf p.edges.(i);
+    pp_step ~top:false ppf i
+  in
+  pp_edge ppf p.edges.(0);
+  pp_step ~top:true ppf 0
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,70 @@
+(** Tree-pattern queries — the XPath subset of the paper.
+
+    A pattern is a rooted tree whose nodes carry element tags (leaves may
+    additionally require a content value) and whose edges are XPath axes:
+    [Pc] (parent-child) or [Ad] (ancestor-descendant).  The pattern root
+    is the returned node; its own [root_edge] relates it to the document
+    root ([Pc] for queries written [/tag...], [Ad] for [//tag...]).
+
+    Node identifiers are preorder ranks within the pattern: the root is
+    [0] and every node's parent has a smaller id. *)
+
+type edge = Pc | Ad
+
+type spec = {
+  tag : string;
+  value : string option;
+  children : (edge * spec) list;
+}
+(** Inductive form used to author patterns in code. *)
+
+type node_id = int
+
+type t
+
+val of_spec : ?root_edge:edge -> spec -> t
+(** Freeze a pattern; [root_edge] defaults to [Ad] (i.e. [//tag...]). *)
+
+val n : ?value:string -> string -> (edge * spec) list -> spec
+(** Spec builder: [n "item" [ (Pc, n "name" []) ]]. *)
+
+val root : t -> node_id
+val size : t -> int
+val root_edge : t -> edge
+
+val tag : t -> node_id -> string
+val value : t -> node_id -> string option
+
+val parent : t -> node_id -> node_id option
+(** [None] on the pattern root. *)
+
+val edge : t -> node_id -> edge
+(** The axis between a non-root node and its parent.
+    @raise Invalid_argument on the root. *)
+
+val children : t -> node_id -> node_id list
+val descendants : t -> node_id -> node_id list
+(** Proper descendants, in preorder. *)
+
+val ancestors : t -> node_id -> node_id list
+(** Proper ancestors, nearest first. *)
+
+val is_leaf : t -> node_id -> bool
+val node_ids : t -> node_id list
+(** All ids in preorder, i.e. [0 .. size-1]. *)
+
+val path_edges : t -> node_id -> node_id -> edge list option
+(** [path_edges p anc desc] is the downward edge sequence from [anc] to
+    [desc] when [anc] is an ancestor-or-self of [desc] ([Some []] when
+    equal), and [None] otherwise. *)
+
+val to_spec : t -> spec
+val equal : t -> t -> bool
+
+val pp_edge : Format.formatter -> edge -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Prints the pattern back in XPath syntax, e.g.
+    [//item\[./description/parlist and ./mailbox/mail/text\]]. *)
+
+val to_string : t -> string

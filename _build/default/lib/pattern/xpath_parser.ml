@@ -1,0 +1,147 @@
+exception Error of { position : int; message : string }
+
+type state = { src : string; mutable pos : int }
+
+let fail st message = raise (Error { position = st.pos; message })
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then None else Some st.src.[st.pos]
+let advance st = st.pos <- st.pos + 1
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (not (eof st)) && is_space st.src.[st.pos] do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '@'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = ':'
+
+(* Parses '/' or '//' and returns the corresponding edge. *)
+let parse_axis st =
+  match peek st with
+  | Some '/' ->
+      advance st;
+      if peek st = Some '/' then begin advance st; Pattern.Ad end
+      else Pattern.Pc
+  | Some c -> fail st (Printf.sprintf "expected '/' or '//', found %C" c)
+  | None -> fail st "expected '/' or '//', found end of input"
+
+let parse_name st =
+  skip_spaces st;
+  match peek st with
+  | Some '*' ->
+      (* The wildcard step matches any element tag. *)
+      advance st;
+      "*"
+  | _ ->
+      let start = st.pos in
+      (match peek st with
+      | Some c when is_name_start c -> advance st
+      | Some c -> fail st (Printf.sprintf "expected an element name, found %C" c)
+      | None -> fail st "expected an element name, found end of input");
+      while (not (eof st)) && is_name_char st.src.[st.pos] do
+        advance st
+      done;
+      String.sub st.src start (st.pos - start)
+
+let parse_string_literal st =
+  skip_spaces st;
+  let quote =
+    match peek st with
+    | Some (('\'' | '"') as q) -> advance st; q
+    | Some c -> fail st (Printf.sprintf "expected a quoted string, found %C" c)
+    | None -> fail st "expected a quoted string, found end of input"
+  in
+  let start = st.pos in
+  let rec find p =
+    if p >= String.length st.src then fail st "unterminated string literal"
+    else if st.src.[p] = quote then p
+    else find (p + 1)
+  in
+  let stop = find start in
+  st.pos <- stop + 1;
+  String.sub st.src start (stop - start)
+
+(* Looks ahead (past spaces) for the keyword "and". *)
+let at_and st =
+  let p = ref st.pos in
+  while !p < String.length st.src && is_space st.src.[!p] do incr p done;
+  !p + 3 <= String.length st.src
+  && String.sub st.src !p 3 = "and"
+  && (!p + 3 = String.length st.src || not (is_name_char st.src.[!p + 3]))
+
+let rec parse_step st : Pattern.spec =
+  let tag = parse_name st in
+  skip_spaces st;
+  let preds =
+    if peek st = Some '[' then begin
+      advance st;
+      let rec more acc =
+        let p = parse_pred st in
+        skip_spaces st;
+        if at_and st then begin
+          skip_spaces st;
+          st.pos <- st.pos + 3;
+          more (p :: acc)
+        end
+        else begin
+          (match peek st with
+          | Some ']' -> advance st
+          | Some c -> fail st (Printf.sprintf "expected ']' or 'and', found %C" c)
+          | None -> fail st "unterminated predicate list");
+          List.rev (p :: acc)
+        end
+      in
+      more []
+    end
+    else []
+  in
+  skip_spaces st;
+  let value =
+    if peek st = Some '=' then begin
+      advance st;
+      Some (parse_string_literal st)
+    end
+    else None
+  in
+  { Pattern.tag; value; children = preds }
+
+(* pred ::= '.' (axis step)+ ; returns the outermost (edge, spec). *)
+and parse_pred st : Pattern.edge * Pattern.spec =
+  skip_spaces st;
+  (match peek st with
+  | Some '.' -> advance st
+  | Some c -> fail st (Printf.sprintf "expected '.', found %C" c)
+  | None -> fail st "expected '.', found end of input");
+  let first_edge = parse_axis st in
+  let first = parse_step st in
+  (* Continue the chain: attach each subsequent step as the single child
+     of the deepest node parsed so far. *)
+  let rec continue (spec : Pattern.spec) =
+    skip_spaces st;
+    match peek st with
+    | Some '/' ->
+        if spec.value <> None then
+          fail st "a value comparison must end its path";
+        let edge = parse_axis st in
+        let next = parse_step st in
+        let next = continue next in
+        { spec with children = spec.children @ [ (edge, next) ] }
+    | _ -> spec
+  in
+  (first_edge, continue first)
+
+let parse src =
+  let st = { src; pos = 0 } in
+  skip_spaces st;
+  let root_edge = parse_axis st in
+  let root = parse_step st in
+  skip_spaces st;
+  if not (eof st) then fail st "trailing input after the query";
+  Pattern.of_spec ~root_edge root
+
+let parse_opt src = match parse src with p -> Some p | exception Error _ -> None

@@ -1,0 +1,23 @@
+(** Parser for the XPath subset that maps onto tree patterns.
+
+    Grammar (whitespace is insignificant outside quoted strings):
+
+    {v
+    query  ::= ('/' | '//') step
+    step   ::= name ('[' pred ('and' pred)* ']')? ('=' string)?
+    pred   ::= '.' ('/' | '//') step ('/' | '//' step)*      -- a path
+    string ::= "'" chars "'"  |  '"' chars '"'
+    name   ::= XML name (also '@name' for attribute children)
+    v}
+
+    A path inside a predicate, e.g. [./mailbox/mail/text], denotes a chain
+    of pattern nodes linked by the written axes; a trailing [= 'v']
+    constrains the content of the last node of the chain.  This covers all
+    queries in the paper (Figures 2 and Section 6.2.1). *)
+
+exception Error of { position : int; message : string }
+
+val parse : string -> Pattern.t
+(** @raise Error on input outside the grammar. *)
+
+val parse_opt : string -> Pattern.t option

@@ -1,0 +1,1 @@
+lib/relax/relation.ml: Format List Wp_pattern Wp_xml

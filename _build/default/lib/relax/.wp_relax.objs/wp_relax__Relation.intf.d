@@ -1,0 +1,1 @@
+lib/relax/relation.mli: Format Wp_pattern Wp_xml

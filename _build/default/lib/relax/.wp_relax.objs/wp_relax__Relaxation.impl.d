@@ -1,0 +1,1 @@
+lib/relax/relaxation.ml: Format Hashtbl List Printf Queue Relation String Wp_pattern

@@ -1,0 +1,1 @@
+lib/relax/relaxation.mli: Format Relation Wp_pattern

@@ -1,0 +1,1 @@
+lib/relax/server_spec.ml: Array Format List Relation Relaxation Stdlib Wp_pattern

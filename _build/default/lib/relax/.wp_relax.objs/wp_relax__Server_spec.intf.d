@@ -1,0 +1,1 @@
+lib/relax/server_spec.mli: Format Relation Relaxation Wp_pattern

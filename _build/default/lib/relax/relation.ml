@@ -1,0 +1,57 @@
+module Pattern = Wp_pattern.Pattern
+module Doc = Wp_xml.Doc
+
+type t = { min_depth : int; max_depth : int option }
+
+let child = { min_depth = 1; max_depth = Some 1 }
+let descendant = { min_depth = 1; max_depth = None }
+
+let of_edge = function Pattern.Pc -> child | Pattern.Ad -> descendant
+
+let compose a b =
+  {
+    min_depth = a.min_depth + b.min_depth;
+    max_depth =
+      (match (a.max_depth, b.max_depth) with
+      | Some x, Some y -> Some (x + y)
+      | Some _, None | None, Some _ | None, None -> None);
+  }
+
+let of_edges = function
+  | [] -> invalid_arg "Relation.of_edges: empty path"
+  | e :: es -> List.fold_left (fun acc e -> compose acc (of_edge e)) (of_edge e) es
+
+let generalize r = { r with max_depth = None }
+
+(* Promotion re-attaches the subtree with an [Ad] edge, so both bounds
+   collapse: the target may land at any depth below the new parent. *)
+let promote _ = descendant
+
+let is_subrelation a b =
+  b.min_depth <= a.min_depth
+  &&
+  match (a.max_depth, b.max_depth) with
+  | _, None -> true
+  | None, Some _ -> false
+  | Some x, Some y -> x <= y
+
+let equal (a : t) (b : t) = a = b
+
+let test_depths r ~anc_depth ~desc_depth =
+  let diff = desc_depth - anc_depth in
+  diff >= r.min_depth
+  && match r.max_depth with None -> true | Some m -> diff <= m
+
+let test doc r ~anc ~desc =
+  Doc.is_ancestor doc ~anc ~desc
+  && test_depths r ~anc_depth:(Doc.depth doc anc) ~desc_depth:(Doc.depth doc desc)
+
+let pp ppf r =
+  match (r.min_depth, r.max_depth) with
+  | 1, Some 1 -> Format.pp_print_string ppf "child"
+  | 1, None -> Format.pp_print_string ppf "descendant"
+  | lo, Some hi when lo = hi -> Format.fprintf ppf "descendant@depth=%d" lo
+  | lo, Some hi -> Format.fprintf ppf "descendant@depth=%d..%d" lo hi
+  | lo, None -> Format.fprintf ppf "descendant@depth>=%d" lo
+
+let to_string r = Format.asprintf "%a" pp r

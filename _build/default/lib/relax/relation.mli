@@ -1,0 +1,52 @@
+(** Composed binary structural relations.
+
+    Composing the axes along a tree-pattern path yields a binary relation
+    between the path's endpoints that is checkable from Dewey labels
+    alone: "proper descendant with depth difference in [min_depth,
+    max_depth]".  A pure parent-child chain of length [k] composes to
+    exactly depth [k]; any [Ad] edge on the path removes the upper bound.
+    These relations are what the paper's conditional predicate sequences
+    test, ordered from most to least specific (e.g. "if not child, then
+    descendant"). *)
+
+type t = { min_depth : int; max_depth : int option }
+(** Invariant: [min_depth >= 1] and [max_depth >= min_depth] when
+    present.  The relation holds between [anc] and [desc] iff [desc] is a
+    proper descendant of [anc] with depth difference within bounds. *)
+
+val child : t
+val descendant : t
+(** [child] = depth exactly 1; [descendant] = any depth >= 1. *)
+
+val of_edge : Wp_pattern.Pattern.edge -> t
+
+val compose : t -> t -> t
+(** Relation of a path split into two consecutive segments. *)
+
+val of_edges : Wp_pattern.Pattern.edge list -> t
+(** Composed relation of a full edge path.
+    @raise Invalid_argument on the empty path. *)
+
+val generalize : t -> t
+(** Drop the upper depth bound (edge generalization applied to every [Pc]
+    edge of the underlying path). *)
+
+val promote : t -> t
+(** Allow the target to hang anywhere below the source (the closure of
+    subtree promotion re-attaches with an [Ad] edge): both depth bounds
+    collapse, yielding {!descendant}. *)
+
+val is_subrelation : t -> t -> bool
+(** [is_subrelation a b] iff every pair related by [a] is related by
+    [b]. *)
+
+val equal : t -> t -> bool
+
+val test : Wp_xml.Doc.t -> t -> anc:Wp_xml.Doc.node_id -> desc:Wp_xml.Doc.node_id -> bool
+
+val test_depths : t -> anc_depth:int -> desc_depth:int -> bool
+(** The depth component of {!test}, for candidates already known to lie
+    in the ancestor's subtree (e.g. drawn from an index subtree slice). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,121 @@
+module Pattern = Wp_pattern.Pattern
+
+type conditional = {
+  other : Pattern.node_id;
+  downward : bool;
+  exact : Relation.t;
+  relaxed : Relation.t option;
+  hard : bool;
+}
+
+type t = {
+  node : Pattern.node_id;
+  tag : string;
+  value : string option;
+  to_root : conditional;
+  conditionals : conditional list;
+  optional : bool;
+}
+
+let some_if_differs exact relaxed =
+  if Relation.equal exact relaxed then None else Some relaxed
+
+let edges_between pat ~anc ~desc =
+  match Pattern.path_edges pat anc desc with
+  | Some (_ :: _ as edges) -> edges
+  | Some [] | None ->
+      invalid_arg "Server_spec: nodes are not in ancestor-descendant position"
+
+(* Relation of the server node to the query root (or, for the root
+   itself, to the document root via the pattern's root edge). *)
+let root_conditional (config : Relaxation.config) pat node =
+  if node = Pattern.root pat then begin
+    let exact = Relation.of_edge (Pattern.root_edge pat) in
+    let relaxed =
+      if config.edge_generalization then Relation.generalize exact else exact
+    in
+    { other = -1; downward = false; exact; relaxed = some_if_differs exact relaxed;
+      hard = true }
+  end
+  else begin
+    let exact = Relation.of_edges (edges_between pat ~anc:(Pattern.root pat) ~desc:node) in
+    let relaxed = Relaxation.relax_to_root config exact in
+    { other = Pattern.root pat; downward = false; exact;
+      relaxed = some_if_differs exact relaxed; hard = true }
+  end
+
+(* Conditional towards a non-root pattern ancestor [a] of the server
+   node.  With subtree promotion the node may escape [a]'s subtree
+   entirely, so the predicate is soft (score-only); otherwise it is a
+   hard consistency requirement whenever [a] is bound. *)
+let ancestor_conditional (config : Relaxation.config) pat node a =
+  let exact = Relation.of_edges (edges_between pat ~anc:a ~desc:node) in
+  let relaxed = Relaxation.relax_internal config exact in
+  {
+    other = a;
+    downward = false;
+    exact;
+    relaxed = some_if_differs exact relaxed;
+    hard = not config.subtree_promotion;
+  }
+
+(* Conditional towards a pattern descendant [d] of the server node:
+   promotion moves whole subtrees, so a bound descendant may have been
+   promoted out of the server node's subtree. *)
+let descendant_conditional (config : Relaxation.config) pat node d =
+  let exact = Relation.of_edges (edges_between pat ~anc:node ~desc:d) in
+  let relaxed = Relaxation.relax_internal config exact in
+  {
+    other = d;
+    downward = true;
+    exact;
+    relaxed = some_if_differs exact relaxed;
+    hard = not config.subtree_promotion;
+  }
+
+let build_one config pat node =
+  let root = Pattern.root pat in
+  let ancestors =
+    List.filter (fun a -> a <> root) (Pattern.ancestors pat node)
+  in
+  let conditionals =
+    List.map (ancestor_conditional config pat node) ancestors
+    @ List.map (descendant_conditional config pat node) (Pattern.descendants pat node)
+  in
+  let conditionals =
+    List.sort (fun a b -> Stdlib.compare a.other b.other) conditionals
+  in
+  {
+    node;
+    tag = Pattern.tag pat node;
+    value = Pattern.value pat node;
+    to_root = root_conditional config pat node;
+    conditionals;
+    optional = (node <> root && config.leaf_deletion);
+  }
+
+let build config pat =
+  Array.init (Pattern.size pat) (fun node -> build_one config pat node)
+
+let candidate_relation spec =
+  match spec.to_root.relaxed with
+  | Some r -> r
+  | None -> spec.to_root.exact
+
+let pp_conditional ppf c =
+  Format.fprintf ppf "%s q%d: %a%a%s"
+    (if c.downward then "to" else "from")
+    c.other Relation.pp c.exact
+    (fun ppf -> function
+      | None -> ()
+      | Some r -> Format.fprintf ppf " else %a" Relation.pp r)
+    c.relaxed
+    (if c.hard then " [hard]" else "")
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>server q%d <%s%s>%s@,root: %a" t.node t.tag
+    (match t.value with None -> "" | Some v -> "='" ^ v ^ "'")
+    (if t.optional then " (optional)" else "")
+    pp_conditional t.to_root;
+  List.iter (fun c -> Format.fprintf ppf "@,cond: %a" pp_conditional c) t.conditionals;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,48 @@
+(** Per-server predicate generation — the paper's Algorithm 1.
+
+    Each query node becomes a server.  Because adaptive routing lets
+    partial matches reach a server with {e any} subset of the other nodes
+    bound, the server cannot rely on specific predecessors: it keeps
+    (i) a {e structural predicate} relating it to the query root (always
+    bound), used for the index lookup that produces candidate extensions,
+    and (ii) a {e conditional predicate sequence} — for every pattern
+    ancestor and descendant, the composed exact relation followed by its
+    permitted relaxation — checked against whichever of those nodes are
+    bound in the incoming partial match. *)
+
+type conditional = {
+  other : Wp_pattern.Pattern.node_id;  (** the related query node *)
+  downward : bool;
+      (** [true] when the server node is the ancestor side of the pair *)
+  exact : Relation.t;  (** composed relation of the pattern path *)
+  relaxed : Relation.t option;
+      (** the permitted relaxation, when it differs from [exact] *)
+  hard : bool;
+      (** whether failing even the most relaxed level invalidates the
+          match (with subtree promotion enabled, only the root predicate
+          is hard) *)
+}
+
+type t = {
+  node : Wp_pattern.Pattern.node_id;
+  tag : string;
+  value : string option;
+  to_root : conditional;
+      (** structural predicate; for the root server itself this is the
+          root-edge predicate w.r.t. the document root *)
+  conditionals : conditional list;
+      (** vs. proper pattern ancestors (excluding the root, covered by
+          [to_root]) and descendants, in pattern preorder *)
+  optional : bool;
+      (** leaf deletion permits leaving this node unbound *)
+}
+
+val build : Relaxation.config -> Wp_pattern.Pattern.t -> t array
+(** One spec per pattern node, indexed by pattern node id. *)
+
+val candidate_relation : t -> Relation.t
+(** The relation actually used for candidate retrieval under the root
+    binding: the relaxed level of [to_root] when present, its exact level
+    otherwise. *)
+
+val pp : Format.formatter -> t -> unit

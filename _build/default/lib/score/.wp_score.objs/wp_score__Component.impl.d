@@ -1,0 +1,1 @@
+lib/score/component.ml: Array Format Wp_pattern Wp_relax

@@ -1,0 +1,1 @@
+lib/score/component.mli: Format Wp_pattern Wp_relax

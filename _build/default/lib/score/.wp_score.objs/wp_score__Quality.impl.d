@@ -1,0 +1,1 @@
+lib/score/quality.ml: Array Float Hashtbl List Option Wp_pattern Wp_relax Wp_xml

@@ -1,0 +1,1 @@
+lib/score/quality.mli: Hashtbl Wp_pattern Wp_relax Wp_xml

@@ -1,0 +1,1 @@
+lib/score/score_table.ml: Array Component Float Format Int64 Tfidf Wp_pattern Wp_relax

@@ -1,0 +1,1 @@
+lib/score/score_table.mli: Format Wp_pattern Wp_relax Wp_xml

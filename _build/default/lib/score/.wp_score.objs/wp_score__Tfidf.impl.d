@@ -1,0 +1,1 @@
+lib/score/tfidf.ml: Array Component Float Int List String Wp_pattern Wp_relax Wp_xml

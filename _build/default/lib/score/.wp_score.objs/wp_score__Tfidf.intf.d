@@ -1,0 +1,1 @@
+lib/score/tfidf.mli: Component Wp_pattern Wp_xml

@@ -1,0 +1,117 @@
+module Matcher = Wp_pattern.Matcher
+module Relaxation = Wp_relax.Relaxation
+
+type grades = (Wp_xml.Doc.node_id, float) Hashtbl.t
+
+let relevance_grades ?limit idx config pat : grades =
+  let grades = Hashtbl.create 64 in
+  let record root g =
+    match Hashtbl.find_opt grades root with
+    | Some g' when g' >= g -> ()
+    | Some _ | None -> Hashtbl.replace grades root g
+  in
+  List.iter
+    (fun (relaxed, steps) ->
+      let g = 1.0 /. float_of_int (1 + steps) in
+      List.iter (fun root -> record root g) (Matcher.matching_roots idx relaxed))
+    (Relaxation.closure_with_steps ?limit config pat);
+  grades
+
+let grade grades root =
+  Option.value (Hashtbl.find_opt grades root) ~default:0.0
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let precision_at grades ~relevant_above ~ranking ~k =
+  let prefix = take k ranking in
+  match prefix with
+  | [] -> 1.0
+  | _ ->
+      let hits =
+        List.length
+          (List.filter (fun r -> grade grades r >= relevant_above) prefix)
+      in
+      float_of_int hits /. float_of_int (List.length prefix)
+
+let recall_at grades ~relevant_above ~ranking ~k =
+  let relevant =
+    Hashtbl.fold
+      (fun root g acc -> if g >= relevant_above then root :: acc else acc)
+      grades []
+  in
+  match relevant with
+  | [] -> 1.0
+  | _ ->
+      let prefix = take k ranking in
+      let hits =
+        List.length (List.filter (fun r -> List.mem r prefix) relevant)
+      in
+      float_of_int hits /. float_of_int (List.length relevant)
+
+let dcg_at grades ~ranking ~k =
+  List.fold_left
+    (fun (i, acc) root ->
+      (i + 1, acc +. (grade grades root /. (log (float_of_int (i + 1)) /. log 2.0))))
+    (1, 0.0)
+    (take k ranking)
+  |> snd
+
+let ndcg_at grades ~ranking ~k =
+  let ideal =
+    List.sort (fun a b -> Float.compare b a)
+      (Hashtbl.fold (fun _ g acc -> g :: acc) grades [])
+  in
+  let ideal_dcg =
+    List.fold_left
+      (fun (i, acc) g ->
+        (i + 1, acc +. (g /. (log (float_of_int (i + 1)) /. log 2.0))))
+      (1, 0.0) (take k ideal)
+    |> snd
+  in
+  if ideal_dcg <= 0.0 then 1.0 else dcg_at grades ~ranking ~k /. ideal_dcg
+
+let average_precision grades ~relevant_above ~ranking =
+  let total_relevant =
+    Hashtbl.fold
+      (fun _ g acc -> if g >= relevant_above then acc + 1 else acc)
+      grades 0
+  in
+  if total_relevant = 0 then 1.0
+  else begin
+    let hits = ref 0 in
+    let sum = ref 0.0 in
+    List.iteri
+      (fun i root ->
+        if grade grades root >= relevant_above then begin
+          incr hits;
+          sum := !sum +. (float_of_int !hits /. float_of_int (i + 1))
+        end)
+      ranking;
+    !sum /. float_of_int total_relevant
+  end
+
+let kendall_tau a b =
+  let score_b = Hashtbl.create 16 in
+  List.iter (fun (r, s) -> Hashtbl.replace score_b r s) b;
+  let common =
+    List.filter_map
+      (fun (r, sa) ->
+        Option.map (fun sb -> (sa, sb)) (Hashtbl.find_opt score_b r))
+      a
+  in
+  let n = List.length common in
+  if n < 2 then 1.0
+  else begin
+    let arr = Array.of_list common in
+    let concordant = ref 0 and discordant = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let sa1, sb1 = arr.(i) and sa2, sb2 = arr.(j) in
+        let da = Float.compare sa1 sa2 and db = Float.compare sb1 sb2 in
+        if da * db > 0 then incr concordant
+        else if da * db < 0 then incr discordant
+      done
+    done;
+    float_of_int (!concordant - !discordant)
+    /. (float_of_int (n * (n - 1)) /. 2.0)
+  end

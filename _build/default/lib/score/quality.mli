@@ -1,0 +1,57 @@
+(** Retrieval-quality evaluation of rankings.
+
+    The paper explicitly defers "validating the scoring functions using
+    precision and recall" to future work; this module implements that
+    evaluation.  Ground truth comes from the relaxation semantics
+    itself: a candidate answer's {e relevance grade} is determined by the
+    minimal number of relaxation steps needed before it matches the
+    query exactly — [1 / (1 + steps)], so exact matches grade 1, one-step
+    approximations 1/2, and so on; candidates matching no relaxed query
+    grade 0.  Standard IR metrics (precision/recall at k, nDCG, Kendall
+    rank correlation) then compare any ranking against this ground
+    truth.
+
+    Grading enumerates the relaxation closure, so it is meant for
+    evaluation-sized queries (the paper's Q1-Q3 are fine). *)
+
+type grades = (Wp_xml.Doc.node_id, float) Hashtbl.t
+
+val relevance_grades :
+  ?limit:int ->
+  Wp_xml.Index.t ->
+  Wp_relax.Relaxation.config ->
+  Wp_pattern.Pattern.t ->
+  grades
+(** Grade of every root candidate (absent = 0).  [limit] caps the
+    closure enumeration (default 10_000 patterns). *)
+
+val grade : grades -> Wp_xml.Doc.node_id -> float
+
+val precision_at : grades -> relevant_above:float -> ranking:Wp_xml.Doc.node_id list -> k:int -> float
+(** Fraction of the top-[k] whose grade is [>= relevant_above].
+    Returns 1.0 for an empty prefix. *)
+
+val recall_at : grades -> relevant_above:float -> ranking:Wp_xml.Doc.node_id list -> k:int -> float
+(** Fraction of all candidates grading [>= relevant_above] found in the
+    top-[k].  Returns 1.0 when nothing is relevant. *)
+
+val dcg_at : grades -> ranking:Wp_xml.Doc.node_id list -> k:int -> float
+(** Discounted cumulative gain: [Σ grade_i / log2(i + 1)]. *)
+
+val ndcg_at : grades -> ranking:Wp_xml.Doc.node_id list -> k:int -> float
+(** {!dcg_at} normalized by the ideal ordering's DCG (1.0 when the
+    ideal DCG is 0). *)
+
+val average_precision :
+  grades -> relevant_above:float -> ranking:Wp_xml.Doc.node_id list -> float
+(** Average of the precision values at each rank where a relevant item
+    appears, normalized by the number of relevant items (1.0 when
+    nothing is relevant) — the per-query component of MAP. *)
+
+val kendall_tau :
+  (Wp_xml.Doc.node_id * float) list ->
+  (Wp_xml.Doc.node_id * float) list ->
+  float
+(** Kendall rank correlation (tau-a) between two scored rankings,
+    computed over the items present in both; 1.0 when fewer than two
+    common items exist. *)

@@ -1,0 +1,73 @@
+module Doc = Wp_xml.Doc
+module Index = Wp_xml.Index
+module Relation = Wp_relax.Relation
+module Pattern = Wp_pattern.Pattern
+
+let value_ok doc (c : Component.t) target =
+  match c.target_value with
+  | None -> true
+  | Some v -> (
+      match Doc.value doc target with
+      | Some v' ->
+          String.equal v v'
+          || (c.value_tokens
+             && List.exists (String.equal v) (String.split_on_char ' ' v'))
+      | None -> false)
+
+let source idx (c : Component.t) ~root =
+  if c.from_doc_root then Doc.root (Index.doc idx) else root
+
+let satisfies idx (c : Component.t) ~root ~target =
+  let doc = Index.doc idx in
+  (String.equal c.target_tag Index.wildcard
+  || String.equal (Doc.tag doc target) c.target_tag)
+  && value_ok doc c target
+  && Relation.test doc c.relation ~anc:(source idx c ~root) ~desc:target
+
+let tf idx (c : Component.t) ~root =
+  let doc = Index.doc idx in
+  let anc = source idx c ~root in
+  let anc_depth = Doc.depth doc anc in
+  Index.fold_descendants idx c.target_tag ~root:anc
+    (fun acc n ->
+      if
+        Relation.test_depths c.relation ~anc_depth ~desc_depth:(Doc.depth doc n)
+        && value_ok doc c n
+      then acc + 1
+      else acc)
+    0
+
+(* Candidate sources of a component: every node with the q0 tag (the
+   document root for root components). *)
+let sources idx (c : Component.t) =
+  if c.from_doc_root then [| Doc.root (Index.doc idx) |] else Index.ids idx c.root_tag
+
+let satisfying_roots idx (c : Component.t) =
+  Array.fold_left
+    (fun acc n -> if tf idx c ~root:n > 0 then acc + 1 else acc)
+    0 (sources idx c)
+
+let idf idx (c : Component.t) =
+  let total = Array.length (sources idx c) in
+  if total = 0 then 0.0
+  else
+    let satisfying = satisfying_roots idx c in
+    if satisfying = 0 then log (float_of_int (total + 1))
+    else log (float_of_int total /. float_of_int satisfying)
+
+let score idx components ~root =
+  Array.fold_left
+    (fun acc c -> acc +. (idf idx c *. float_of_int (tf idx c ~root)))
+    0.0 components
+
+let rank idx pat ~k =
+  let components = Component.of_pattern pat in
+  let candidates = Wp_pattern.Matcher.root_candidates idx pat in
+  let scored =
+    List.map (fun n -> (n, score idx components ~root:n)) candidates
+  in
+  let by_score (n1, s1) (n2, s2) =
+    match Float.compare s2 s1 with 0 -> Int.compare n1 n2 | c -> c
+  in
+  let sorted = List.sort by_score scored in
+  List.filteri (fun i _ -> i < k) sorted

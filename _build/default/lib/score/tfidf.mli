@@ -1,0 +1,47 @@
+(** The XML tf*idf scoring function — Definitions 4.2, 4.3 and 4.4.
+
+    For a component predicate [p(q0, qi)] over database [D]:
+
+    - [idf(p, D) = log(|{n : tag(n)=q0}| / |{n : tag(n)=q0 and some n'
+      with tag qi satisfies p(n, n')}|)] — the fewer [q0] nodes satisfy
+      the predicate, the more discriminating it is;
+    - [tf(p, n) = |{n' : tag(n')=qi and p(n, n')}|] — the number of
+      distinct ways candidate [n] satisfies it;
+    - the score of answer [n] is [Σ_p idf(p, D) · tf(p, n)], predicates
+      assumed independent as in the IR vector-space model.
+
+    Conventions for degenerate counts: when no node carries [q0]'s tag
+    the idf is 0 (the predicate cannot discriminate an empty candidate
+    set); when candidates exist but none satisfies [p], the idf is
+    [log (count(q0) + 1)] — the value the formula would give if exactly
+    one "virtual" candidate satisfied the predicate with add-one
+    smoothing — so that rarer-than-observable predicates stay finite yet
+    maximally discriminating. *)
+
+val satisfies :
+  Wp_xml.Index.t -> Component.t -> root:Wp_xml.Doc.node_id ->
+  target:Wp_xml.Doc.node_id -> bool
+(** Does the (root, target) node pair satisfy the component predicate
+    (relation, target tag and value)?  For the root component, [root] is
+    ignored and the document root is used as the source. *)
+
+val tf : Wp_xml.Index.t -> Component.t -> root:Wp_xml.Doc.node_id -> int
+(** Definition 4.3. *)
+
+val satisfying_roots : Wp_xml.Index.t -> Component.t -> int
+(** [|{n : tag(n) = q0 and ∃ n' : p(n, n')}|] — the idf denominator. *)
+
+val idf : Wp_xml.Index.t -> Component.t -> float
+(** Definition 4.2, with the degenerate-count conventions above. *)
+
+val score : Wp_xml.Index.t -> Component.t array -> root:Wp_xml.Doc.node_id -> float
+(** Definition 4.4: [Σ idf·tf] over the query's component predicates for
+    a candidate answer node. *)
+
+val rank :
+  Wp_xml.Index.t -> Wp_pattern.Pattern.t -> k:int ->
+  (Wp_xml.Doc.node_id * float) list
+(** Top-k candidate root nodes by Definition 4.4 score, best first (ties
+    by document order).  Candidates are the nodes matching the pattern
+    root's tag, value and root edge.  This is the direct (non-adaptive)
+    reference ranking used to validate the engine's scoring. *)

@@ -1,0 +1,1 @@
+lib/stats/synopsis.ml: Array Float Format Hashtbl List Option Set String Wp_relax Wp_xml

@@ -1,0 +1,1 @@
+lib/stats/synopsis.mli: Format Wp_relax Wp_xml

@@ -1,0 +1,55 @@
+(** Structural selectivity synopsis.
+
+    The paper's size-based routing strategy needs, per server, estimates
+    of the number of candidate extensions and of how often a partial
+    match finds none; it notes these "could be obtained by using work on
+    selectivity estimation for XML".  This module is that substrate: a
+    one-pass synopsis of a document recording, for every pair of element
+    tags (a, d), how many (ancestor, descendant) node pairs exist at
+    each depth difference, plus per-tag populations and coverage counts.
+    From it, the expected number of [d]-tagged nodes standing in any
+    depth-bounded relation below an [a]-tagged node — exactly the
+    relations tree-pattern servers test — is answered in O(depth cap),
+    without sampling the document.
+
+    Depth differences are capped at {!depth_cap}; deeper pairs are
+    accumulated in the final bucket, which keeps the synopsis size
+    O(|tags|² · depth_cap) regardless of document size. *)
+
+type t
+
+val depth_cap : int
+(** Histogram resolution (16): depth differences ≥ [depth_cap] share the
+    last bucket. *)
+
+val build : Wp_xml.Doc.t -> t
+(** One traversal of the document; O(nodes · depth) time. *)
+
+val tag_count : t -> string -> int
+(** Number of nodes with a given tag ({!Wp_xml.Index.wildcard} counts
+    every node). *)
+
+val pair_count : t -> anc:string -> desc:string -> depth:int -> int
+(** Number of (ancestor, descendant) pairs with the given tags at
+    exactly the given depth difference (capped). *)
+
+val expected_related :
+  t -> anc:string -> desc:string -> Wp_relax.Relation.t -> float
+(** Expected number of [desc]-tagged nodes related to one [anc]-tagged
+    node by the relation — the fan-out estimate for a server whose
+    structural predicate is that relation. *)
+
+val coverage : t -> anc:string -> desc:string -> float
+(** Fraction of [anc]-tagged nodes with at least one [desc]-tagged
+    proper descendant (at any depth) — an upper bound on the
+    non-emptiness probability of any depth-restricted variant. *)
+
+val p_empty : t -> anc:string -> desc:string -> Wp_relax.Relation.t -> float
+(** Estimated probability that an [anc]-tagged node has {e no}
+    [desc]-tagged node under the relation.  Computed from [1 - coverage]
+    for unbounded relations and from a Poisson approximation of the
+    expected count for depth-restricted ones, floored by the unbounded
+    emptiness. *)
+
+val distinct_tags : t -> string list
+val pp : Format.formatter -> t -> unit

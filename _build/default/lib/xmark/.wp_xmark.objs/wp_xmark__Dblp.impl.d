@@ -1,0 +1,1 @@
+lib/xmark/dblp.ml: Generator List Printf Rng String Vocabulary Wp_xml

@@ -1,0 +1,1 @@
+lib/xmark/dblp.mli: Rng Wp_xml

@@ -1,0 +1,1 @@
+lib/xmark/generator.ml: Array Hashtbl List Option Rng Stdlib String Vocabulary Wp_xml

@@ -1,0 +1,1 @@
+lib/xmark/vocabulary.ml: Array Buffer Printf Rng

@@ -1,0 +1,1 @@
+lib/xmark/vocabulary.mli: Rng

@@ -1,0 +1,115 @@
+module Tree = Wp_xml.Tree
+
+type profile = {
+  p_article : float;
+  p_inproceedings : float;
+  p_book : float;
+  p_author_group : float;
+  min_authors : int;
+  max_authors : int;
+  p_volume : float;
+  p_pages : float;
+  p_isbn : float;
+  p_ee : float;
+}
+
+let default_profile =
+  {
+    p_article = 0.45;
+    p_inproceedings = 0.35;
+    p_book = 0.12;
+    p_author_group = 0.3;
+    min_authors = 1;
+    max_authors = 4;
+    p_volume = 0.6;
+    p_pages = 0.75;
+    p_isbn = 0.5;
+    p_ee = 0.4;
+  }
+
+let journals =
+  [|
+    "acm transactions on database systems"; "vldb journal";
+    "information systems"; "sigmod record"; "ieee data engineering bulletin";
+  |]
+
+let venues =
+  [| "sigmod"; "vldb"; "icde"; "edbt"; "pods"; "webdb"; "cikm" |]
+
+let title rng = Vocabulary.sentence rng ~min_words:4 ~max_words:9
+
+let authors p rng =
+  let n = Rng.in_range rng p.min_authors p.max_authors in
+  let names = List.init n (fun _ -> Tree.leaf "author" (Vocabulary.person_name rng)) in
+  if Rng.bool rng p.p_author_group then [ Tree.el "authors" names ] else names
+
+let year rng = Tree.leaf "year" (string_of_int (Rng.in_range rng 1990 2004))
+
+let pages rng =
+  let from = Rng.in_range rng 1 900 in
+  Tree.leaf "pages" (Printf.sprintf "%d-%d" from (from + Rng.in_range rng 5 30))
+
+let opt rng p field = if Rng.bool rng p then [ field () ] else []
+
+let article p rng =
+  Tree.el "article"
+    (authors p rng
+    @ [ Tree.leaf "title" (title rng); year rng;
+        Tree.leaf "journal" (Rng.pick rng journals) ]
+    @ opt rng p.p_volume (fun () ->
+          Tree.leaf "volume" (string_of_int (Rng.in_range rng 1 40)))
+    @ opt rng p.p_pages (fun () -> pages rng)
+    @ opt rng p.p_ee (fun () ->
+          Tree.el "eelist" [ Tree.leaf "ee" (Vocabulary.email rng) ]))
+
+let inproceedings p rng =
+  Tree.el "inproceedings"
+    (authors p rng
+    @ [ Tree.leaf "title" (title rng);
+        Tree.leaf "booktitle" (Rng.pick rng venues); year rng ]
+    @ opt rng p.p_pages (fun () -> pages rng)
+    @ opt rng p.p_ee (fun () -> Tree.leaf "ee" (Vocabulary.email rng)))
+
+let book p rng =
+  Tree.el "book"
+    (authors p rng
+    @ [ Tree.leaf "title" (title rng);
+        Tree.leaf "publisher" (Vocabulary.person_name rng); year rng ]
+    @ opt rng p.p_isbn (fun () ->
+          Tree.leaf "isbn" (string_of_int (Rng.in_range rng 1000000 9999999))))
+
+let phdthesis p rng =
+  Tree.el "phdthesis"
+    (authors { p with max_authors = 1 } rng
+    @ [ Tree.leaf "title" (title rng);
+        Tree.leaf "school" (Rng.pick rng Vocabulary.cities); year rng ])
+
+let entry p rng =
+  let r = Rng.float rng 1.0 in
+  if r < p.p_article then article p rng
+  else if r < p.p_article +. p.p_inproceedings then inproceedings p rng
+  else if r < p.p_article +. p.p_inproceedings +. p.p_book then book p rng
+  else phdthesis p rng
+
+let generate ?(profile = default_profile) ~seed ~target_bytes () =
+  let rng = Rng.create seed in
+  let entries = ref [] in
+  let bytes = ref ((2 * String.length "dblp") + 5) in
+  while !bytes < target_bytes do
+    let e = entry profile rng in
+    entries := e :: !entries;
+    bytes := !bytes + Generator.tree_bytes e
+  done;
+  Tree.el "dblp" (List.rev !entries)
+
+let generate_doc ?profile ~seed ~target_bytes () =
+  Wp_xml.Doc.of_tree (generate ?profile ~seed ~target_bytes ())
+
+let queries =
+  [
+    ("D1", "//article[./author and ./journal]");
+    ("D2", "//article[./author and ./journal and ./volume and ./pages and ./ee]");
+    ( "D3",
+      "//inproceedings[./authors/author and ./booktitle and ./year and \
+       ./pages and ./ee and ./title]" );
+  ]

@@ -1,0 +1,46 @@
+(** DBLP-style bibliography generator — a second evaluation corpus.
+
+    The relaxation literature the paper builds on (tree pattern
+    relaxation, FleXPath) evaluates on bibliographic data as well as
+    XMark; this generator produces a deterministic DBLP-shaped corpus so
+    the benchmark shapes can be checked for dataset sensitivity.  Its
+    heterogeneity is the interesting property:
+
+    - {e optional} fields ([volume], [pages], [isbn], [ee]) exercise
+      leaf deletion;
+    - authors appear either directly under the entry or wrapped in an
+      [authors] group element (so [./author] needs edge generalization
+      or promotion on part of the corpus);
+    - entry kinds ([article], [inproceedings], [book], [phdthesis])
+      share field vocabulary with different structure. *)
+
+type profile = {
+  p_article : float;
+  p_inproceedings : float;
+  p_book : float;  (** remainder are phdthesis entries *)
+  p_author_group : float;
+      (** probability the authors are nested under an [authors] wrapper *)
+  min_authors : int;
+  max_authors : int;
+  p_volume : float;
+  p_pages : float;
+  p_isbn : float;
+  p_ee : float;
+}
+
+val default_profile : profile
+
+val entry : profile -> Rng.t -> Wp_xml.Tree.t
+(** One random bibliography entry. *)
+
+val generate :
+  ?profile:profile -> seed:int -> target_bytes:int -> unit -> Wp_xml.Tree.t
+(** A [dblp] document of approximately [target_bytes] serialized
+    bytes. *)
+
+val generate_doc :
+  ?profile:profile -> seed:int -> target_bytes:int -> unit -> Wp_xml.Doc.t
+
+val queries : (string * string) list
+(** Benchmark queries over this corpus (name, XPath), mirroring the
+    paper's Q1-Q3 sizes: D1 (3 nodes), D2 (6 nodes), D3 (8 nodes). *)

@@ -1,0 +1,38 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64 (Steele, Lea, Flood 2014). *)
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit int non-negatively. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  r mod bound
+
+let in_range t lo hi =
+  if hi < lo then invalid_arg "Rng.in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t p = float t 1.0 < p
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let geometric t p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Rng.geometric: p outside (0,1]";
+  let rec go n = if bool t p then n else go (n + 1) in
+  go 0

@@ -1,0 +1,33 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Benchmarks must be reproducible across runs and independent of the
+    global [Random] state, so the generator carries its own state and is
+    fully determined by its seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — equal seeds yield equal streams. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice. @raise Invalid_argument on an empty array. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] counts failures before the first success of a
+    Bernoulli([p]) trial — a natural depth distribution for recursive
+    elements.  [p] must be in (0, 1]. *)

@@ -1,0 +1,73 @@
+let words =
+  [|
+    "the"; "of"; "and"; "to"; "a"; "in"; "that"; "is"; "was"; "he";
+    "for"; "it"; "with"; "as"; "his"; "on"; "be"; "at"; "by"; "had";
+    "not"; "are"; "but"; "from"; "or"; "have"; "an"; "they"; "which";
+    "one"; "you"; "were"; "her"; "all"; "she"; "there"; "would";
+    "their"; "we"; "him"; "been"; "has"; "when"; "who"; "will"; "more";
+    "no"; "if"; "out"; "so"; "said"; "what"; "up"; "its"; "about";
+    "into"; "than"; "them"; "can"; "only"; "other"; "new"; "some";
+    "could"; "time"; "these"; "two"; "may"; "then"; "do"; "first";
+    "any"; "my"; "now"; "such"; "like"; "our"; "over"; "man"; "me";
+    "even"; "most"; "made"; "after"; "also"; "did"; "many"; "before";
+    "must"; "through"; "years"; "where"; "much"; "your"; "way"; "well";
+    "down"; "should"; "because"; "each"; "just"; "those"; "people";
+    "how"; "too"; "little"; "state"; "good"; "very"; "make"; "world";
+    "still"; "own"; "see"; "men"; "work"; "long"; "get"; "here";
+    "between"; "both"; "life"; "being"; "under"; "never"; "day";
+    "same"; "another"; "know"; "while"; "last"; "might"; "us"; "great";
+    "old"; "year"; "off"; "come"; "since"; "against"; "go"; "came";
+    "right"; "used"; "take"; "three";
+  |]
+
+let keywords =
+  [|
+    "vintage"; "rare"; "antique"; "mint"; "sealed"; "signed"; "limited";
+    "original"; "restored"; "pristine"; "collectible"; "handmade";
+    "imported"; "certified"; "exclusive"; "discounted";
+  |]
+
+let first_names =
+  [|
+    "james"; "mary"; "john"; "patricia"; "robert"; "jennifer";
+    "michael"; "linda"; "william"; "elizabeth"; "david"; "barbara";
+    "richard"; "susan"; "joseph"; "jessica"; "thomas"; "sarah";
+    "charles"; "karen"; "amelie"; "sihem"; "nick"; "divesh";
+  |]
+
+let last_names =
+  [|
+    "smith"; "johnson"; "williams"; "brown"; "jones"; "garcia";
+    "miller"; "davis"; "rodriguez"; "martinez"; "hernandez"; "lopez";
+    "gonzalez"; "wilson"; "anderson"; "thomas"; "taylor"; "moore";
+    "jackson"; "martin"; "marian"; "koudas"; "srivastava"; "wodehouse";
+  |]
+
+let cities =
+  [|
+    "london"; "paris"; "tokyo"; "sydney"; "nairobi"; "lagos"; "mumbai";
+    "beijing"; "berlin"; "madrid"; "rome"; "cairo"; "toronto";
+    "chicago"; "dallas"; "seattle"; "lima"; "bogota"; "santiago";
+    "auckland";
+  |]
+
+let categories = Array.init 64 (fun i -> Printf.sprintf "category%d" i)
+
+let sentence rng ~min_words ~max_words =
+  let n = Rng.in_range rng min_words max_words in
+  let b = Buffer.create (n * 6) in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char b ' ';
+    Buffer.add_string b (Rng.pick rng words)
+  done;
+  Buffer.contents b
+
+let person_name rng = Rng.pick rng first_names ^ " " ^ Rng.pick rng last_names
+
+let email rng =
+  Printf.sprintf "%s@%s.example.com" (Rng.pick rng first_names)
+    (Rng.pick rng last_names)
+
+let date rng =
+  Printf.sprintf "%02d/%02d/%04d" (Rng.in_range rng 1 12)
+    (Rng.in_range rng 1 28) (Rng.in_range rng 1998 2004)

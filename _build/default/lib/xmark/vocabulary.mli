@@ -1,0 +1,27 @@
+(** Word pools for synthetic text content.
+
+    The original XMark generator fills text with Shakespeare vocabulary;
+    any fixed pool with a reasonable spread of frequencies preserves the
+    statistics that matter here (distinct content values for tf*idf, a
+    small keyword pool so keyword predicates are selective but not
+    empty). *)
+
+val words : string array
+(** General prose vocabulary. *)
+
+val keywords : string array
+(** Small pool used for [keyword] elements and query constants. *)
+
+val first_names : string array
+val last_names : string array
+val cities : string array
+val categories : string array
+(** Category code pool for [incategory] references. *)
+
+val sentence : Rng.t -> min_words:int -> max_words:int -> string
+(** A space-separated random sentence. *)
+
+val person_name : Rng.t -> string
+val email : Rng.t -> string
+val date : Rng.t -> string
+(** A plausible [MM/DD/YYYY] date. *)

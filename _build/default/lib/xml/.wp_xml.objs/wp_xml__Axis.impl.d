@@ -1,0 +1,1 @@
+lib/xml/axis.ml: Dewey Doc Format Index List String

@@ -1,0 +1,1 @@
+lib/xml/axis.mli: Doc Format Index

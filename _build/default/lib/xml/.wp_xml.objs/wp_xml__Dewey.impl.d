@@ -1,0 +1,1 @@
+lib/xml/dewey.ml: Array Format List Stdlib String

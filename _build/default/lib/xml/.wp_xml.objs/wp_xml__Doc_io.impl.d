@@ -1,0 +1,1 @@
+lib/xml/doc_io.ml: Array Doc Fun Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/xml/index.ml: Array Doc Fun Hashtbl List Option String

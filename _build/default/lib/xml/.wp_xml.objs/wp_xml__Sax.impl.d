@@ -1,0 +1,1 @@
+lib/xml/sax.ml: Buffer Bytes Char Doc Fun List Option Printf String Tree Uchar

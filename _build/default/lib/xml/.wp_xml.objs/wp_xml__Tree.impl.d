@@ -1,0 +1,1 @@
+lib/xml/tree.ml: Format Hashtbl List Option String

@@ -1,0 +1,120 @@
+type node_id = int
+
+type t = {
+  tags : string array;
+  values : string option array;
+  deweys : Dewey.t array;
+  parents : int array;  (* -1 for the root *)
+  subtree_ends : int array;  (* exclusive *)
+}
+
+let of_tree tree =
+  let n = Tree.size tree in
+  let tags = Array.make n "" in
+  let values = Array.make n None in
+  let deweys = Array.make n Dewey.root in
+  let parents = Array.make n (-1) in
+  let subtree_ends = Array.make n 0 in
+  (* Preorder numbering; [next] is the next free id. *)
+  let next = ref 0 in
+  let rec assign parent dewey (node : Tree.t) =
+    let id = !next in
+    incr next;
+    tags.(id) <- Tree.tag node;
+    values.(id) <- Tree.value node;
+    deweys.(id) <- dewey;
+    parents.(id) <- parent;
+    List.iteri
+      (fun i child -> assign id (Dewey.child dewey (i + 1)) child)
+      (Tree.children node);
+    subtree_ends.(id) <- !next
+  in
+  assign (-1) Dewey.root tree;
+  { tags; values; deweys; parents; subtree_ends }
+
+let of_forest ?(root_tag = "doc-root") trees =
+  of_tree (Tree.el root_tag trees)
+
+let of_components ~tags ~values ~parents =
+  let n = Array.length tags in
+  if Array.length values <> n || Array.length parents <> n then
+    invalid_arg "Doc.of_components: array lengths differ";
+  if n = 0 then invalid_arg "Doc.of_components: empty document";
+  if parents.(0) <> -1 then
+    invalid_arg "Doc.of_components: node 0 must be the root";
+  for i = 1 to n - 1 do
+    if parents.(i) < 0 || parents.(i) >= i then
+      invalid_arg "Doc.of_components: parents must precede children"
+  done;
+  (* Subtree extents: scanning ids backwards, a child's extent is final
+     before its parent's is read. *)
+  let subtree_ends = Array.init n (fun i -> i + 1) in
+  for i = n - 1 downto 1 do
+    let p = parents.(i) in
+    if subtree_ends.(i) > subtree_ends.(p) then
+      subtree_ends.(p) <- subtree_ends.(i)
+  done;
+  (* Dewey labels from per-parent child ranks. *)
+  let next_rank = Array.make n 0 in
+  let deweys = Array.make n Dewey.root in
+  for i = 1 to n - 1 do
+    let p = parents.(i) in
+    next_rank.(p) <- next_rank.(p) + 1;
+    deweys.(i) <- Dewey.child deweys.(p) next_rank.(p)
+  done;
+  {
+    tags = Array.copy tags;
+    values = Array.copy values;
+    deweys;
+    parents = Array.copy parents;
+    subtree_ends;
+  }
+
+let root _ = 0
+let size d = Array.length d.tags
+let tag d i = d.tags.(i)
+let value d i = d.values.(i)
+let dewey d i = d.deweys.(i)
+let parent d i = if d.parents.(i) < 0 then None else Some d.parents.(i)
+let depth d i = Dewey.depth d.deweys.(i)
+let subtree_end d i = d.subtree_ends.(i)
+
+let children d i =
+  let stop = d.subtree_ends.(i) in
+  let rec loop j acc =
+    if j >= stop then List.rev acc
+    else loop d.subtree_ends.(j) (j :: acc)
+  in
+  loop (i + 1) []
+
+let is_parent d ~parent:p ~child:c = d.parents.(c) = p
+let is_ancestor d ~anc ~desc = anc < desc && desc < d.subtree_ends.(anc)
+
+let rec to_tree d i =
+  let cs = List.map (to_tree d) (children d i) in
+  { Tree.tag = d.tags.(i); value = d.values.(i); children = cs }
+
+let fold f d acc =
+  let r = ref acc in
+  for i = 0 to size d - 1 do
+    r := f i !r
+  done;
+  !r
+
+let distinct_tags d =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun t ->
+      if not (Hashtbl.mem seen t) then begin
+        Hashtbl.add seen t ();
+        out := t :: !out
+      end)
+    d.tags;
+  List.rev !out
+
+let pp_node d ppf i =
+  Format.fprintf ppf "%s[%a]" d.tags.(i) Dewey.pp d.deweys.(i);
+  match d.values.(i) with
+  | None -> ()
+  | Some v -> Format.fprintf ppf "(%s)" v

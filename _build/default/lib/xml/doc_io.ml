@@ -1,0 +1,106 @@
+let magic = "WPDOC"
+let version = 1
+
+let write_u8 oc v = output_byte oc (v land 0xFF)
+
+let write_u32 oc v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Doc_io: u32 overflow";
+  output_byte oc (v land 0xFF);
+  output_byte oc ((v lsr 8) land 0xFF);
+  output_byte oc ((v lsr 16) land 0xFF);
+  output_byte oc ((v lsr 24) land 0xFF)
+
+let write_string oc s =
+  write_u32 oc (String.length s);
+  output_string oc s
+
+let read_u8 ic = input_byte ic
+
+let read_u32 ic =
+  let a = input_byte ic in
+  let b = input_byte ic in
+  let c = input_byte ic in
+  let d = input_byte ic in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+let read_string ic =
+  let n = read_u32 ic in
+  really_input_string ic n
+
+let write oc doc =
+  let n = Doc.size doc in
+  (* String table: tags and values interned together; id 0 is reserved
+     for "no value". *)
+  let table = Hashtbl.create 256 in
+  let strings = ref [] in
+  let n_strings = ref 0 in
+  let intern s =
+    match Hashtbl.find_opt table s with
+    | Some id -> id
+    | None ->
+        incr n_strings;
+        let id = !n_strings in
+        Hashtbl.add table s id;
+        strings := s :: !strings;
+        id
+  in
+  let tag_ids = Array.init n (fun i -> intern (Doc.tag doc i)) in
+  let value_ids =
+    Array.init n (fun i ->
+        match Doc.value doc i with None -> 0 | Some v -> intern v)
+  in
+  output_string oc magic;
+  write_u8 oc version;
+  write_u32 oc n;
+  write_u32 oc !n_strings;
+  List.iter (write_string oc) (List.rev !strings);
+  for i = 0 to n - 1 do
+    write_u32 oc tag_ids.(i);
+    write_u32 oc value_ids.(i);
+    write_u32 oc (1 + Option.value (Doc.parent doc i) ~default:(-1));
+    write_u32 oc (Doc.subtree_end doc i)
+  done
+
+let read ic =
+  let fail msg = failwith ("Doc_io.read: " ^ msg) in
+  let header =
+    try really_input_string ic (String.length magic)
+    with End_of_file -> fail "truncated header"
+  in
+  if not (String.equal header magic) then fail "bad magic";
+  let v = read_u8 ic in
+  if v <> version then fail (Printf.sprintf "unsupported version %d" v);
+  try
+    let n = read_u32 ic in
+    if n = 0 then fail "empty document";
+    let n_strings = read_u32 ic in
+    let strings = Array.make (n_strings + 1) "" in
+    for i = 1 to n_strings do
+      strings.(i) <- read_string ic
+    done;
+    let string_of id =
+      if id < 1 || id > n_strings then fail "string id out of range"
+      else strings.(id)
+    in
+    let tags = Array.make n "" in
+    let values = Array.make n None in
+    let parents = Array.make n (-1) in
+    for i = 0 to n - 1 do
+      tags.(i) <- string_of (read_u32 ic);
+      (let vid = read_u32 ic in
+       if vid <> 0 then values.(i) <- Some (string_of vid));
+      parents.(i) <- read_u32 ic - 1;
+      ignore (read_u32 ic) (* subtree_end: recomputed *)
+    done;
+    Doc.of_components ~tags ~values ~parents
+  with
+  | End_of_file -> fail "truncated input"
+  | Invalid_argument m -> fail m
+
+let save path doc =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write oc doc)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read ic)

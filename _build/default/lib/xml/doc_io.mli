@@ -1,0 +1,27 @@
+(** Binary document snapshots.
+
+    Parsing large XML files dominates query start-up, so the CLI can
+    freeze a parsed {!Doc.t} into a compact binary snapshot and reload
+    it in one pass.  The format is self-describing and versioned:
+
+    {v
+    magic "WPDOC" | version u8 | node count u32 |
+    string table (u32 count, length-prefixed bytes) |
+    per node: tag id u32 | value id u32 (0 = none) |
+              parent+1 u32 | subtree_end u32
+    v}
+
+    All integers are little-endian.  Dewey labels are not stored; they
+    are recomputed from the tree shape on load (cheaper than storing
+    them). *)
+
+val magic : string
+val version : int
+
+val write : out_channel -> Doc.t -> unit
+val read : in_channel -> Doc.t
+(** @raise Failure on a bad magic, version or truncated input. *)
+
+val save : string -> Doc.t -> unit
+val load : string -> Doc.t
+(** File-path conveniences over {!write}/{!read}. *)

@@ -1,0 +1,80 @@
+type t = {
+  doc : Doc.t;
+  by_tag : (string, int array) Hashtbl.t;
+  mutable all_ids : int array option;  (* lazily built for "*" lookups *)
+}
+
+let wildcard = "*"
+
+let build doc =
+  let buckets : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  for i = Doc.size doc - 1 downto 0 do
+    let tag = Doc.tag doc i in
+    match Hashtbl.find_opt buckets tag with
+    | Some l -> l := i :: !l
+    | None -> Hashtbl.add buckets tag (ref [ i ])
+  done;
+  let by_tag = Hashtbl.create (Hashtbl.length buckets) in
+  Hashtbl.iter (fun tag l -> Hashtbl.add by_tag tag (Array.of_list !l)) buckets;
+  { doc; by_tag; all_ids = None }
+
+let doc t = t.doc
+let empty_ids = [||]
+
+let ids t tag =
+  if String.equal tag wildcard then begin
+    match t.all_ids with
+    | Some a -> a
+    | None ->
+        let a = Array.init (Doc.size t.doc) Fun.id in
+        t.all_ids <- Some a;
+        a
+  end
+  else Option.value (Hashtbl.find_opt t.by_tag tag) ~default:empty_ids
+
+let count t tag = Array.length (ids t tag)
+
+(* First position in [a] whose value is >= [v]. *)
+let lower_bound a v =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) < v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+let subtree_slice t tag ~root =
+  let a = ids t tag in
+  let lo = lower_bound a (root + 1) in
+  let hi = lower_bound a (Doc.subtree_end t.doc root) in
+  (lo, hi)
+
+let iter_descendants t tag ~root f =
+  let a = ids t tag in
+  let lo, hi = subtree_slice t tag ~root in
+  for i = lo to hi - 1 do
+    f a.(i)
+  done
+
+let fold_descendants t tag ~root f acc =
+  let a = ids t tag in
+  let lo, hi = subtree_slice t tag ~root in
+  let r = ref acc in
+  for i = lo to hi - 1 do
+    r := f !r a.(i)
+  done;
+  !r
+
+let descendants t tag ~root =
+  List.rev (fold_descendants t tag ~root (fun acc i -> i :: acc) [])
+
+let children t tag ~parent =
+  List.rev
+    (fold_descendants t tag ~root:parent
+       (fun acc i -> if Doc.is_parent t.doc ~parent ~child:i then i :: acc else acc)
+       [])
+
+let count_descendants t tag ~root =
+  let lo, hi = subtree_slice t tag ~root in
+  hi - lo

@@ -1,0 +1,45 @@
+(** Tag indexes with subtree range search.
+
+    For each element tag the index stores the node identifiers bearing it,
+    in document order.  Because identifiers are preorder ranks, all nodes
+    with a given tag inside the subtree of any node [r] form a contiguous
+    slice of that array, located by binary search — this is the index
+    lookup each Whirlpool server performs to find candidate extensions
+    below a partial match's root binding. *)
+
+type t
+
+val wildcard : string
+(** The pseudo-tag ["*"], matched by every element; all lookup functions
+    accept it. *)
+
+val build : Doc.t -> t
+
+val doc : t -> Doc.t
+(** The document this index was built from. *)
+
+val ids : t -> string -> int array
+(** All nodes with the given tag, in document order.  The returned array
+    is owned by the index and must not be mutated; it is empty for tags
+    absent from the document. *)
+
+val count : t -> string -> int
+
+val subtree_slice : t -> string -> root:Doc.node_id -> int * int
+(** [subtree_slice idx tag ~root] is the half-open interval [(lo, hi)]
+    into [ids idx tag] holding the nodes with [tag] that are {e proper}
+    descendants of [root]. *)
+
+val iter_descendants : t -> string -> root:Doc.node_id -> (Doc.node_id -> unit) -> unit
+(** Iterate the proper descendants of [root] bearing [tag]. *)
+
+val fold_descendants :
+  t -> string -> root:Doc.node_id -> ('a -> Doc.node_id -> 'a) -> 'a -> 'a
+
+val descendants : t -> string -> root:Doc.node_id -> Doc.node_id list
+
+val children : t -> string -> parent:Doc.node_id -> Doc.node_id list
+(** The children of [parent] bearing [tag] (a filtered subtree slice). *)
+
+val count_descendants : t -> string -> root:Doc.node_id -> int
+(** Cardinality of {!subtree_slice}, in O(log n). *)

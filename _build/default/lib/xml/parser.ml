@@ -1,0 +1,249 @@
+exception Error of { position : int; message : string }
+
+type state = { src : string; mutable pos : int }
+
+let fail st message = raise (Error { position = st.pos; message })
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let eof st = st.pos >= String.length st.src
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected %C, found %C" c c')
+  | None -> fail st (Printf.sprintf "expected %C, found end of input" c)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (not (eof st)) && is_space st.src.[st.pos] do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | Some c -> fail st (Printf.sprintf "invalid name start %C" c)
+  | None -> fail st "expected a name, found end of input");
+  while (not (eof st)) && is_name_char st.src.[st.pos] do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Reads past a reference (the '&' has been consumed) and returns the
+   referenced text. *)
+let parse_reference st =
+  let start = st.pos in
+  let rec find_semi p =
+    if p >= String.length st.src then fail st "unterminated entity reference"
+    else if st.src.[p] = ';' then p
+    else find_semi (p + 1)
+  in
+  let semi = find_semi start in
+  let body = String.sub st.src start (semi - start) in
+  st.pos <- semi + 1;
+  match body with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+      if String.length body > 1 && body.[0] = '#' then begin
+        let code =
+          let num = String.sub body 1 (String.length body - 1) in
+          let parsed =
+            if String.length num > 1 && (num.[0] = 'x' || num.[0] = 'X') then
+              int_of_string_opt ("0x" ^ String.sub num 1 (String.length num - 1))
+            else int_of_string_opt num
+          in
+          match parsed with
+          | Some c when c >= 0 && c <= 0x10FFFF -> c
+          | Some _ | None -> fail st ("bad character reference &" ^ body ^ ";")
+        in
+        (* Encode as UTF-8. *)
+        let b = Buffer.create 4 in
+        Buffer.add_utf_8_uchar b (Uchar.of_int code);
+        Buffer.contents b
+      end
+      else fail st ("unknown entity &" ^ body ^ ";")
+
+let parse_text st =
+  let b = Buffer.create 32 in
+  let rec loop () =
+    match peek st with
+    | None | Some '<' -> Buffer.contents b
+    | Some '&' ->
+        advance st;
+        Buffer.add_string b (parse_reference st);
+        loop ()
+    | Some c ->
+        advance st;
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ()
+
+let skip_until st target =
+  (* Advances past the next occurrence of [target]. *)
+  let tl = String.length target in
+  let limit = String.length st.src - tl in
+  let rec loop p =
+    if p > limit then fail st (Printf.sprintf "unterminated construct (missing %s)" target)
+    else if String.sub st.src p tl = target then st.pos <- p + tl
+    else loop (p + 1)
+  in
+  loop st.pos
+
+let parse_attribute st =
+  let name = parse_name st in
+  skip_spaces st;
+  expect st '=';
+  skip_spaces st;
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) -> advance st; q
+    | Some c -> fail st (Printf.sprintf "expected a quote, found %C" c)
+    | None -> fail st "expected a quote, found end of input"
+  in
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated attribute value"
+    | Some c when c = quote -> advance st
+    | Some '&' ->
+        advance st;
+        Buffer.add_string b (parse_reference st);
+        loop ()
+    | Some c ->
+        advance st;
+        Buffer.add_char b c;
+        loop ()
+  in
+  loop ();
+  Tree.leaf ("@" ^ name) (Buffer.contents b)
+
+(* Parses an element, assuming the opening '<' has been consumed and the
+   next character starts the element name. *)
+let rec parse_element st =
+  let tag = parse_name st in
+  let attrs = ref [] in
+  let rec attributes () =
+    skip_spaces st;
+    match peek st with
+    | Some '>' | Some '/' | None -> ()
+    | Some c when is_name_start c ->
+        attrs := parse_attribute st :: !attrs;
+        attributes ()
+    | Some c -> fail st (Printf.sprintf "unexpected %C in element tag" c)
+  in
+  attributes ();
+  match peek st with
+  | Some '/' ->
+      advance st;
+      expect st '>';
+      { Tree.tag; value = None; children = List.rev !attrs }
+  | Some '>' ->
+      advance st;
+      let text, children = parse_content st in
+      expect st '<';
+      expect st '/';
+      let close = parse_name st in
+      if not (String.equal close tag) then
+        fail st (Printf.sprintf "mismatched </%s>, expected </%s>" close tag);
+      skip_spaces st;
+      expect st '>';
+      let value = if text = "" then None else Some text in
+      { Tree.tag; value; children = List.rev_append !attrs children }
+  | Some c -> fail st (Printf.sprintf "unexpected %C in element tag" c)
+  | None -> fail st "unterminated element tag"
+
+(* Parses element content up to (but not including) the closing tag.
+   Returns the concatenated non-blank text and the child elements. *)
+and parse_content st =
+  let text = Buffer.create 16 in
+  let children = ref [] in
+  let add_text s =
+    if String.exists (fun c -> not (is_space c)) s then
+      Buffer.add_string text (String.trim s)
+  in
+  let rec loop () =
+    if eof st then fail st "unterminated element content";
+    match st.src.[st.pos] with
+    | '<' ->
+        if st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/' then ()
+        else begin
+          advance st;
+          (match peek st with
+          | Some '!' ->
+              advance st;
+              if st.pos + 1 < String.length st.src
+                 && st.src.[st.pos] = '-' && st.src.[st.pos + 1] = '-'
+              then skip_until st "-->"
+              else if st.pos + 7 <= String.length st.src
+                      && String.sub st.src st.pos 7 = "[CDATA["
+              then begin
+                st.pos <- st.pos + 7;
+                let start = st.pos in
+                skip_until st "]]>";
+                add_text (String.sub st.src start (st.pos - start - 3))
+              end
+              else skip_until st ">"
+          | Some '?' -> skip_until st "?>"
+          | _ -> children := parse_element st :: !children);
+          loop ()
+        end
+    | _ ->
+        add_text (parse_text st);
+        loop ()
+  in
+  loop ();
+  (Buffer.contents text, List.rev !children)
+
+let skip_prolog st =
+  let rec loop () =
+    skip_spaces st;
+    if (not (eof st)) && st.src.[st.pos] = '<' && st.pos + 1 < String.length st.src
+    then
+      match st.src.[st.pos + 1] with
+      | '?' -> skip_until st "?>"; loop ()
+      | '!' ->
+          if st.pos + 3 < String.length st.src
+             && st.src.[st.pos + 2] = '-' && st.src.[st.pos + 3] = '-'
+          then begin skip_until st "-->"; loop () end
+          else begin skip_until st ">"; loop () end
+      | _ -> ()
+  in
+  loop ()
+
+let parse_string src =
+  let st = { src; pos = 0 } in
+  skip_prolog st;
+  skip_spaces st;
+  expect st '<';
+  let root = parse_element st in
+  skip_spaces st;
+  (* Trailing comments / PIs are tolerated. *)
+  skip_prolog st;
+  skip_spaces st;
+  if not (eof st) then fail st "trailing content after the root element";
+  root
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let finally () = close_in_noerr ic in
+  Fun.protect ~finally (fun () ->
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      parse_string src)
+
+let parse_doc s = Doc.of_tree (parse_string s)

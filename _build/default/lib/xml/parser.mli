@@ -1,0 +1,27 @@
+(** A small, dependency-free XML parser.
+
+    Accepts the subset needed to round-trip documents produced by
+    {!Printer} plus the usual conveniences found in benchmark data files:
+    element nodes, text content, the five predefined entities, numeric
+    character references, XML declarations, comments, processing
+    instructions, CDATA sections and DOCTYPE lines (the latter four are
+    skipped).  Attributes are parsed and attached as children elements
+    tagged ["@name"] holding the attribute value, which keeps the node
+    data model uniform (tree patterns can match attributes as ordinary
+    child predicates).
+
+    Mixed content is simplified: all text chunks directly inside an
+    element are concatenated (whitespace-only chunks between elements are
+    dropped) and stored as the element's [value]. *)
+
+exception Error of { position : int; message : string }
+(** Raised on malformed input; [position] is a byte offset. *)
+
+val parse_string : string -> Tree.t
+(** Parse a complete document.  @raise Error on malformed input. *)
+
+val parse_file : string -> Tree.t
+(** Parse the contents of a file.  @raise Error or [Sys_error]. *)
+
+val parse_doc : string -> Doc.t
+(** [parse_doc s = Doc.of_tree (parse_string s)]. *)

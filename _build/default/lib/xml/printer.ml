@@ -1,0 +1,152 @@
+let escaped_entity = function
+  | '&' -> Some "&amp;"
+  | '<' -> Some "&lt;"
+  | '>' -> Some "&gt;"
+  | '"' -> Some "&quot;"
+  | '\'' -> Some "&apos;"
+  | _ -> None
+
+let escape s =
+  if String.for_all (fun c -> escaped_entity c = None) s then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match escaped_entity c with
+        | Some e -> Buffer.add_string b e
+        | None -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let escaped_length s =
+  let n = ref 0 in
+  String.iter
+    (fun c ->
+      n := !n + (match escaped_entity c with Some e -> String.length e | None -> 1))
+    s;
+  !n
+
+(* A child printed as an attribute: tagged "@name", no children (the
+   inverse of the parser's attribute encoding). *)
+let is_attribute (t : Tree.t) =
+  String.length t.tag > 1 && t.tag.[0] = '@' && t.children = []
+
+let split_children (t : Tree.t) = List.partition is_attribute t.children
+
+let add_attribute b (a : Tree.t) =
+  Buffer.add_char b ' ';
+  Buffer.add_string b (String.sub a.tag 1 (String.length a.tag - 1));
+  Buffer.add_string b "=\"";
+  Option.iter (fun v -> Buffer.add_string b (escape v)) a.value;
+  Buffer.add_char b '"'
+
+let rec tree_to_buffer b (t : Tree.t) =
+  let attrs, elements = split_children t in
+  Buffer.add_char b '<';
+  Buffer.add_string b t.tag;
+  List.iter (add_attribute b) attrs;
+  match (t.value, elements) with
+  | None, [] -> Buffer.add_string b "/>"
+  | v, cs ->
+      Buffer.add_char b '>';
+      Option.iter (fun s -> Buffer.add_string b (escape s)) v;
+      List.iter (tree_to_buffer b) cs;
+      Buffer.add_string b "</";
+      Buffer.add_string b t.tag;
+      Buffer.add_char b '>'
+
+let tree_to_string t =
+  let b = Buffer.create 1024 in
+  tree_to_buffer b t;
+  Buffer.contents b
+
+let doc_to_string d = tree_to_string (Doc.to_tree d (Doc.root d))
+
+let rec pp_tree_indented indent ppf (t : Tree.t) =
+  let attrs, elements = split_children t in
+  let pp_attrs ppf =
+    List.iter
+      (fun (a : Tree.t) ->
+        Format.fprintf ppf " %s=\"%s\""
+          (String.sub a.Tree.tag 1 (String.length a.Tree.tag - 1))
+          (escape (Option.value a.Tree.value ~default:"")))
+      attrs
+  in
+  match (t.value, elements) with
+  | None, [] -> Format.fprintf ppf "%s<%s%t/>" indent t.tag pp_attrs
+  | Some v, [] ->
+      Format.fprintf ppf "%s<%s%t>%s</%s>" indent t.tag pp_attrs (escape v) t.tag
+  | v, cs ->
+      Format.fprintf ppf "%s<%s%t>" indent t.tag pp_attrs;
+      Option.iter (fun s -> Format.fprintf ppf "%s" (escape s)) v;
+      let indent' = indent ^ "  " in
+      List.iter
+        (fun c ->
+          Format.pp_print_newline ppf ();
+          pp_tree_indented indent' ppf c)
+        cs;
+      Format.pp_print_newline ppf ();
+      Format.fprintf ppf "%s</%s>" indent t.tag
+
+let pp_tree ppf t = pp_tree_indented "" ppf t
+
+let to_channel oc (t : Tree.t) =
+  (* Flush the buffer at element boundaries to bound memory on big docs. *)
+  let b = Buffer.create 65536 in
+  let flush_if_large () =
+    if Buffer.length b > 32768 then begin
+      Buffer.output_buffer oc b;
+      Buffer.clear b
+    end
+  in
+  let rec go (t : Tree.t) =
+    let attrs, elements = split_children t in
+    Buffer.add_char b '<';
+    Buffer.add_string b t.tag;
+    List.iter (add_attribute b) attrs;
+    (match (t.value, elements) with
+    | None, [] -> Buffer.add_string b "/>"
+    | v, cs ->
+        Buffer.add_char b '>';
+        Option.iter (fun s -> Buffer.add_string b (escape s)) v;
+        List.iter go cs;
+        Buffer.add_string b "</";
+        Buffer.add_string b t.tag;
+        Buffer.add_char b '>');
+    flush_if_large ()
+  in
+  go t;
+  Buffer.output_buffer oc b
+
+(* Byte accounting mirrors tree_to_buffer; kept in sync by a unit test.
+   [full_tag] still carries its '@' prefix: space + name + '="' + value +
+   '"' is one byte more than the prefixed tag length plus 3. *)
+let attribute_bytes full_tag value =
+  String.length full_tag + 3
+  + match value with Some v -> escaped_length v | None -> 0
+
+let doc_serialized_size d =
+  let rec node_bytes i =
+    let tl = String.length (Doc.tag d i) in
+    let children = Doc.children d i in
+    let attrs, elements =
+      List.partition
+        (fun c ->
+          let t = Doc.tag d c in
+          String.length t > 1 && t.[0] = '@' && Doc.subtree_end d c = c + 1)
+        children
+    in
+    let attr_bytes =
+      List.fold_left
+        (fun acc a -> acc + attribute_bytes (Doc.tag d a) (Doc.value d a))
+        0 attrs
+    in
+    match (Doc.value d i, elements) with
+    | None, [] -> tl + 3 + attr_bytes
+    | v, cs ->
+        (2 * tl) + 5 + attr_bytes
+        + (match v with Some s -> escaped_length s | None -> 0)
+        + List.fold_left (fun acc c -> acc + node_bytes c) 0 cs
+  in
+  node_bytes (Doc.root d)

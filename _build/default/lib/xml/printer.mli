@@ -1,0 +1,32 @@
+(** XML serialization.
+
+    The compact forms are the inverse of {!Parser.parse_string} (modulo
+    whitespace) and the byte counts they produce agree with
+    {!Doc.serialized_size}. *)
+
+val escape : string -> string
+(** Escape the five XML special characters (ampersand, angle brackets and
+    both quotes) as predefined entities. *)
+
+val escaped_length : string -> int
+(** [escaped_length s = String.length (escape s)], without allocating. *)
+
+val tree_to_buffer : Buffer.t -> Tree.t -> unit
+(** Compact (no whitespace) serialization of a tree. *)
+
+val tree_to_string : Tree.t -> string
+
+val doc_to_string : Doc.t -> string
+(** Compact serialization of a whole document starting at its root. *)
+
+val pp_tree : Format.formatter -> Tree.t -> unit
+(** Indented, human-readable rendering (2-space indent). *)
+
+val to_channel : out_channel -> Tree.t -> unit
+(** Compact serialization to a channel, without building the whole string
+    in memory. *)
+
+val doc_serialized_size : Doc.t -> int
+(** [doc_serialized_size d = String.length (doc_to_string d)], without
+    allocating the string; used to calibrate generated documents against
+    the paper's 1Mb/10Mb/50Mb sweep. *)

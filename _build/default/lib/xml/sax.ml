@@ -1,0 +1,396 @@
+type attribute = { name : string; value : string }
+
+type event =
+  | Start_element of { tag : string; attributes : attribute list }
+  | End_element of string
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Processing_instruction of string
+  | Doctype of string
+
+exception Error of { position : int; message : string }
+
+(* A refillable byte window over the input stream.  [refill b] reads
+   fresh bytes into [b] and returns how many (0 at end of stream). *)
+type reader = {
+  refill : bytes -> int -> int;  (* refill buf ~len -> read count *)
+  mutable buf : bytes;
+  mutable pos : int;  (* cursor within [buf] *)
+  mutable len : int;  (* valid bytes in [buf] *)
+  mutable base : int;  (* absolute offset of buf.[0] *)
+  mutable at_eof : bool;  (* the refill function returned 0 *)
+}
+
+let position r = r.base + r.pos
+let fail r message = raise (Error { position = position r; message })
+
+(* Make at least [k] bytes available from the cursor, unless the stream
+   ends first.  Compacts the buffer and refills. *)
+let ensure r k =
+  if r.pos + k > r.len && not r.at_eof then begin
+    (* compact *)
+    let remaining = r.len - r.pos in
+    Bytes.blit r.buf r.pos r.buf 0 remaining;
+    r.base <- r.base + r.pos;
+    r.pos <- 0;
+    r.len <- remaining;
+    if k > Bytes.length r.buf then begin
+      let bigger = Bytes.create (max k (2 * Bytes.length r.buf)) in
+      Bytes.blit r.buf 0 bigger 0 r.len;
+      r.buf <- bigger
+    end;
+    let rec fill () =
+      if r.len < k && not r.at_eof then begin
+        let n = r.refill r.buf r.len in
+        if n = 0 then r.at_eof <- true else r.len <- r.len + n;
+        fill ()
+      end
+    in
+    fill ()
+  end
+
+let peek r =
+  ensure r 1;
+  if r.pos < r.len then Some (Bytes.get r.buf r.pos) else None
+
+let advance r = r.pos <- r.pos + 1
+
+let next r =
+  match peek r with
+  | Some c ->
+      advance r;
+      c
+  | None -> fail r "unexpected end of input"
+
+let expect r c =
+  let c' = next r in
+  if c' <> c then fail r (Printf.sprintf "expected %C, found %C" c c')
+
+(* Does the input continue with [s] at the cursor?  Consumes it if so. *)
+let looking_at r s =
+  let n = String.length s in
+  ensure r n;
+  r.pos + n <= r.len
+  && (let ok = ref true in
+      for i = 0 to n - 1 do
+        if Bytes.get r.buf (r.pos + i) <> s.[i] then ok := false
+      done;
+      if !ok then r.pos <- r.pos + n;
+      !ok)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces r =
+  let rec go () =
+    match peek r with
+    | Some c when is_space c ->
+        advance r;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let scan_name r =
+  let b = Buffer.create 12 in
+  (match peek r with
+  | Some c when is_name_start c ->
+      advance r;
+      Buffer.add_char b c
+  | Some c -> fail r (Printf.sprintf "invalid name start %C" c)
+  | None -> fail r "expected a name, found end of input");
+  let rec go () =
+    match peek r with
+    | Some c when is_name_char c ->
+        advance r;
+        Buffer.add_char b c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  Buffer.contents b
+
+(* Decode an entity reference; the '&' has been consumed. *)
+let scan_reference r =
+  let b = Buffer.create 8 in
+  let rec body () =
+    match next r with
+    | ';' -> Buffer.contents b
+    | c when Buffer.length b > 16 ->
+        ignore c;
+        fail r "unterminated entity reference"
+    | c ->
+        Buffer.add_char b c;
+        body ()
+  in
+  let body = body () in
+  match body with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+      if String.length body > 1 && body.[0] = '#' then begin
+        let num = String.sub body 1 (String.length body - 1) in
+        let parsed =
+          if String.length num > 1 && (num.[0] = 'x' || num.[0] = 'X') then
+            int_of_string_opt ("0x" ^ String.sub num 1 (String.length num - 1))
+          else int_of_string_opt num
+        in
+        match parsed with
+        | Some code when code >= 0 && code <= 0x10FFFF ->
+            let b = Buffer.create 4 in
+            Buffer.add_utf_8_uchar b (Uchar.of_int code);
+            Buffer.contents b
+        | Some _ | None -> fail r ("bad character reference &" ^ body ^ ";")
+      end
+      else fail r ("unknown entity &" ^ body ^ ";")
+
+(* Collect input until the delimiter string (consumed); the delimiter is
+   matched across refills with a rolling suffix check. *)
+let scan_until r delim =
+  let b = Buffer.create 32 in
+  let n = String.length delim in
+  let matches_suffix () =
+    Buffer.length b >= n
+    &&
+    let off = Buffer.length b - n in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if Buffer.nth b (off + i) <> delim.[i] then ok := false
+    done;
+    !ok
+  in
+  let rec go () =
+    match peek r with
+    | None -> fail r (Printf.sprintf "unterminated construct (missing %s)" delim)
+    | Some c ->
+        advance r;
+        Buffer.add_char b c;
+        if matches_suffix () then Buffer.sub b 0 (Buffer.length b - n) else go ()
+  in
+  go ()
+
+let scan_attribute r =
+  let name = scan_name r in
+  skip_spaces r;
+  expect r '=';
+  skip_spaces r;
+  let quote =
+    match next r with
+    | ('"' | '\'') as q -> q
+    | c -> fail r (Printf.sprintf "expected a quote, found %C" c)
+  in
+  let b = Buffer.create 16 in
+  let rec go () =
+    match next r with
+    | c when c = quote -> ()
+    | '&' ->
+        Buffer.add_string b (scan_reference r);
+        go ()
+    | c ->
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  { name; value = Buffer.contents b }
+
+(* A text run up to the next '<' (or end of input); returns the decoded
+   content, blank or not. *)
+let scan_text r =
+  let b = Buffer.create 32 in
+  let rec go () =
+    match peek r with
+    | None | Some '<' -> Buffer.contents b
+    | Some '&' ->
+        advance r;
+        Buffer.add_string b (scan_reference r);
+        go ()
+    | Some c ->
+        advance r;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ()
+
+let parse_reader r emit =
+  let stack = ref [] in
+  let seen_root = ref false in
+  let handle_markup () =
+    (* The '<' has been consumed. *)
+    if looking_at r "!--" then emit (Comment (scan_until r "-->"))
+    else if looking_at r "![CDATA[" then begin
+      if !stack = [] then fail r "character data outside the root element";
+      emit (Cdata (scan_until r "]]>"))
+    end
+    else if looking_at r "!" then emit (Doctype (scan_until r ">"))
+    else if looking_at r "?" then
+      emit (Processing_instruction (scan_until r "?>"))
+    else if looking_at r "/" then begin
+      let tag = scan_name r in
+      skip_spaces r;
+      expect r '>';
+      match !stack with
+      | top :: rest ->
+          if not (String.equal top tag) then
+            fail r (Printf.sprintf "mismatched </%s>, expected </%s>" tag top);
+          stack := rest;
+          emit (End_element tag)
+      | [] -> fail r (Printf.sprintf "closing tag </%s> without an opening" tag)
+    end
+    else begin
+      let tag = scan_name r in
+      if !stack = [] && !seen_root then
+        fail r "a document has a single root element";
+      let attributes = ref [] in
+      let rec attrs () =
+        skip_spaces r;
+        match peek r with
+        | Some '>' ->
+            advance r;
+            emit (Start_element { tag; attributes = List.rev !attributes });
+            seen_root := true;
+            stack := tag :: !stack
+        | Some '/' ->
+            advance r;
+            expect r '>';
+            emit (Start_element { tag; attributes = List.rev !attributes });
+            seen_root := true;
+            emit (End_element tag)
+        | Some c when is_name_start c ->
+            attributes := scan_attribute r :: !attributes;
+            attrs ()
+        | Some c -> fail r (Printf.sprintf "unexpected %C in element tag" c)
+        | None -> fail r "unterminated element tag"
+      in
+      attrs ()
+    end
+  in
+  let rec loop () =
+    match peek r with
+    | None ->
+        if !stack <> [] then
+          fail r (Printf.sprintf "unclosed element <%s>" (List.hd !stack))
+        else if not !seen_root then fail r "no root element"
+    | Some '<' ->
+        advance r;
+        handle_markup ();
+        loop ()
+    | Some _ ->
+        let text = scan_text r in
+        if String.exists (fun c -> not (is_space c)) text then begin
+          if !stack = [] then fail r "character data outside the root element";
+          emit (Text text)
+        end;
+        loop ()
+  in
+  loop ()
+
+let reader_of_string s =
+  let sent = ref false in
+  {
+    refill =
+      (fun buf off ->
+        if !sent then 0
+        else begin
+          sent := true;
+          let n = min (String.length s) (Bytes.length buf - off) in
+          Bytes.blit_string s 0 buf off n;
+          (* A string longer than the buffer is handled by growing the
+             buffer up front. *)
+          n
+        end);
+    buf = Bytes.create (max 64 (String.length s));
+    pos = 0;
+    len = 0;
+    base = 0;
+    at_eof = false;
+  }
+
+let reader_of_channel ?(buffer_size = 65536) ic =
+  {
+    refill =
+      (fun buf off -> input ic buf off (Bytes.length buf - off));
+    buf = Bytes.create (max 64 buffer_size);
+    pos = 0;
+    len = 0;
+    base = 0;
+    at_eof = false;
+  }
+
+let parse_string s emit = parse_reader (reader_of_string s) emit
+let parse_channel ?buffer_size ic emit =
+  parse_reader (reader_of_channel ?buffer_size ic) emit
+
+let fold_string s f init =
+  let acc = ref init in
+  parse_string s (fun e -> acc := f !acc e);
+  !acc
+
+(* --- Tree building over the event stream. --- *)
+
+type frame = {
+  tag : string;
+  text : Buffer.t;
+  mutable children_rev : Tree.t list;
+}
+
+let builder () =
+  let stack : frame list ref = ref [] in
+  let result : Tree.t option ref = ref None in
+  let add_text frame s =
+    if String.exists (fun c -> not (is_space c)) s then
+      Buffer.add_string frame.text (String.trim s)
+  in
+  let emit event =
+    match (event, !stack) with
+    | Start_element { tag; attributes }, _ ->
+        let frame = { tag; text = Buffer.create 8; children_rev = [] } in
+        frame.children_rev <-
+          List.rev_map
+            (fun { name; value } -> Tree.leaf ("@" ^ name) value)
+            attributes;
+        stack := frame :: !stack
+    | End_element _, frame :: rest ->
+        let value =
+          if Buffer.length frame.text = 0 then None
+          else Some (Buffer.contents frame.text)
+        in
+        let node =
+          { Tree.tag = frame.tag; value; children = List.rev frame.children_rev }
+        in
+        (match rest with
+        | parent :: _ -> parent.children_rev <- node :: parent.children_rev
+        | [] -> result := Some node);
+        stack := rest
+    | (Text s | Cdata s), frame :: _ -> add_text frame s
+    | (Comment _ | Processing_instruction _ | Doctype _), _ -> ()
+    | (End_element _ | Text _ | Cdata _), [] ->
+        (* parse_reader enforces well-formedness before emitting *)
+        assert false
+  in
+  (emit, fun () -> Option.get !result)
+
+let tree_of_string s =
+  let emit, finish = builder () in
+  parse_string s emit;
+  finish ()
+
+let doc_of_channel ?buffer_size ic =
+  let emit, finish = builder () in
+  parse_channel ?buffer_size ic emit;
+  Doc.of_tree (finish ())
+
+let doc_of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> doc_of_channel ic)

@@ -1,0 +1,43 @@
+(** Streaming (SAX-style) XML parsing.
+
+    {!Parser} materializes the whole input string; this interface
+    instead delivers a callback stream of events while reading the
+    input incrementally through a refillable buffer, so arbitrarily
+    large documents parse in O(depth + buffer) working memory (plus
+    whatever the callback retains).
+
+    The accepted language matches {!Parser}: elements, attributes, text
+    with the predefined entities and character references, comments,
+    processing instructions, CDATA sections, and prolog/DOCTYPE
+    constructs (reported or skipped, never failing).  Well-formedness
+    (tag balance) is enforced. *)
+
+type attribute = { name : string; value : string }
+
+type event =
+  | Start_element of { tag : string; attributes : attribute list }
+  | End_element of string
+  | Text of string  (** non-blank character data, entity-decoded *)
+  | Cdata of string
+  | Comment of string
+  | Processing_instruction of string
+  | Doctype of string
+
+exception Error of { position : int; message : string }
+(** [position] is an absolute byte offset in the input stream. *)
+
+val parse_string : string -> (event -> unit) -> unit
+val parse_channel : ?buffer_size:int -> in_channel -> (event -> unit) -> unit
+
+val fold_string : string -> ('a -> event -> 'a) -> 'a -> 'a
+
+val tree_of_string : string -> Tree.t
+(** Build a {!Tree.t} through the event stream (attributes become
+    ["@name"] children, text chunks concatenate — the same conventions
+    as {!Parser.parse_string}). *)
+
+val doc_of_channel : ?buffer_size:int -> in_channel -> Doc.t
+(** Stream a whole document from a channel into a frozen {!Doc.t}
+    without ever holding the serialized text in memory. *)
+
+val doc_of_file : string -> Doc.t

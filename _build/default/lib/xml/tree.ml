@@ -1,0 +1,43 @@
+type t = { tag : string; value : string option; children : t list }
+
+let el tag children = { tag; value = None; children }
+let leaf tag v = { tag; value = Some v; children = [] }
+let el_v tag v children = { tag; value = Some v; children }
+let tag t = t.tag
+let value t = t.value
+let children t = t.children
+
+let rec size t = List.fold_left (fun acc c -> acc + size c) 1 t.children
+
+let rec depth t =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 t.children
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
+let rec iter f t = f t; List.iter (iter f) t.children
+
+let tags t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  iter
+    (fun n ->
+      if not (Hashtbl.mem seen n.tag) then begin
+        Hashtbl.add seen n.tag ();
+        out := n.tag :: !out
+      end)
+    t;
+  List.rev !out
+
+let rec equal a b =
+  String.equal a.tag b.tag
+  && Option.equal String.equal a.value b.value
+  && List.equal equal a.children b.children
+
+let rec pp ppf t =
+  match (t.value, t.children) with
+  | None, [] -> Format.fprintf ppf "<%s/>" t.tag
+  | Some v, [] -> Format.fprintf ppf "<%s>%s</%s>" t.tag v t.tag
+  | v, cs ->
+      Format.fprintf ppf "<%s>" t.tag;
+      Option.iter (Format.pp_print_string ppf) v;
+      List.iter (pp ppf) cs;
+      Format.fprintf ppf "</%s>" t.tag

@@ -1,0 +1,44 @@
+(** Construction-friendly XML trees.
+
+    [Tree.t] is the immutable, pointer-based form used to author documents
+    in code (examples, tests, the XMark generator) before freezing them
+    into the array-based {!Doc.t} that query evaluation runs on. *)
+
+type t = {
+  tag : string;  (** element tag *)
+  value : string option;  (** textual content, for leaf-like elements *)
+  children : t list;
+}
+
+val el : string -> t list -> t
+(** [el tag children] is an element node with no textual content. *)
+
+val leaf : string -> string -> t
+(** [leaf tag v] is an element holding the text value [v]. *)
+
+val el_v : string -> string -> t list -> t
+(** Element with both a text value and children. *)
+
+val tag : t -> string
+val value : t -> string option
+val children : t -> t list
+
+val size : t -> int
+(** Number of element nodes in the tree. *)
+
+val depth : t -> int
+(** Length of the longest root-to-leaf path; a single node has depth 1. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Preorder fold over all element nodes. *)
+
+val iter : (t -> unit) -> t -> unit
+
+val tags : t -> string list
+(** Distinct tags, in first-occurrence (preorder) order. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Compact single-line rendering, for debugging and test failure
+    messages. *)

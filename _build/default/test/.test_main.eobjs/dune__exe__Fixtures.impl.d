@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Doc Float Index Lazy List Printf String Tree Whirlpool Wp_pattern Wp_xmark Wp_xml

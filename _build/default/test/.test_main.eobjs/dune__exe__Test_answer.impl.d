@@ -1,0 +1,1 @@
+test/test_answer.ml: Alcotest Answer Engine Fixtures Format List Run String Test_stats Whirlpool Wp_score Wp_xml

@@ -1,0 +1,1 @@
+test/test_axis.ml: Alcotest Axis Doc Fixtures Fun Index List QCheck2 QCheck_alcotest String Test_doc Wp_xml

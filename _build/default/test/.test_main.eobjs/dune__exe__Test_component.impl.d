@@ -1,0 +1,1 @@
+test/test_component.ml: Alcotest Array Component Fixtures Format Relation Relaxation Wp_relax Wp_score

@@ -1,0 +1,1 @@
+test/test_configs.ml: Alcotest Engine Fixtures Float Format Lazy List Run Topk_set Whirlpool Wp_pattern Wp_relax

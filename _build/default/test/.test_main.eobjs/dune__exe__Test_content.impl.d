@@ -1,0 +1,1 @@
+test/test_content.ml: Alcotest Array Doc Fixtures Format Index List Relaxation Tree Whirlpool Wp_relax Wp_score Wp_xml

@@ -1,0 +1,1 @@
+test/test_dblp.ml: Alcotest Array Doc Fixtures Index List Option Printf Tree Whirlpool Wp_pattern Wp_xmark Wp_xml

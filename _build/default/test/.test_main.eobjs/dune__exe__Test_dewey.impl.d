@@ -1,0 +1,1 @@
+test/test_dewey.ml: Alcotest Dewey List Option Printf QCheck2 QCheck_alcotest Wp_xml

@@ -1,0 +1,1 @@
+test/test_doc.ml: Alcotest Dewey Doc List Printf QCheck2 QCheck_alcotest Tree Wp_xml

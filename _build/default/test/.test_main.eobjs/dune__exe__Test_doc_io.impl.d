@@ -1,0 +1,1 @@
+test/test_doc_io.ml: Alcotest Buffer Char Dewey Doc Doc_io Filename Fixtures Fun Index Lazy List Printer Printf QCheck2 QCheck_alcotest String Sys Test_doc Tree Unix Wp_pattern Wp_xmark Wp_xml

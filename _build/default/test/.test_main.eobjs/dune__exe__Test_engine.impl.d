@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Engine Engine_mt Fixtures Format Lazy List Run Strategy Topk_set Whirlpool Wp_pattern Wp_relax Wp_score

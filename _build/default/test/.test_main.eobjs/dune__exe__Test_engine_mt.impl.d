@@ -1,0 +1,1 @@
+test/test_engine_mt.ml: Alcotest Engine Engine_mt Fixtures Format Lazy List Run Stats Strategy Whirlpool Wp_relax

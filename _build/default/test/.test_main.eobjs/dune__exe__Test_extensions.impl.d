@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Engine Engine_mt Fixtures Lazy List Lockstep Plan Printf Run Topk_set Whirlpool Wp_pattern Wp_score

@@ -1,0 +1,1 @@
+test/test_fagin.ml: Alcotest Engine Fagin Fixtures Float Lazy List Plan Printf QCheck2 QCheck_alcotest Run Test_doc Whirlpool Wp_relax Wp_xml

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Char Fixtures List QCheck2 QCheck_alcotest String Wp_pattern Wp_xmark Wp_xml

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Doc Fun Index List QCheck2 QCheck_alcotest String Test_doc Tree Wp_xml

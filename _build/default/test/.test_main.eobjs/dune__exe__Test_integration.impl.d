@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Engine Fixtures Float Format Lazy List Printf Run String Topk_set Whirlpool Wp_pattern Wp_score Wp_xmark Wp_xml

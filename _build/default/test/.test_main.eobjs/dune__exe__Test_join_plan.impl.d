@@ -1,0 +1,1 @@
+test/test_join_plan.ml: Alcotest Join_plan List Printf String Whirlpool

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Fixtures Float Format Json List Printf String Test_stats Whirlpool Wp_json Wp_score

@@ -1,0 +1,1 @@
+test/test_lockstep.ml: Alcotest Array Engine Fixtures Lazy List Lockstep Plan Run Topk_set Whirlpool Wp_pattern

@@ -1,0 +1,1 @@
+test/test_matcher.ml: Alcotest Array Fixtures Fun List Matcher Option Pattern Printf QCheck2 QCheck_alcotest String Test_doc Wp_pattern Wp_xml

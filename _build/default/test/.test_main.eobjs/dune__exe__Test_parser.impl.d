@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Doc Filename Fun List Parser Printer Printf QCheck2 QCheck_alcotest Sys Tree Wp_xml

@@ -1,0 +1,1 @@
+test/test_partial_match.ml: Alcotest List Partial_match Whirlpool

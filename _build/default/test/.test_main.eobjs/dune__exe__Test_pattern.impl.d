@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest List Option Pattern String Wp_pattern

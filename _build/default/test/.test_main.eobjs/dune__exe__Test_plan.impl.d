@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Array Engine Fixtures Lazy List Plan Run Whirlpool Wp_pattern Wp_relax Wp_score

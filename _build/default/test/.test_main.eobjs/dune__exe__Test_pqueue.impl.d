@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Float List Pqueue QCheck2 QCheck_alcotest Whirlpool

@@ -1,0 +1,1 @@
+test/test_printer.ml: Alcotest Doc Filename Format Fun List Parser Printer Printf String Sys Tree Wp_xmark Wp_xml

@@ -1,0 +1,1 @@
+test/test_properties.ml: Engine Fixtures Float List Lockstep QCheck2 QCheck_alcotest Run Test_doc Test_matcher Topk_set Whirlpool Wp_pattern Wp_relax Wp_score Wp_xml

@@ -1,0 +1,1 @@
+test/test_quality.ml: Alcotest Fixtures Lazy List Printf Quality Score_table Whirlpool Wp_relax Wp_score

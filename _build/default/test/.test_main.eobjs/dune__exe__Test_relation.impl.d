@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Fixtures List Pattern QCheck2 QCheck_alcotest Relation Wp_pattern Wp_relax Wp_xml

@@ -1,0 +1,1 @@
+test/test_relaxation.ml: Alcotest Fixtures Format List Pattern Printf QCheck2 QCheck_alcotest Relation Relaxation Test_doc Test_matcher Wp_pattern Wp_relax Wp_xml

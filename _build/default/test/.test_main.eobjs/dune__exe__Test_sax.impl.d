@@ -1,0 +1,1 @@
+test/test_sax.ml: Alcotest Doc Filename Fun List Parser Printer Printf QCheck2 QCheck_alcotest Sax String Sys Test_parser Tree Wp_xmark Wp_xml

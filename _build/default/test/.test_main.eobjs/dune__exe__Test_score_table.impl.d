@@ -1,0 +1,1 @@
+test/test_score_table.ml: Alcotest Fixtures Float Relaxation Score_table Wp_relax Wp_score

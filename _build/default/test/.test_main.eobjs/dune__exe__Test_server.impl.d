@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Fixtures List Partial_match Run Server Stats Whirlpool Wp_relax Wp_score

@@ -1,0 +1,1 @@
+test/test_server_spec.ml: Alcotest Array Fixtures List Relation Relaxation Server_spec Wp_pattern Wp_relax

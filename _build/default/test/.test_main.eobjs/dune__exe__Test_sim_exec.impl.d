@@ -1,0 +1,1 @@
+test/test_sim_exec.ml: Alcotest Engine Fixtures Lazy List Printf Run Sim_exec Whirlpool

@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Array Fixtures Float Lazy List Partial_match Plan Run Server Stats Strategy String Whirlpool

@@ -1,0 +1,1 @@
+test/test_synopsis.ml: Alcotest Array Fixtures Lazy List QCheck2 QCheck_alcotest Relation Synopsis Test_doc Whirlpool Wp_pattern Wp_relax Wp_stats Wp_xml

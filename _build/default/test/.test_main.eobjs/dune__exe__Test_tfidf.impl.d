@@ -1,0 +1,1 @@
+test/test_tfidf.ml: Alcotest Array Component Fixtures List Tfidf Wp_score Wp_xml

@@ -1,0 +1,1 @@
+test/test_topk_set.ml: Alcotest List Partial_match QCheck2 QCheck_alcotest Topk_set Whirlpool

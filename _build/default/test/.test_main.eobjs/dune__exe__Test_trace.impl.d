@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Engine Fixtures Float Format Hashtbl Lazy List Run Test_stats Trace Whirlpool

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Format List Tree Wp_xml

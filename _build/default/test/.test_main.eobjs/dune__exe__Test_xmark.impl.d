@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest Array Doc Fixtures Index Lazy List Option Printer Printf String Tree Wp_pattern Wp_xmark Wp_xml

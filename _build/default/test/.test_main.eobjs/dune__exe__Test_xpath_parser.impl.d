@@ -1,0 +1,1 @@
+test/test_xpath_parser.ml: Alcotest Fixtures List Pattern Printf QCheck2 QCheck_alcotest String Wp_pattern Xpath_parser

@@ -1,0 +1,76 @@
+(* Shared documents and queries used across test suites. *)
+
+open Wp_xml
+
+(* The heterogeneous book collection of the paper's Figure 1. *)
+let book_a =
+  Tree.el "book"
+    [
+      Tree.leaf "title" "wodehouse";
+      Tree.el "info"
+        [
+          Tree.el "publisher" [ Tree.leaf "name" "psmith" ];
+          Tree.leaf "price" "48.95";
+        ];
+      Tree.leaf "isbn" "1234";
+    ]
+
+let book_b =
+  Tree.el "book"
+    [
+      Tree.leaf "title" "wodehouse";
+      Tree.el "publisher"
+        [ Tree.leaf "name" "psmith"; Tree.leaf "location" "london" ];
+      Tree.el "info" [ Tree.leaf "isbn" "1234" ];
+      Tree.leaf "price" "48.95";
+    ]
+
+let book_c =
+  Tree.el "book"
+    [
+      Tree.el "reviews" [ Tree.leaf "title" "wodehouse" ];
+      Tree.leaf "location" "london";
+      Tree.leaf "isbn" "1234";
+      Tree.leaf "price" "48.95";
+    ]
+
+let books_doc = Doc.of_forest ~root_tag:"bib" [ book_a; book_b; book_c ]
+let books_index = Index.build books_doc
+
+(* Node ids of the three book roots in [books_doc] (children of the
+   synthetic root, in order). *)
+let book_roots = Doc.children books_doc (Doc.root books_doc)
+
+(* The paper's Figure 2 queries. *)
+let q2a = "/book[./title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+let q2b = "/book[.//title = 'wodehouse' and ./info/publisher/name = 'psmith']"
+let q2c = "/book[.//title = 'wodehouse' and .//publisher/name = 'psmith']"
+let q2d = "/book[.//title = 'wodehouse']"
+
+(* The paper's Section 6.2.1 XMark queries. *)
+let q1 = "//item[./description/parlist]"
+let q2 = "//item[./description/parlist and ./mailbox/mail/text]"
+
+let q3 =
+  "//item[./mailbox/mail/text[./bold and ./keyword] and ./name and \
+   ./incategory]"
+
+let parse = Wp_pattern.Xpath_parser.parse
+
+(* A small XMark document shared by the heavier suites (built once). *)
+let xmark_doc =
+  lazy (Wp_xmark.Generator.generate_doc ~seed:11 ~target_bytes:120_000 ())
+
+let xmark_index = lazy (Index.build (Lazy.force xmark_doc))
+
+let sorted_scores (answers : Whirlpool.Topk_set.entry list) =
+  List.sort (fun a b -> Float.compare b a) (List.map (fun e -> e.Whirlpool.Topk_set.score) answers)
+
+let check_scores_equal ~msg expected actual =
+  let pp_list l = String.concat ";" (List.map (Printf.sprintf "%.4f") l) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected [%s], got [%s])" msg (pp_list expected)
+       (pp_list actual))
+    true
+    (List.length expected = List.length actual
+    && List.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) expected actual)

@@ -1,0 +1,105 @@
+open Whirlpool
+
+let books = Fixtures.books_index
+let parse = Fixtures.parse
+
+let book_a, book_b, book_c =
+  match Fixtures.book_roots with
+  | [ a; b; c ] -> (a, b, c)
+  | _ -> assert false
+
+let plan =
+  Run.compile ~normalization:Wp_score.Score_table.Raw books (parse Fixtures.q2a)
+
+let result = Engine.run plan ~k:3
+let answers = Answer.of_result plan result
+
+let find_answer root = List.find (fun (a : Answer.t) -> a.root = root) answers
+
+let test_structure () =
+  Alcotest.(check int) "three answers" 3 (List.length answers);
+  List.iteri
+    (fun i (a : Answer.t) ->
+      Alcotest.(check int) "rank assigned" (i + 1) a.rank;
+      Alcotest.(check int) "one binding per query node" 5
+        (List.length a.bindings))
+    answers
+
+let test_exactness_book_a () =
+  let a = find_answer book_a in
+  List.iter
+    (fun (b : Answer.binding) ->
+      Alcotest.(check bool) ("book a " ^ b.tag ^ " exact") true
+        (b.exactness = Answer.Exact);
+      Alcotest.(check bool) "bound" true (b.node <> None))
+    a.bindings
+
+let test_exactness_book_b () =
+  let a = find_answer book_b in
+  let by_tag tag =
+    List.find (fun (b : Answer.binding) -> b.tag = tag) a.bindings
+  in
+  Alcotest.(check bool) "title exact" true ((by_tag "title").exactness = Answer.Exact);
+  Alcotest.(check bool) "info exact" true ((by_tag "info").exactness = Answer.Exact);
+  (* Book (b)'s publisher is a direct child — only the relaxed depth-2
+     predicate accepts it. *)
+  Alcotest.(check bool) "publisher relaxed" true
+    ((by_tag "publisher").exactness = Answer.Relaxed);
+  Alcotest.(check bool) "name relaxed" true
+    ((by_tag "name").exactness = Answer.Relaxed)
+
+let test_exactness_book_c () =
+  let a = find_answer book_c in
+  let by_tag tag =
+    List.find (fun (b : Answer.binding) -> b.tag = tag) a.bindings
+  in
+  Alcotest.(check bool) "title bound but relaxed" true
+    ((by_tag "title").exactness = Answer.Relaxed);
+  Alcotest.(check bool) "publisher deleted" true
+    ((by_tag "publisher").exactness = Answer.Unbound);
+  Alcotest.(check bool) "deleted binding has no node" true
+    ((by_tag "publisher").node = None)
+
+let test_weights_sum_to_score () =
+  List.iter
+    (fun (a : Answer.t) ->
+      let total =
+        List.fold_left (fun acc (b : Answer.binding) -> acc +. b.weight) 0.0
+          a.bindings
+      in
+      Alcotest.(check (float 1e-9)) "weights sum to the score" a.score total)
+    answers
+
+let test_fragment () =
+  let a = find_answer book_a in
+  let fragment = Answer.fragment plan a in
+  Alcotest.(check string) "fragment root" "book" (Wp_xml.Tree.tag fragment);
+  Alcotest.(check bool) "fragment equals the stored subtree" true
+    (Wp_xml.Tree.equal fragment (Wp_xml.Doc.to_tree Fixtures.books_doc book_a))
+
+let test_run_facade () =
+  let answers =
+    Run.top_k_answers ~normalization:Wp_score.Score_table.Raw books
+      (parse Fixtures.q2a) ~k:3
+  in
+  Alcotest.(check int) "facade materializes" 3 (List.length answers);
+  Alcotest.(check int) "ranks assigned" 1 (List.hd answers).Answer.rank
+
+let test_pp_renders () =
+  let rendered = Format.asprintf "%a" (Answer.pp plan) (find_answer book_b) in
+  Alcotest.(check bool) "mentions relaxed" true
+    (Test_stats.contains ~needle:"relaxed" rendered);
+  Alcotest.(check bool) "mentions the score" true
+    (String.length rendered > 20)
+
+let suite =
+  [
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "book a exact" `Quick test_exactness_book_a;
+    Alcotest.test_case "book b mixed" `Quick test_exactness_book_b;
+    Alcotest.test_case "book c deletions" `Quick test_exactness_book_c;
+    Alcotest.test_case "weights sum to score" `Quick test_weights_sum_to_score;
+    Alcotest.test_case "fragment" `Quick test_fragment;
+    Alcotest.test_case "run facade" `Quick test_run_facade;
+    Alcotest.test_case "pp" `Quick test_pp_renders;
+  ]

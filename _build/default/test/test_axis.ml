@@ -1,0 +1,97 @@
+open Wp_xml
+
+let doc = Fixtures.books_doc
+let idx = Fixtures.books_index
+
+(* Locate a node by tag under a given root, for readable assertions. *)
+let find_first tag =
+  let rec go i = if Doc.tag doc i = tag then i else go (i + 1) in
+  go 0
+
+let test_child_axis () =
+  let book = find_first "book" in
+  let title = find_first "title" in
+  Alcotest.(check bool) "title child of book" true
+    (Axis.test doc Axis.Child ~from:book ~target:title);
+  Alcotest.(check bool) "book not child of title" false
+    (Axis.test doc Axis.Child ~from:title ~target:book)
+
+let test_descendant_axis () =
+  let book = find_first "book" in
+  let name = find_first "name" in
+  Alcotest.(check bool) "name descendant of book" true
+    (Axis.test doc Axis.Descendant ~from:book ~target:name);
+  Alcotest.(check bool) "not self" false
+    (Axis.test doc Axis.Descendant ~from:book ~target:book);
+  Alcotest.(check bool) "descendant-or-self includes self" true
+    (Axis.test doc Axis.Descendant_or_self ~from:book ~target:book)
+
+let test_upward_axes () =
+  let info = find_first "info" in
+  let name = find_first "name" in
+  let book = find_first "book" in
+  Alcotest.(check bool) "parent" true
+    (Axis.test doc Axis.Parent ~from:info ~target:book);
+  Alcotest.(check bool) "ancestor" true
+    (Axis.test doc Axis.Ancestor ~from:name ~target:book);
+  Alcotest.(check bool) "self" true (Axis.test doc Axis.Self ~from:name ~target:name)
+
+let test_following_sibling () =
+  let title = find_first "title" in
+  let info = find_first "info" in
+  Alcotest.(check bool) "info follows title" true
+    (Axis.test doc Axis.Following_sibling ~from:title ~target:info);
+  Alcotest.(check bool) "title does not follow info" false
+    (Axis.test doc Axis.Following_sibling ~from:info ~target:title)
+
+let test_select () =
+  let book = find_first "book" in
+  Alcotest.(check int) "one title child" 1
+    (List.length (Axis.select idx Axis.Child ~from:book ~tag:"title"));
+  Alcotest.(check int) "name by descendant" 1
+    (List.length (Axis.select idx Axis.Descendant ~from:book ~tag:"name"));
+  Alcotest.(check int) "no location in book a" 0
+    (List.length (Axis.select idx Axis.Descendant ~from:book ~tag:"location"));
+  let name = find_first "name" in
+  Alcotest.(check int) "two ancestors tagged publisher/info... none named book? one" 1
+    (List.length (Axis.select idx Axis.Ancestor ~from:name ~tag:"book"))
+
+(* select agrees with a naive test-everything scan. *)
+let prop_select_matches_test =
+  let axes =
+    [ Axis.Self; Axis.Child; Axis.Descendant; Axis.Descendant_or_self;
+      Axis.Parent; Axis.Ancestor; Axis.Following_sibling ]
+  in
+  QCheck2.Test.make ~name:"select = filter test" ~count:60 Test_doc.gen_tree
+    (fun t ->
+      let doc = Doc.of_tree t in
+      let idx = Index.build doc in
+      let tags = Doc.distinct_tags doc in
+      List.for_all
+        (fun axis ->
+          List.for_all
+            (fun tag ->
+              let ok = ref true in
+              for from = 0 to Doc.size doc - 1 do
+                let naive =
+                  List.filter
+                    (fun i ->
+                      String.equal (Doc.tag doc i) tag
+                      && Axis.test doc axis ~from ~target:i)
+                    (List.init (Doc.size doc) Fun.id)
+                in
+                if Axis.select idx axis ~from ~tag <> naive then ok := false
+              done;
+              !ok)
+            tags)
+        axes)
+
+let suite =
+  [
+    Alcotest.test_case "child" `Quick test_child_axis;
+    Alcotest.test_case "descendant" `Quick test_descendant_axis;
+    Alcotest.test_case "upward axes" `Quick test_upward_axes;
+    Alcotest.test_case "following-sibling" `Quick test_following_sibling;
+    Alcotest.test_case "select" `Quick test_select;
+    QCheck_alcotest.to_alcotest prop_select_matches_test;
+  ]

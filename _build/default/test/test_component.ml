@@ -1,0 +1,53 @@
+open Wp_score
+open Wp_relax
+
+let parse = Fixtures.parse
+
+let test_decomposition () =
+  let comps = Component.of_pattern ~doc_root_tag:"bib" (parse Fixtures.q2a) in
+  Alcotest.(check int) "one component per node" 5 (Array.length comps);
+  (* root component *)
+  Alcotest.(check bool) "root from doc root" true comps.(0).Component.from_doc_root;
+  Alcotest.(check string) "root source tag" "bib" comps.(0).Component.root_tag;
+  Alcotest.(check bool) "root edge pc" true
+    (Relation.equal comps.(0).Component.relation Relation.child);
+  (* title: child of book, with a value *)
+  Alcotest.(check string) "title target" "title" comps.(1).Component.target_tag;
+  Alcotest.(check (option string)) "title value" (Some "wodehouse")
+    comps.(1).Component.target_value;
+  Alcotest.(check bool) "title relation" true
+    (Relation.equal comps.(1).Component.relation Relation.child);
+  (* name: composed pc^3 *)
+  Alcotest.(check string) "name target" "name" comps.(4).Component.target_tag;
+  Alcotest.(check bool) "name relation = depth exactly 3" true
+    (comps.(4).Component.relation.min_depth = 3
+    && comps.(4).Component.relation.max_depth = Some 3);
+  Alcotest.(check string) "non-root source tag" "book" comps.(4).Component.root_tag
+
+let test_composed_ad () =
+  let comps = Component.of_pattern (parse "/a[.//b/c]") in
+  Alcotest.(check bool) "ad.pc composes to depth >= 2" true
+    (comps.(2).Component.relation.min_depth = 2
+    && comps.(2).Component.relation.max_depth = None)
+
+let test_relaxed_component () =
+  let comps = Component.of_pattern (parse Fixtures.q2a) in
+  let r = Component.relaxed Relaxation.all comps.(4) in
+  Alcotest.(check bool) "fully relaxed = descendant" true
+    (Relation.equal r.Component.relation Relation.descendant);
+  let r = Component.relaxed Relaxation.exact comps.(4) in
+  Alcotest.(check bool) "exact config leaves it alone" true
+    (Relation.equal r.Component.relation comps.(4).Component.relation)
+
+let test_pp () =
+  let comps = Component.of_pattern (parse Fixtures.q2a) in
+  Alcotest.(check string) "rendering" "book[child::title='wodehouse']"
+    (Format.asprintf "%a" Component.pp comps.(1))
+
+let suite =
+  [
+    Alcotest.test_case "decomposition" `Quick test_decomposition;
+    Alcotest.test_case "composed ad" `Quick test_composed_ad;
+    Alcotest.test_case "relaxed component" `Quick test_relaxed_component;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

@@ -1,0 +1,112 @@
+(* FleXPath-inspired content relaxation (Relaxation.with_content): value
+   predicates satisfied exactly by equal content and approximately by
+   token containment. *)
+
+open Wp_xml
+open Wp_relax
+
+let catalog =
+  Doc.of_forest ~root_tag:"bib"
+    [
+      Tree.el "book" [ Tree.leaf "title" "wodehouse" ];
+      Tree.el "book" [ Tree.leaf "title" "the wodehouse omnibus" ];
+      Tree.el "book" [ Tree.leaf "title" "wodehousiana" ];
+      Tree.el "book" [ Tree.leaf "title" "dickens" ];
+    ]
+
+let idx = Index.build catalog
+let query = Fixtures.parse "/book[./title = 'wodehouse']"
+
+let b_exact, b_token, b_sub, b_other =
+  match Doc.children catalog (Doc.root catalog) with
+  | [ a; b; c; d ] -> (a, b, c, d)
+  | _ -> assert false
+
+let test_content_level () =
+  let level actual =
+    Relaxation.content_level Relaxation.with_content ~query:"wodehouse"
+      ~actual:(Some actual)
+  in
+  Alcotest.(check bool) "equal is exact" true
+    (level "wodehouse" = Relaxation.Content_exact);
+  Alcotest.(check bool) "token containment is relaxed" true
+    (level "the wodehouse omnibus" = Relaxation.Content_relaxed);
+  Alcotest.(check bool) "substring without token boundary rejects" true
+    (level "wodehousiana" = Relaxation.Content_reject);
+  Alcotest.(check bool) "unrelated rejects" true
+    (level "dickens" = Relaxation.Content_reject);
+  Alcotest.(check bool) "missing value rejects" true
+    (Relaxation.content_level Relaxation.with_content ~query:"x" ~actual:None
+    = Relaxation.Content_reject);
+  (* Without value relaxation only equality passes. *)
+  Alcotest.(check bool) "strict mode rejects tokens" true
+    (Relaxation.content_level Relaxation.all ~query:"wodehouse"
+       ~actual:(Some "the wodehouse omnibus")
+    = Relaxation.Content_reject)
+
+let run config =
+  let plan =
+    Whirlpool.Run.compile ~config ~normalization:Wp_score.Score_table.Sparse idx
+      query
+  in
+  Whirlpool.Engine.run plan ~k:4
+
+let bound_title (e : Whirlpool.Topk_set.entry) = e.bindings.(1) >= 0
+
+let test_strict_matching () =
+  let r = run Relaxation.all in
+  (* All four books answer (title deletable), but only the exact title
+     binds. *)
+  let with_title =
+    List.filter bound_title r.answers
+    |> List.map (fun (e : Whirlpool.Topk_set.entry) -> e.root)
+  in
+  Alcotest.(check (list int)) "only the exact title binds" [ b_exact ] with_title
+
+let test_relaxed_content_matching () =
+  let r = run Relaxation.with_content in
+  let bound =
+    List.filter bound_title r.answers
+    |> List.map (fun (e : Whirlpool.Topk_set.entry) -> e.root)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "token match also binds" [ b_exact; b_token ]
+    bound;
+  (* And it earns only the relaxed weight: strictly between the exact
+     match and the no-title books. *)
+  let score_of root =
+    (List.find (fun (e : Whirlpool.Topk_set.entry) -> e.root = root) r.answers)
+      .score
+  in
+  Alcotest.(check bool) "exact > token" true (score_of b_exact > score_of b_token);
+  Alcotest.(check bool) "token >= others" true
+    (score_of b_token >= score_of b_sub && score_of b_token >= score_of b_other)
+
+let test_answer_exactness_reflects_content () =
+  let plan =
+    Whirlpool.Run.compile ~config:Relaxation.with_content
+      ~normalization:Wp_score.Score_table.Sparse idx query
+  in
+  let r = Whirlpool.Engine.run plan ~k:4 in
+  let answers = Whirlpool.Answer.of_result plan r in
+  let title_binding root =
+    let a = List.find (fun (a : Whirlpool.Answer.t) -> a.root = root) answers in
+    (List.nth a.bindings 1).Whirlpool.Answer.exactness
+  in
+  Alcotest.(check bool) "exact content reported exact" true
+    (title_binding b_exact = Whirlpool.Answer.Exact);
+  Alcotest.(check bool) "token content reported relaxed" true
+    (title_binding b_token = Whirlpool.Answer.Relaxed)
+
+let test_pp_config () =
+  Alcotest.(check string) "config rendering" "edge-gen+leaf-del+promo+content"
+    (Format.asprintf "%a" Relaxation.pp_config Relaxation.with_content)
+
+let suite =
+  [
+    Alcotest.test_case "content levels" `Quick test_content_level;
+    Alcotest.test_case "strict matching" `Quick test_strict_matching;
+    Alcotest.test_case "relaxed content matching" `Quick test_relaxed_content_matching;
+    Alcotest.test_case "answer exactness" `Quick test_answer_exactness_reflects_content;
+    Alcotest.test_case "pp config" `Quick test_pp_config;
+  ]

@@ -1,0 +1,151 @@
+open Wp_xml
+
+let roundtrip doc =
+  let path = Filename.temp_file "wp_snap" ".wpdoc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Doc_io.save path doc;
+      Doc_io.load path)
+
+let check_equal_docs a b =
+  Alcotest.(check int) "size" (Doc.size a) (Doc.size b);
+  for i = 0 to Doc.size a - 1 do
+    Alcotest.(check string) "tag" (Doc.tag a i) (Doc.tag b i);
+    Alcotest.(check (option string)) "value" (Doc.value a i) (Doc.value b i);
+    Alcotest.(check (option int)) "parent" (Doc.parent a i) (Doc.parent b i);
+    Alcotest.(check int) "subtree end" (Doc.subtree_end a i) (Doc.subtree_end b i);
+    Alcotest.(check string) "dewey"
+      (Dewey.to_string (Doc.dewey a i))
+      (Dewey.to_string (Doc.dewey b i))
+  done
+
+let test_roundtrip_books () =
+  check_equal_docs Fixtures.books_doc (roundtrip Fixtures.books_doc)
+
+let test_roundtrip_generated () =
+  let doc = Wp_xmark.Generator.generate_doc ~seed:5 ~target_bytes:60_000 () in
+  check_equal_docs doc (roundtrip doc)
+
+let test_queries_survive () =
+  let doc = roundtrip (Lazy.force Fixtures.xmark_doc) in
+  let idx = Index.build doc in
+  let orig = Lazy.force Fixtures.xmark_index in
+  List.iter
+    (fun q ->
+      let pat = Fixtures.parse q in
+      Alcotest.(check int) ("same matches: " ^ q)
+        (List.length (Wp_pattern.Matcher.matching_roots orig pat))
+        (List.length (Wp_pattern.Matcher.matching_roots idx pat)))
+    [ Fixtures.q1; Fixtures.q2; Fixtures.q3 ]
+
+let test_string_interning_compactness () =
+  (* Repeated tags and values are stored once: the snapshot of a highly
+     repetitive document is much smaller than its XML. *)
+  let doc = Wp_xmark.Generator.generate_doc ~seed:6 ~target_bytes:100_000 () in
+  let path = Filename.temp_file "wp_snap" ".wpdoc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Doc_io.save path doc;
+      let snapshot_bytes = (Unix.stat path).Unix.st_size in
+      let xml_bytes = Printer.doc_serialized_size doc in
+      Alcotest.(check bool)
+        (Printf.sprintf "snapshot (%d) not far above XML (%d)" snapshot_bytes
+           xml_bytes)
+        true
+        (snapshot_bytes < 2 * xml_bytes))
+
+let test_bad_inputs () =
+  let check_fails name bytes =
+    let path = Filename.temp_file "wp_bad" ".wpdoc" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out_bin path in
+        output_string oc bytes;
+        close_out oc;
+        match Doc_io.load path with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail ("expected failure: " ^ name))
+  in
+  check_fails "empty" "";
+  check_fails "bad magic" "NOTIT\x01";
+  check_fails "bad version" "WPDOC\x09";
+  check_fails "truncated" "WPDOC\x01\x05\x00\x00"
+
+(* Any truncation of a valid snapshot must fail cleanly, and any
+   single-byte corruption must either fail cleanly or decode to a
+   well-formed document — never crash with another exception. *)
+let prop_truncation_fails_cleanly =
+  let snapshot =
+    let buf = Buffer.create 1024 in
+    let path = Filename.temp_file "wp_snap_base" ".wpdoc" in
+    Doc_io.save path Fixtures.books_doc;
+    let ic = open_in_bin path in
+    Buffer.add_string buf (really_input_string ic (in_channel_length ic));
+    close_in ic;
+    Sys.remove path;
+    Buffer.contents buf
+  in
+  QCheck2.Test.make ~name:"snapshot truncation fails cleanly" ~count:100
+    QCheck2.Gen.(int_bound (String.length snapshot - 1))
+    (fun cut ->
+      let path = Filename.temp_file "wp_snap_cut" ".wpdoc" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out_bin path in
+          output_string oc (String.sub snapshot 0 cut);
+          close_out oc;
+          match Doc_io.load path with
+          | _ -> false (* a strict prefix can never be a valid snapshot *)
+          | exception Failure _ -> true))
+
+let prop_corruption_is_contained =
+  let snapshot =
+    let path = Filename.temp_file "wp_snap_base" ".wpdoc" in
+    Doc_io.save path Fixtures.books_doc;
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  QCheck2.Test.make ~name:"snapshot corruption is contained" ~count:200
+    QCheck2.Gen.(pair (int_bound (String.length snapshot - 1)) (int_bound 255))
+    (fun (pos, byte) ->
+      let corrupted =
+        String.mapi
+          (fun i c -> if i = pos then Char.chr byte else c)
+          snapshot
+      in
+      let path = Filename.temp_file "wp_snap_bad" ".wpdoc" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out_bin path in
+          output_string oc corrupted;
+          close_out oc;
+          match Doc_io.load path with
+          | doc -> Wp_xml.Doc.size doc > 0
+          | exception Failure _ -> true))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"snapshot roundtrip" ~count:50 Test_doc.gen_tree
+    (fun t ->
+      let doc = Doc.of_tree t in
+      let back = roundtrip doc in
+      Tree.equal (Doc.to_tree doc 0) (Doc.to_tree back 0))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip books" `Quick test_roundtrip_books;
+    Alcotest.test_case "roundtrip generated" `Quick test_roundtrip_generated;
+    Alcotest.test_case "queries survive" `Quick test_queries_survive;
+    Alcotest.test_case "interning compactness" `Quick test_string_interning_compactness;
+    Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_truncation_fails_cleanly;
+    QCheck_alcotest.to_alcotest prop_corruption_is_contained;
+  ]

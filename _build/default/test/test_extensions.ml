@@ -1,0 +1,143 @@
+(* Tests for the extension features: bulk routing (batch), threshold
+   queries, multiple threads per server, and wildcard steps. *)
+
+open Whirlpool
+
+let idx = Lazy.force Fixtures.xmark_index
+let parse = Fixtures.parse
+
+let test_batch_same_answers () =
+  let plan = Run.compile idx (parse Fixtures.q2) in
+  let reference = Fixtures.sorted_scores (Engine.run plan ~k:10).answers in
+  List.iter
+    (fun batch ->
+      let r = Engine.run ~batch plan ~k:10 in
+      Fixtures.check_scores_equal
+        ~msg:(Printf.sprintf "batch=%d answers" batch)
+        reference
+        (Fixtures.sorted_scores r.answers))
+    [ 1; 2; 8; 64; 1024 ]
+
+let test_batch_reduces_decisions () =
+  let plan = Run.compile idx (parse Fixtures.q2) in
+  let r1 = Engine.run ~batch:1 plan ~k:15 in
+  let r64 = Engine.run ~batch:64 plan ~k:15 in
+  Alcotest.(check bool)
+    (Printf.sprintf "decisions drop (%d -> %d)" r1.stats.routing_decisions
+       r64.stats.routing_decisions)
+    true
+    (r64.stats.routing_decisions < r1.stats.routing_decisions);
+  Alcotest.check_raises "batch >= 1" (Invalid_argument "Engine.run: batch >= 1")
+    (fun () -> ignore (Engine.run ~batch:0 plan ~k:5))
+
+let test_run_above_matches_noprun () =
+  let plan = Run.compile idx (parse Fixtures.q1) in
+  (* Reference: all completed matches of the no-pruning run, filtered
+     (k larger than any possible answer count). *)
+  let noprun = Lockstep.run ~prune:false plan ~k:1_000_000 in
+  List.iter
+    (fun threshold ->
+      let expected =
+        List.filter
+          (fun (e : Topk_set.entry) -> e.score > threshold)
+          noprun.answers
+      in
+      let r = Engine.run_above plan ~threshold in
+      Fixtures.check_scores_equal
+        ~msg:(Printf.sprintf "threshold %.2f" threshold)
+        (Fixtures.sorted_scores expected)
+        (Fixtures.sorted_scores r.answers))
+    [ 0.5; 1.5; 2.5; 2.99 ]
+
+let test_run_above_extremes () =
+  let plan = Run.compile idx (parse Fixtures.q1) in
+  let all = Engine.run_above plan ~threshold:neg_infinity in
+  Alcotest.(check int) "below any score: every root answers"
+    (List.length (Plan.root_candidates plan))
+    (List.length all.answers);
+  let none = Engine.run_above plan ~threshold:infinity in
+  Alcotest.(check int) "above any score: nothing" 0 (List.length none.answers);
+  Alcotest.(check bool) "impossible threshold prunes everything early" true
+    (none.stats.server_ops <= 1)
+
+let test_run_above_sorted () =
+  let plan = Run.compile idx (parse Fixtures.q2) in
+  let r = Engine.run_above plan ~threshold:3.0 in
+  let scores = List.map (fun (e : Topk_set.entry) -> e.score) r.answers in
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a >= b && sorted rest
+  in
+  Alcotest.(check bool) "best first" true (sorted scores);
+  List.iter
+    (fun s -> Alcotest.(check bool) "above threshold" true (s > 3.0))
+    scores
+
+let test_threads_per_server () =
+  let plan = Run.compile idx (parse Fixtures.q2) in
+  let reference = Fixtures.sorted_scores (Engine.run plan ~k:10).answers in
+  List.iter
+    (fun threads_per_server ->
+      let r = Engine_mt.run ~threads_per_server plan ~k:10 in
+      Fixtures.check_scores_equal
+        ~msg:(Printf.sprintf "%d threads per server" threads_per_server)
+        reference
+        (Fixtures.sorted_scores r.answers))
+    [ 1; 2; 3 ];
+  Alcotest.check_raises "threads >= 1"
+    (Invalid_argument "Engine_mt.run: threads_per_server >= 1") (fun () ->
+      ignore (Engine_mt.run ~threads_per_server:0 plan ~k:5))
+
+let test_wildcard_parsing () =
+  let p = parse "//item[./*]" in
+  Alcotest.(check string) "wildcard tag" "*" (Wp_pattern.Pattern.tag p 1);
+  let p = parse "//*[./name]" in
+  Alcotest.(check string) "wildcard root" "*" (Wp_pattern.Pattern.tag p 0)
+
+let test_wildcard_matching () =
+  let books = Fixtures.books_index in
+  (* //book[./*] — every book has some child. *)
+  Alcotest.(check int) "books with any child" 3
+    (List.length (Wp_pattern.Matcher.matching_roots books (parse "//book[./*]")));
+  (* //*[./publisher] — nodes with a publisher child: book (b) and
+     book (a)'s info. *)
+  Alcotest.(check int) "publisher parents" 2
+    (List.length
+       (Wp_pattern.Matcher.matching_roots books (parse "//*[./publisher]")));
+  (* A wildcard chain: //book[./*/name] — only book (b) has a name at
+     depth exactly 2 (book (a)'s name sits at depth 3). *)
+  Alcotest.(check int) "grandchild name via wildcard" 1
+    (List.length
+       (Wp_pattern.Matcher.matching_roots books (parse "//book[./*/name]")))
+
+let test_wildcard_engine () =
+  let plan = Run.compile idx (parse "//item[./* and ./name]") in
+  let r = Engine.run plan ~k:5 in
+  Alcotest.(check int) "answers found" 5 (List.length r.answers);
+  let m = Engine_mt.run plan ~k:5 in
+  Fixtures.check_scores_equal ~msg:"wildcard agrees across engines"
+    (Fixtures.sorted_scores r.answers)
+    (Fixtures.sorted_scores m.answers)
+
+let test_wildcard_scores () =
+  (* The wildcard child predicate holds for every book, so its idf is 0
+     and it adds nothing to the discrimination. *)
+  let books = Fixtures.books_index in
+  let comps =
+    Wp_score.Component.of_pattern ~doc_root_tag:"bib" (parse "/book[./*]")
+  in
+  Alcotest.(check (float 1e-9)) "wildcard idf" 0.0 (Wp_score.Tfidf.idf books comps.(1))
+
+let suite =
+  [
+    Alcotest.test_case "batch answers" `Quick test_batch_same_answers;
+    Alcotest.test_case "batch reduces decisions" `Quick test_batch_reduces_decisions;
+    Alcotest.test_case "run_above vs noprun" `Quick test_run_above_matches_noprun;
+    Alcotest.test_case "run_above extremes" `Quick test_run_above_extremes;
+    Alcotest.test_case "run_above sorted" `Quick test_run_above_sorted;
+    Alcotest.test_case "threads per server" `Quick test_threads_per_server;
+    Alcotest.test_case "wildcard parsing" `Quick test_wildcard_parsing;
+    Alcotest.test_case "wildcard matching" `Quick test_wildcard_matching;
+    Alcotest.test_case "wildcard engine" `Quick test_wildcard_engine;
+    Alcotest.test_case "wildcard scores" `Quick test_wildcard_scores;
+  ]

@@ -1,0 +1,105 @@
+open Whirlpool
+
+let title, location, price =
+  match Join_plan.book_d_example with
+  | [ t; l; p ] -> (t, l, p)
+  | _ -> assert false
+
+let eval order theta =
+  Join_plan.evaluate ~root_score:0.0 ~order ~current_topk:theta
+
+let test_no_pruning_at_zero_threshold () =
+  (* At threshold 0 every tuple can still reach a positive score, so no
+     pruning: comparisons depend only on prefix products. *)
+  let m = eval [ price; title; location ] 0.0 in
+  (* 1*1 + 1*3 + 3*5 *)
+  Alcotest.(check int) "plan 6 comparisons" 19 m.comparisons;
+  Alcotest.(check int) "tuples" 19 m.tuples_created;
+  let m = eval [ location; title; price ] 0.0 in
+  (* 1*5 + 5*3 + 15*1 *)
+  Alcotest.(check int) "location-first comparisons" 35 m.comparisons
+
+let test_full_pruning_at_high_threshold () =
+  (* Above the best achievable score (0.8) even the root tuple dies. *)
+  List.iter
+    (fun order ->
+      let m = eval order 0.85 in
+      Alcotest.(check int) "nothing joined" 0 m.comparisons;
+      Alcotest.(check int) "no survivors" 0 m.survivors)
+    (Join_plan.permutations Join_plan.book_d_example)
+
+let test_best_score () =
+  let m = eval [ title; location; price ] 0.0 in
+  Alcotest.(check (float 1e-9)) "0.3+0.3+0.2" 0.8 m.best_score;
+  Alcotest.(check int) "15 complete tuples" 15 m.survivors
+
+let test_crossover_shape () =
+  (* The motivating example's qualitative claim: the cheapest plan at a
+     low threshold differs from the cheapest at a high threshold, and the
+     location-first plans flip from worst to (joint) best. *)
+  let plans = Join_plan.permutations Join_plan.book_d_example in
+  let cost theta order = (eval order theta).comparisons in
+  let best theta =
+    List.fold_left
+      (fun acc o -> if cost theta o < cost theta acc then o else acc)
+      (List.hd plans) plans
+  in
+  let worst theta =
+    List.fold_left
+      (fun acc o -> if cost theta o > cost theta acc then o else acc)
+      (List.hd plans) plans
+  in
+  let names o = String.concat "," (List.map (fun p -> p.Join_plan.name) o) in
+  (* Low threshold: price-first wins (smallest fan-out first). *)
+  Alcotest.(check string) "low threshold winner starts with price" "price"
+    (List.hd (best 0.1)).Join_plan.name;
+  (* Low threshold: location-first is worst. *)
+  Alcotest.(check string) "low threshold loser starts with location" "location"
+    (List.hd (worst 0.1)).Join_plan.name;
+  (* High threshold: a location-first plan is at least as cheap as the
+     low-threshold winner. *)
+  let low_winner = best 0.1 in
+  let loc_first =
+    List.find (fun o -> (List.hd o).Join_plan.name = "location") plans
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "crossover: %s beats %s at high threshold"
+       (names loc_first) (names low_winner))
+    true
+    (cost 0.75 loc_first <= cost 0.75 low_winner);
+  (* And no single plan is best across the whole threshold range. *)
+  let winners =
+    List.sort_uniq String.compare
+      (List.map (fun t -> names (best t)) [ 0.0; 0.3; 0.5; 0.65; 0.75 ])
+  in
+  Alcotest.(check bool) "no plan dominates every threshold" true
+    (List.length winners > 1)
+
+let test_monotone_in_threshold () =
+  (* Raising the threshold can only reduce work. *)
+  let plans = Join_plan.permutations Join_plan.book_d_example in
+  List.iter
+    (fun order ->
+      let last = ref max_int in
+      List.iter
+        (fun theta ->
+          let c = (eval order theta).comparisons in
+          Alcotest.(check bool) "comparisons non-increasing" true (c <= !last);
+          last := c)
+        [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ])
+    plans
+
+let test_permutations () =
+  Alcotest.(check int) "3! permutations" 6
+    (List.length (Join_plan.permutations Join_plan.book_d_example));
+  Alcotest.(check int) "empty" 1 (List.length (Join_plan.permutations []))
+
+let suite =
+  [
+    Alcotest.test_case "no pruning at zero" `Quick test_no_pruning_at_zero_threshold;
+    Alcotest.test_case "full pruning above max" `Quick test_full_pruning_at_high_threshold;
+    Alcotest.test_case "best score" `Quick test_best_score;
+    Alcotest.test_case "crossover shape" `Quick test_crossover_shape;
+    Alcotest.test_case "monotone in threshold" `Quick test_monotone_in_threshold;
+    Alcotest.test_case "permutations" `Quick test_permutations;
+  ]

@@ -1,0 +1,82 @@
+open Wp_json
+
+let to_s = Json.to_string
+
+let test_scalars () =
+  Alcotest.(check string) "null" "null" (to_s Json.Null);
+  Alcotest.(check string) "true" "true" (to_s (Json.Bool true));
+  Alcotest.(check string) "int" "42" (to_s (Json.Int 42));
+  Alcotest.(check string) "negative" "-7" (to_s (Json.Int (-7)));
+  Alcotest.(check string) "integral float" "2.0" (to_s (Json.Float 2.0));
+  Alcotest.(check string) "nan is null" "null" (to_s (Json.Float Float.nan));
+  Alcotest.(check string) "infinity is null" "null" (to_s (Json.Float infinity))
+
+let test_float_roundtrip () =
+  List.iter
+    (fun f ->
+      let s = to_s (Json.Float f) in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "roundtrip %s" s)
+        f (float_of_string s))
+    [ 0.1; 1.5; -3.25; 1e-9; 123456.789; 0.30000000000000004 ]
+
+let test_string_escaping () =
+  Alcotest.(check string) "plain" "\"hello\"" (to_s (Json.String "hello"));
+  Alcotest.(check string) "quotes" "\"a\\\"b\"" (to_s (Json.String "a\"b"));
+  Alcotest.(check string) "backslash" "\"a\\\\b\"" (to_s (Json.String "a\\b"));
+  Alcotest.(check string) "newline" "\"a\\nb\"" (to_s (Json.String "a\nb"));
+  Alcotest.(check string) "control" "\"\\u0001\"" (to_s (Json.String "\x01"))
+
+let test_compound () =
+  Alcotest.(check string) "empty list" "[]" (to_s (Json.List []));
+  Alcotest.(check string) "empty object" "{}" (to_s (Json.Obj []));
+  Alcotest.(check string) "list" "[1,2,3]"
+    (to_s (Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]));
+  Alcotest.(check string) "object" "{\"a\":1,\"b\":[true,null]}"
+    (to_s
+       (Json.Obj
+          [
+            ("a", Json.Int 1);
+            ("b", Json.List [ Json.Bool true; Json.Null ]);
+          ]))
+
+let test_pp_is_reparseable_shape () =
+  (* The indented form must contain the same tokens as the compact one
+     modulo whitespace. *)
+  let v =
+    Json.Obj
+      [ ("xs", Json.List [ Json.Int 1; Json.Float 0.5 ]); ("s", Json.String "t") ]
+  in
+  let strip s =
+    String.concat ""
+      (String.split_on_char '\n'
+         (String.concat "" (String.split_on_char ' ' s)))
+  in
+  Alcotest.(check string) "same tokens" (strip (to_s v))
+    (strip (Format.asprintf "%a" Json.pp v))
+
+let test_answer_json () =
+  let plan =
+    Whirlpool.Run.compile ~normalization:Wp_score.Score_table.Raw
+      Fixtures.books_index
+      (Fixtures.parse Fixtures.q2a)
+  in
+  let r = Whirlpool.Engine.run plan ~k:3 in
+  let json = Whirlpool.Answer.result_to_json plan r in
+  let s = Json.to_string json in
+  Alcotest.(check bool) "mentions answers" true
+    (Test_stats.contains ~needle:"\"answers\":" s);
+  Alcotest.(check bool) "mentions exactness" true
+    (Test_stats.contains ~needle:"\"exactness\":\"relaxed\"" s);
+  Alcotest.(check bool) "mentions stats" true
+    (Test_stats.contains ~needle:"\"server_ops\":" s)
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "float roundtrip" `Quick test_float_roundtrip;
+    Alcotest.test_case "string escaping" `Quick test_string_escaping;
+    Alcotest.test_case "compound" `Quick test_compound;
+    Alcotest.test_case "pp shape" `Quick test_pp_is_reparseable_shape;
+    Alcotest.test_case "answer json" `Quick test_answer_json;
+  ]

@@ -1,0 +1,147 @@
+open Wp_pattern
+
+let idx = Fixtures.books_index
+let parse = Fixtures.parse
+
+let roots q = Matcher.matching_roots idx (parse q)
+
+let test_figure2_claims () =
+  (* The paper's Figure 2: which books match which relaxed query. *)
+  let a, b, c =
+    match Fixtures.book_roots with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> Alcotest.fail "expected three books"
+  in
+  Alcotest.(check (list int)) "2(a) matches only book (a)" [ a ] (roots Fixtures.q2a);
+  Alcotest.(check (list int)) "2(b) matches only book (a)" [ a ] (roots Fixtures.q2b);
+  Alcotest.(check (list int)) "2(c) matches books (a),(b)" [ a; b ] (roots Fixtures.q2c);
+  Alcotest.(check (list int)) "2(d) matches all three" [ a; b; c ] (roots Fixtures.q2d)
+
+let test_value_filtering () =
+  Alcotest.(check (list int)) "wrong value matches nothing" []
+    (roots "/book[./title = 'dickens']");
+  Alcotest.(check int) "right value" 2
+    (List.length (roots "/book[./title = 'wodehouse']"))
+
+let test_embedding_counts () =
+  (* book (a) and (b) each have one title; query //book//name has one
+     embedding per (book, name) pair. *)
+  Alcotest.(check int) "name embeddings" 2
+    (Matcher.count_embeddings idx (parse "//book[.//name]"));
+  Alcotest.(check int) "isbn embeddings (all books)" 3
+    (Matcher.count_embeddings idx (parse "//book[.//isbn]"))
+
+let test_root_candidates () =
+  Alcotest.(check int) "three books" 3
+    (List.length (Matcher.root_candidates idx (parse "/book")));
+  Alcotest.(check int) "root edge pc excludes non-children" 0
+    (List.length (Matcher.root_candidates idx (parse "/title")));
+  Alcotest.(check int) "ad reaches titles" 3
+    (List.length (Matcher.root_candidates idx (parse "//title")))
+
+let test_outer_embeddings () =
+  (* Outer semantics: every book yields at least one embedding, with
+     unmatched nodes unbound. *)
+  let pat = parse Fixtures.q2a in
+  let embeddings = ref [] in
+  Matcher.iter_outer_embeddings idx pat (fun e -> embeddings := e :: !embeddings);
+  Alcotest.(check int) "one outer embedding per book" 3 (List.length !embeddings);
+  let complete =
+    List.filter (fun e -> Array.for_all Option.is_some e) !embeddings
+  in
+  Alcotest.(check int) "one complete embedding (book a)" 1 (List.length complete);
+  Alcotest.(check int) "counts agree" 3 (Matcher.count_outer_embeddings idx pat)
+
+let test_outer_subtree_cutoff () =
+  (* When an interior node is unbound, its whole pattern subtree stays
+     unbound. *)
+  let pat = parse "/book[./info/publisher/name]" in
+  let ok = ref true in
+  Matcher.iter_outer_embeddings idx pat (fun e ->
+      (* e.(1)=info, e.(2)=publisher, e.(3)=name *)
+      if e.(2) = None && e.(3) <> None then ok := false;
+      if e.(1) = None && e.(2) <> None then ok := false);
+  Alcotest.(check bool) "no orphan bindings" true !ok
+
+(* Exact matcher agrees with a brute-force evaluator on random inputs. *)
+let brute_force_roots doc pat =
+  let module D = Wp_xml.Doc in
+  let size = Pattern.size pat in
+  let rec embeds binding i =
+    if i >= size then true
+    else
+      let parent_doc =
+        match Pattern.parent pat i with
+        | None -> D.root doc
+        | Some p -> binding.(p)
+      in
+      let edge = if i = 0 then Pattern.root_edge pat else Pattern.edge pat i in
+      let candidates =
+        List.filter
+          (fun n ->
+            String.equal (D.tag doc n) (Pattern.tag pat i)
+            && (match Pattern.value pat i with
+               | None -> true
+               | Some v -> D.value doc n = Some v)
+            &&
+            match edge with
+            | Pattern.Pc -> D.is_parent doc ~parent:parent_doc ~child:n
+            | Pattern.Ad -> D.is_ancestor doc ~anc:parent_doc ~desc:n)
+          (List.init (D.size doc) Fun.id)
+      in
+      List.exists
+        (fun n ->
+          binding.(i) <- n;
+          embeds binding (i + 1))
+        candidates
+  in
+  List.filter
+    (fun r ->
+      let binding = Array.make size (-1) in
+      binding.(0) <- r;
+      String.equal (D.tag doc r) (Pattern.tag pat 0)
+      && (match Pattern.value pat 0 with
+         | None -> true
+         | Some v -> D.value doc r = Some v)
+      && (match Pattern.root_edge pat with
+         | Pattern.Pc -> D.is_parent doc ~parent:(D.root doc) ~child:r
+         | Pattern.Ad -> D.is_ancestor doc ~anc:(D.root doc) ~desc:r)
+      && embeds binding 1)
+    (List.init (D.size doc) Fun.id)
+
+let small_pattern_gen =
+  let open QCheck2.Gen in
+  let tag = map (fun i -> Printf.sprintf "t%d" i) (int_bound 4) in
+  let edge = map (fun b -> if b then Pattern.Pc else Pattern.Ad) bool in
+  let spec =
+    fix
+      (fun self depth ->
+        if depth = 0 then map (fun t -> Pattern.n t []) tag
+        else
+          map2
+            (fun t cs -> Pattern.n t cs)
+            tag
+            (list_size (int_bound 2)
+               (map2 (fun e s -> (e, s)) edge (self (depth - 1)))))
+      2
+  in
+  map2 (fun e s -> Pattern.of_spec ~root_edge:e s) edge spec
+
+let prop_matcher_equals_brute_force =
+  QCheck2.Test.make ~name:"matcher = brute force" ~count:150
+    QCheck2.Gen.(pair Test_doc.gen_tree small_pattern_gen)
+    (fun (tree, pat) ->
+      let doc = Wp_xml.Doc.of_tree tree in
+      let idx = Wp_xml.Index.build doc in
+      Matcher.matching_roots idx pat = brute_force_roots doc pat)
+
+let suite =
+  [
+    Alcotest.test_case "figure 2 claims" `Quick test_figure2_claims;
+    Alcotest.test_case "value filtering" `Quick test_value_filtering;
+    Alcotest.test_case "embedding counts" `Quick test_embedding_counts;
+    Alcotest.test_case "root candidates" `Quick test_root_candidates;
+    Alcotest.test_case "outer embeddings" `Quick test_outer_embeddings;
+    Alcotest.test_case "outer subtree cutoff" `Quick test_outer_subtree_cutoff;
+    QCheck_alcotest.to_alcotest prop_matcher_equals_brute_force;
+  ]

@@ -1,0 +1,74 @@
+open Wp_pattern
+
+let spec =
+  (* item[./description/parlist and .//mailbox[./mail = 'x']] *)
+  Pattern.n "item"
+    [
+      (Pattern.Pc, Pattern.n "description" [ (Pattern.Pc, Pattern.n "parlist" []) ]);
+      (Pattern.Ad, Pattern.n "mailbox" [ (Pattern.Pc, Pattern.n ~value:"x" "mail" []) ]);
+    ]
+
+let pat = Pattern.of_spec ~root_edge:Pattern.Ad spec
+
+let test_shape () =
+  Alcotest.(check int) "size" 5 (Pattern.size pat);
+  Alcotest.(check int) "root" 0 (Pattern.root pat);
+  Alcotest.(check bool) "root edge" true (Pattern.root_edge pat = Pattern.Ad);
+  Alcotest.(check string) "preorder tags" "item,description,parlist,mailbox,mail"
+    (String.concat "," (List.map (Pattern.tag pat) (Pattern.node_ids pat)));
+  Alcotest.(check (option string)) "value on mail" (Some "x") (Pattern.value pat 4);
+  Alcotest.(check (option string)) "no value on root" None (Pattern.value pat 0)
+
+let test_edges_and_parents () =
+  Alcotest.(check (option int)) "root parent" None (Pattern.parent pat 0);
+  Alcotest.(check (option int)) "parlist parent" (Some 1) (Pattern.parent pat 2);
+  Alcotest.(check (option int)) "mailbox parent" (Some 0) (Pattern.parent pat 3);
+  Alcotest.(check bool) "pc edge" true (Pattern.edge pat 1 = Pattern.Pc);
+  Alcotest.(check bool) "ad edge" true (Pattern.edge pat 3 = Pattern.Ad);
+  Alcotest.check_raises "edge of root"
+    (Invalid_argument "Pattern.edge: the root has no parent edge") (fun () ->
+      ignore (Pattern.edge pat 0))
+
+let test_navigation () =
+  Alcotest.(check (list int)) "root children" [ 1; 3 ] (Pattern.children pat 0);
+  Alcotest.(check (list int)) "descendants of root" [ 1; 2; 3; 4 ]
+    (Pattern.descendants pat 0);
+  Alcotest.(check (list int)) "descendants of description" [ 2 ]
+    (Pattern.descendants pat 1);
+  Alcotest.(check (list int)) "ancestors of mail" [ 3; 0 ] (Pattern.ancestors pat 4);
+  Alcotest.(check bool) "parlist is leaf" true (Pattern.is_leaf pat 2);
+  Alcotest.(check bool) "description is not" false (Pattern.is_leaf pat 1)
+
+let test_path_edges () =
+  Alcotest.(check (option (list bool)))
+    "root to parlist = pc,pc"
+    (Some [ true; true ])
+    (Option.map (List.map (fun e -> e = Pattern.Pc)) (Pattern.path_edges pat 0 2));
+  Alcotest.(check (option (list bool)))
+    "root to mail = ad,pc"
+    (Some [ false; true ])
+    (Option.map (List.map (fun e -> e = Pattern.Pc)) (Pattern.path_edges pat 0 4));
+  Alcotest.(check bool) "self path is empty" true (Pattern.path_edges pat 1 1 = Some []);
+  Alcotest.(check bool) "unrelated nodes" true (Pattern.path_edges pat 1 4 = None)
+
+let test_spec_roundtrip () =
+  let back = Pattern.of_spec ~root_edge:(Pattern.root_edge pat) (Pattern.to_spec pat) in
+  Alcotest.(check bool) "of_spec . to_spec = id" true (Pattern.equal pat back)
+
+let test_pp () =
+  Alcotest.(check string)
+    "xpath rendering"
+    "//item[./description/parlist and .//mailbox/mail = 'x']"
+    (Pattern.to_string pat);
+  let single = Pattern.of_spec ~root_edge:Pattern.Pc (Pattern.n "book" []) in
+  Alcotest.(check string) "single node" "/book" (Pattern.to_string single)
+
+let suite =
+  [
+    Alcotest.test_case "shape" `Quick test_shape;
+    Alcotest.test_case "edges and parents" `Quick test_edges_and_parents;
+    Alcotest.test_case "navigation" `Quick test_navigation;
+    Alcotest.test_case "path edges" `Quick test_path_edges;
+    Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

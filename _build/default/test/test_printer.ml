@@ -1,0 +1,87 @@
+open Wp_xml
+
+let test_escape () =
+  Alcotest.(check string)
+    "all specials" "&amp;&lt;&gt;&quot;&apos;" (Printer.escape "&<>\"'");
+  Alcotest.(check string) "no-op" "plain text" (Printer.escape "plain text")
+
+let test_escaped_length () =
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (Printf.sprintf "escaped_length %S" s)
+        (String.length (Printer.escape s))
+        (Printer.escaped_length s))
+    [ ""; "plain"; "&"; "a<b>c"; "mixed & <quoted \"text\">" ]
+
+let test_tree_to_string () =
+  let t = Tree.el "a" [ Tree.leaf "b" "x&y"; Tree.el "c" [] ] in
+  Alcotest.(check string)
+    "compact form" "<a><b>x&amp;y</b><c/></a>" (Printer.tree_to_string t)
+
+let test_empty_vs_valued () =
+  Alcotest.(check string) "empty" "<a/>" (Printer.tree_to_string (Tree.el "a" []));
+  Alcotest.(check string)
+    "empty string value" "<a></a>"
+    (Printer.tree_to_string (Tree.el_v "a" "" []))
+
+let test_doc_to_string () =
+  let t = Tree.el "r" [ Tree.leaf "x" "1" ] in
+  Alcotest.(check string)
+    "via doc" (Printer.tree_to_string t)
+    (Printer.doc_to_string (Doc.of_tree t))
+
+let test_serialized_size_agrees () =
+  let trees =
+    [
+      Tree.el "a" [];
+      Tree.leaf "ab" "value";
+      Tree.el "site" [ Tree.leaf "x" "a&b"; Tree.el "y" [ Tree.el "z" [] ] ];
+      Wp_xmark.Generator.generate ~seed:3 ~target_bytes:20_000 ();
+    ]
+  in
+  List.iter
+    (fun t ->
+      let doc = Doc.of_tree t in
+      Alcotest.(check int)
+        "doc_serialized_size = |doc_to_string|"
+        (String.length (Printer.doc_to_string doc))
+        (Printer.doc_serialized_size doc))
+    trees
+
+let test_to_channel () =
+  let t = Wp_xmark.Generator.generate ~seed:5 ~target_bytes:50_000 () in
+  let path = Filename.temp_file "wp_print" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Printer.to_channel oc t;
+      close_out oc;
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string)
+        "channel output matches string output"
+        (Printer.tree_to_string t) contents)
+
+let test_pp_tree_parses_back () =
+  let t =
+    Tree.el "a" [ Tree.el "b" [ Tree.leaf "c" "v" ]; Tree.leaf "d" "w" ]
+  in
+  let pretty = Format.asprintf "%a" Printer.pp_tree t in
+  Alcotest.(check bool)
+    "indented output reparses" true
+    (Tree.equal t (Parser.parse_string pretty))
+
+let suite =
+  [
+    Alcotest.test_case "escape" `Quick test_escape;
+    Alcotest.test_case "escaped_length" `Quick test_escaped_length;
+    Alcotest.test_case "tree_to_string" `Quick test_tree_to_string;
+    Alcotest.test_case "empty vs valued" `Quick test_empty_vs_valued;
+    Alcotest.test_case "doc_to_string" `Quick test_doc_to_string;
+    Alcotest.test_case "serialized size" `Quick test_serialized_size_agrees;
+    Alcotest.test_case "to_channel" `Quick test_to_channel;
+    Alcotest.test_case "pp_tree reparses" `Quick test_pp_tree_parses_back;
+  ]

@@ -1,0 +1,124 @@
+(* Whole-engine property tests: random documents x random patterns x
+   random configurations, checked against the exhaustive no-pruning
+   reference. *)
+
+open Whirlpool
+
+let gen_config =
+  QCheck2.Gen.(
+    map3
+      (fun eg ld sp ->
+        {
+          Wp_relax.Relaxation.edge_generalization = eg;
+          leaf_deletion = ld;
+          subtree_promotion = sp;
+          value_relaxation = false;
+        })
+      bool bool bool)
+
+(* Documents with enough structure for patterns to bite: a couple of
+   levels, few tags. *)
+let gen_doc =
+  QCheck2.Gen.map Wp_xml.Doc.of_tree Test_doc.gen_tree
+
+let gen_inputs =
+  QCheck2.Gen.triple gen_doc Test_matcher.small_pattern_gen gen_config
+
+(* Different server orders sum the same weights in different sequences,
+   so scores agree only up to float-addition reassociation noise. *)
+let close a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) a b
+
+let prop_engine_equals_noprun =
+  QCheck2.Test.make ~name:"W-S top-k = no-pruning top-k (random everything)"
+    ~count:120 gen_inputs (fun (doc, pat, config) ->
+      let idx = Wp_xml.Index.build doc in
+      let plan = Run.compile ~config idx pat in
+      let k = 4 in
+      let a = Fixtures.sorted_scores (Engine.run plan ~k).answers in
+      let b =
+        Fixtures.sorted_scores (Lockstep.run ~prune:false plan ~k).answers
+      in
+      close a b)
+
+let prop_lockstep_equals_noprun =
+  QCheck2.Test.make ~name:"LockStep top-k = no-pruning top-k" ~count:120
+    gen_inputs (fun (doc, pat, config) ->
+      let idx = Wp_xml.Index.build doc in
+      let plan = Run.compile ~config idx pat in
+      let k = 4 in
+      close
+        (Fixtures.sorted_scores (Lockstep.run plan ~k).answers)
+        (Fixtures.sorted_scores (Lockstep.run ~prune:false plan ~k).answers))
+
+let prop_exact_mode_equals_matcher =
+  QCheck2.Test.make ~name:"exact engine roots are exact matches" ~count:120
+    (QCheck2.Gen.pair gen_doc Test_matcher.small_pattern_gen)
+    (fun (doc, pat) ->
+      let idx = Wp_xml.Index.build doc in
+      let plan = Run.compile ~config:Wp_relax.Relaxation.exact idx pat in
+      let answers = (Engine.run plan ~k:5).answers in
+      let exact = Wp_pattern.Matcher.matching_roots idx pat in
+      List.length answers = min 5 (List.length exact)
+      && List.for_all
+           (fun (e : Topk_set.entry) -> List.mem e.root exact)
+           answers)
+
+let prop_k_monotone =
+  QCheck2.Test.make ~name:"answers grow with k and scores are prefixes"
+    ~count:80
+    (QCheck2.Gen.pair gen_doc Test_matcher.small_pattern_gen)
+    (fun (doc, pat) ->
+      let idx = Wp_xml.Index.build doc in
+      let plan = Run.compile idx pat in
+      let s3 = Fixtures.sorted_scores (Engine.run plan ~k:3).answers in
+      let s6 = Fixtures.sorted_scores (Engine.run plan ~k:6).answers in
+      List.length s3 <= List.length s6
+      && List.for_all2
+           (fun a b -> Float.abs (a -. b) < 1e-9)
+           s3
+           (List.filteri (fun i _ -> i < List.length s3) s6))
+
+let prop_scores_bounded =
+  QCheck2.Test.make ~name:"scores within [0, max_total]" ~count:120 gen_inputs
+    (fun (doc, pat, config) ->
+      let idx = Wp_xml.Index.build doc in
+      let plan = Run.compile ~config idx pat in
+      let bound = Wp_score.Score_table.max_total plan.scores +. 1e-9 in
+      List.for_all
+        (fun (e : Topk_set.entry) -> e.score >= 0.0 && e.score <= bound)
+        (Engine.run plan ~k:5).answers)
+
+let prop_run_above_consistent_with_top_k =
+  QCheck2.Test.make ~name:"run_above agrees with top-k filtering" ~count:80
+    (QCheck2.Gen.pair gen_doc Test_matcher.small_pattern_gen)
+    (fun (doc, pat) ->
+      let idx = Wp_xml.Index.build doc in
+      let plan = Run.compile idx pat in
+      let everything = Lockstep.run ~prune:false plan ~k:10_000 in
+      let threshold =
+        match Fixtures.sorted_scores everything.answers with
+        | _ :: s :: _ -> s -. 1e-9
+        | _ -> 0.0
+      in
+      let above = Engine.run_above plan ~threshold in
+      let expected =
+        List.filter
+          (fun (e : Topk_set.entry) -> e.score > threshold)
+          everything.answers
+      in
+      close
+        (Fixtures.sorted_scores above.answers)
+        (Fixtures.sorted_scores expected))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_engine_equals_noprun;
+      prop_lockstep_equals_noprun;
+      prop_exact_mode_equals_matcher;
+      prop_k_monotone;
+      prop_scores_bounded;
+      prop_run_above_consistent_with_top_k;
+    ]

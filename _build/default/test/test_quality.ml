@@ -1,0 +1,120 @@
+open Wp_score
+
+let books = Fixtures.books_index
+let parse = Fixtures.parse
+
+let book_a, book_b, book_c =
+  match Fixtures.book_roots with
+  | [ a; b; c ] -> (a, b, c)
+  | _ -> assert false
+
+let grades = Quality.relevance_grades books Wp_relax.Relaxation.all (parse Fixtures.q2a)
+
+let float_eq = Alcotest.(check (float 1e-9))
+
+let test_grades () =
+  (* Book (a) matches q2a exactly: grade 1. *)
+  float_eq "book a grade" 1.0 (Quality.grade grades book_a);
+  (* Books (b) and (c) need relaxations: lower positive grades. *)
+  let gb = Quality.grade grades book_b and gc = Quality.grade grades book_c in
+  Alcotest.(check bool) "book b approximate" true (gb > 0.0 && gb < 1.0);
+  Alcotest.(check bool) "book c approximate" true (gc > 0.0 && gc < 1.0);
+  Alcotest.(check bool) "b closer than c" true (gb > gc);
+  float_eq "unmatched node" 0.0 (Quality.grade grades 999999)
+
+let ranking = [ book_a; book_b; book_c ]
+
+let test_precision_recall () =
+  float_eq "P@1 for exact" 1.0
+    (Quality.precision_at grades ~relevant_above:1.0 ~ranking ~k:1);
+  float_eq "P@3 for exact" (1.0 /. 3.0)
+    (Quality.precision_at grades ~relevant_above:1.0 ~ranking ~k:3);
+  float_eq "R@1 for exact" 1.0
+    (Quality.recall_at grades ~relevant_above:1.0 ~ranking ~k:1);
+  float_eq "R@1 for any relevance" (1.0 /. 3.0)
+    (Quality.recall_at grades ~relevant_above:0.01 ~ranking ~k:1);
+  float_eq "R@3 complete" 1.0
+    (Quality.recall_at grades ~relevant_above:0.01 ~ranking ~k:3);
+  float_eq "nothing relevant -> recall 1" 1.0
+    (Quality.recall_at grades ~relevant_above:2.0 ~ranking ~k:3)
+
+let test_ndcg () =
+  float_eq "ideal order has nDCG 1" 1.0 (Quality.ndcg_at grades ~ranking ~k:3);
+  let reversed = List.rev ranking in
+  Alcotest.(check bool) "reversed order is worse" true
+    (Quality.ndcg_at grades ~ranking:reversed ~k:3 < 1.0);
+  Alcotest.(check bool) "ndcg within [0,1]" true
+    (Quality.ndcg_at grades ~ranking:reversed ~k:3 >= 0.0)
+
+let test_average_precision () =
+  (* book a is the only grade-1 item; it sits at rank 1: AP = 1. *)
+  float_eq "AP for exact at top" 1.0
+    (Quality.average_precision grades ~relevant_above:1.0 ~ranking);
+  (* If it sat at rank 3, AP = 1/3. *)
+  float_eq "AP for exact at bottom" (1.0 /. 3.0)
+    (Quality.average_precision grades ~relevant_above:1.0
+       ~ranking:[ book_c; book_b; book_a ]);
+  (* All three are relevant at any positive grade and appear in order:
+     AP = (1/1 + 2/2 + 3/3)/3 = 1. *)
+  float_eq "AP over all relevant" 1.0
+    (Quality.average_precision grades ~relevant_above:0.01 ~ranking);
+  float_eq "nothing relevant" 1.0
+    (Quality.average_precision grades ~relevant_above:2.0 ~ranking)
+
+let test_kendall () =
+  let a = [ (1, 3.0); (2, 2.0); (3, 1.0) ] in
+  float_eq "identical rankings" 1.0 (Quality.kendall_tau a a);
+  let reversed = [ (1, 1.0); (2, 2.0); (3, 3.0) ] in
+  float_eq "reversed rankings" (-1.0) (Quality.kendall_tau a reversed);
+  float_eq "single common item" 1.0
+    (Quality.kendall_tau [ (1, 1.0) ] [ (1, 5.0) ]);
+  (* Partial agreement. *)
+  let mixed = [ (1, 3.0); (2, 1.0); (3, 2.0) ] in
+  let tau = Quality.kendall_tau a mixed in
+  Alcotest.(check bool) "partial agreement strictly between" true
+    (tau > -1.0 && tau < 1.0)
+
+let test_engine_ranking_quality () =
+  (* The tf*idf engine ranking must be ideal on the books example: the
+     relevance order by relaxation distance coincides with the score
+     order. *)
+  let plan =
+    Whirlpool.Run.compile ~normalization:Score_table.Raw books (parse Fixtures.q2a)
+  in
+  let r = Whirlpool.Engine.run plan ~k:3 in
+  let engine_ranking =
+    List.map (fun (e : Whirlpool.Topk_set.entry) -> e.root) r.answers
+  in
+  float_eq "engine achieves ideal nDCG" 1.0
+    (Quality.ndcg_at grades ~ranking:engine_ranking ~k:3);
+  float_eq "P@3 at any relevance" 1.0
+    (Quality.precision_at grades ~relevant_above:0.01 ~ranking:engine_ranking
+       ~k:3)
+
+let test_xmark_quality () =
+  (* On generated data, the default engine ranking should stay close to
+     ideal (every exact match ranks above every approximate one, which
+     with grade-1 ties yields high nDCG). *)
+  let idx = Lazy.force Fixtures.xmark_index in
+  let pat = parse Fixtures.q1 in
+  let g = Quality.relevance_grades idx Wp_relax.Relaxation.all pat in
+  let plan = Whirlpool.Run.compile idx pat in
+  let r = Whirlpool.Engine.run plan ~k:10 in
+  let ranking =
+    List.map (fun (e : Whirlpool.Topk_set.entry) -> e.root) r.answers
+  in
+  let ndcg = Quality.ndcg_at g ~ranking ~k:10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "nDCG@10 high (got %.3f)" ndcg)
+    true (ndcg > 0.9)
+
+let suite =
+  [
+    Alcotest.test_case "grades" `Quick test_grades;
+    Alcotest.test_case "precision and recall" `Quick test_precision_recall;
+    Alcotest.test_case "ndcg" `Quick test_ndcg;
+    Alcotest.test_case "average precision" `Quick test_average_precision;
+    Alcotest.test_case "kendall tau" `Quick test_kendall;
+    Alcotest.test_case "engine ranking quality" `Quick test_engine_ranking_quality;
+    Alcotest.test_case "xmark quality" `Quick test_xmark_quality;
+  ]

@@ -1,0 +1,115 @@
+open Wp_relax
+open Wp_pattern
+
+let test_constants () =
+  Alcotest.(check bool) "child bounds" true
+    (Relation.child.min_depth = 1 && Relation.child.max_depth = Some 1);
+  Alcotest.(check bool) "descendant bounds" true
+    (Relation.descendant.min_depth = 1 && Relation.descendant.max_depth = None)
+
+let test_of_edges () =
+  let r = Relation.of_edges [ Pattern.Pc; Pattern.Pc; Pattern.Pc ] in
+  Alcotest.(check bool) "pc^3 = depth exactly 3" true
+    (r.min_depth = 3 && r.max_depth = Some 3);
+  let r = Relation.of_edges [ Pattern.Pc; Pattern.Ad ] in
+  Alcotest.(check bool) "pc.ad = depth >= 2" true
+    (r.min_depth = 2 && r.max_depth = None);
+  Alcotest.check_raises "empty path"
+    (Invalid_argument "Relation.of_edges: empty path") (fun () ->
+      ignore (Relation.of_edges []))
+
+let test_compose_associative () =
+  let rels =
+    [ Relation.child; Relation.descendant;
+      Relation.of_edges [ Pattern.Pc; Pattern.Pc ];
+      Relation.of_edges [ Pattern.Ad; Pattern.Pc ] ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              Alcotest.(check bool) "assoc" true
+                (Relation.equal
+                   (Relation.compose (Relation.compose a b) c)
+                   (Relation.compose a (Relation.compose b c))))
+            rels)
+        rels)
+    rels
+
+let test_generalize_promote () =
+  let r = Relation.of_edges [ Pattern.Pc; Pattern.Pc ] in
+  let g = Relation.generalize r in
+  Alcotest.(check bool) "generalize keeps min" true
+    (g.min_depth = 2 && g.max_depth = None);
+  let p = Relation.promote g in
+  Alcotest.(check bool) "promote collapses min" true
+    (p.min_depth = 1 && p.max_depth = None);
+  Alcotest.(check bool) "descendant is a fixpoint" true
+    (Relation.equal (Relation.promote (Relation.generalize Relation.descendant))
+       Relation.descendant)
+
+let test_subrelation () =
+  let pc2 = Relation.of_edges [ Pattern.Pc; Pattern.Pc ] in
+  Alcotest.(check bool) "child <= descendant" true
+    (Relation.is_subrelation Relation.child Relation.descendant);
+  Alcotest.(check bool) "pc2 <= generalize pc2" true
+    (Relation.is_subrelation pc2 (Relation.generalize pc2));
+  Alcotest.(check bool) "exact <= its promotion" true
+    (Relation.is_subrelation pc2 (Relation.promote (Relation.generalize pc2)));
+  Alcotest.(check bool) "descendant not <= child" false
+    (Relation.is_subrelation Relation.descendant Relation.child);
+  Alcotest.(check bool) "child not <= pc2" false
+    (Relation.is_subrelation Relation.child pc2)
+
+let test_against_document () =
+  let doc = Fixtures.books_doc in
+  let module D = Wp_xml.Doc in
+  (* bib(0) → book_a(1) → title(2), info(3) → publisher(4) → name(5) *)
+  Alcotest.(check bool) "child holds" true
+    (Relation.test doc Relation.child ~anc:1 ~desc:2);
+  Alcotest.(check bool) "grandchild fails child" false
+    (Relation.test doc Relation.child ~anc:1 ~desc:4);
+  Alcotest.(check bool) "depth-2 relation" true
+    (Relation.test doc (Relation.of_edges [ Pattern.Pc; Pattern.Pc ]) ~anc:1 ~desc:4);
+  Alcotest.(check bool) "depth-3" true
+    (Relation.test doc (Relation.of_edges [ Pattern.Pc; Pattern.Pc; Pattern.Pc ])
+       ~anc:1 ~desc:5);
+  Alcotest.(check bool) "unrelated nodes fail" false
+    (Relation.test doc Relation.descendant ~anc:2 ~desc:5)
+
+let gen_edges =
+  QCheck2.Gen.(
+    list_size (int_range 1 5)
+      (map (fun b -> if b then Pattern.Pc else Pattern.Ad) bool))
+
+let prop_of_edges_min_is_length =
+  QCheck2.Test.make ~name:"min depth = path length" ~count:300 gen_edges
+    (fun edges -> (Relation.of_edges edges).min_depth = List.length edges)
+
+let prop_exact_bounded_iff_all_pc =
+  QCheck2.Test.make ~name:"bounded iff all edges are pc" ~count:300 gen_edges
+    (fun edges ->
+      let r = Relation.of_edges edges in
+      (r.max_depth <> None) = List.for_all (fun e -> e = Pattern.Pc) edges)
+
+let prop_relaxations_are_superrelations =
+  QCheck2.Test.make ~name:"generalize/promote only widen" ~count:300 gen_edges
+    (fun edges ->
+      let r = Relation.of_edges edges in
+      Relation.is_subrelation r (Relation.generalize r)
+      && Relation.is_subrelation r (Relation.promote (Relation.generalize r)))
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "of_edges" `Quick test_of_edges;
+    Alcotest.test_case "compose associativity" `Quick test_compose_associative;
+    Alcotest.test_case "generalize / promote" `Quick test_generalize_promote;
+    Alcotest.test_case "subrelation" `Quick test_subrelation;
+    Alcotest.test_case "against a document" `Quick test_against_document;
+    QCheck_alcotest.to_alcotest prop_of_edges_min_is_length;
+    QCheck_alcotest.to_alcotest prop_exact_bounded_iff_all_pc;
+    QCheck_alcotest.to_alcotest prop_relaxations_are_superrelations;
+  ]

@@ -1,0 +1,175 @@
+open Wp_xml
+
+let events_of s = List.rev (Sax.fold_string s (fun acc e -> e :: acc) [])
+
+let test_event_stream () =
+  let events = events_of "<a x=\"1\"><b>hi</b><c/></a>" in
+  match events with
+  | [
+   Sax.Start_element { tag = "a"; attributes = [ { name = "x"; value = "1" } ] };
+   Sax.Start_element { tag = "b"; attributes = [] };
+   Sax.Text "hi";
+   Sax.End_element "b";
+   Sax.Start_element { tag = "c"; attributes = [] };
+   Sax.End_element "c";
+   Sax.End_element "a";
+  ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected event stream"
+
+let test_misc_events () =
+  let events =
+    events_of
+      "<?xml version=\"1.0\"?><!DOCTYPE a><a><!-- note --><?pi data?>\
+       <![CDATA[raw <x>]]></a>"
+  in
+  let kinds =
+    List.map
+      (function
+        | Sax.Start_element _ -> "start"
+        | Sax.End_element _ -> "end"
+        | Sax.Text _ -> "text"
+        | Sax.Cdata _ -> "cdata"
+        | Sax.Comment _ -> "comment"
+        | Sax.Processing_instruction _ -> "pi"
+        | Sax.Doctype _ -> "doctype")
+      events
+  in
+  Alcotest.(check (list string))
+    "event kinds"
+    [ "pi"; "doctype"; "start"; "comment"; "pi"; "cdata"; "end" ]
+    kinds;
+  match List.filter_map (function Sax.Cdata c -> Some c | _ -> None) events with
+  | [ c ] -> Alcotest.(check string) "cdata body" "raw <x>" c
+  | _ -> Alcotest.fail "expected one cdata event"
+
+let test_entities () =
+  match events_of "<a>&lt;&amp;&#65;</a>" with
+  | [ _; Sax.Text t; _ ] -> Alcotest.(check string) "decoded" "<&A" t
+  | _ -> Alcotest.fail "expected one text event"
+
+let test_well_formedness_errors () =
+  let check_error input =
+    match events_of input with
+    | exception Sax.Error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "expected an error on %S" input)
+  in
+  List.iter check_error
+    [
+      "";
+      "<a>";
+      "<a></b>";
+      "<a/><b/>";
+      "text<a/>";
+      "<a></a>trailing";
+      "<a><b></a></b>";
+      "<a>&bogus;</a>";
+    ]
+
+let test_agrees_with_parser () =
+  List.iter
+    (fun input ->
+      Alcotest.(check bool) ("same tree: " ^ input) true
+        (Tree.equal (Parser.parse_string input) (Sax.tree_of_string input)))
+    [
+      "<a/>";
+      "<a>text</a>";
+      "<a x=\"1\" y='2'><b/>mixed<c>deep</c></a>";
+      "<a><!-- c --><b>x &amp; y</b><![CDATA[z]]></a>";
+    ]
+
+let prop_agrees_with_parser =
+  QCheck2.Test.make ~name:"sax tree = parser tree" ~count:200
+    Test_parser.gen_tree_for_roundtrip (fun t ->
+      let t = Test_parser.normalize t in
+      let s = Printer.tree_to_string t in
+      Tree.equal (Parser.parse_string s) (Sax.tree_of_string s))
+
+let test_channel_streaming_small_buffer () =
+  (* Force many refills: a generated document through a 64-byte buffer
+     must parse identically to the in-memory path. *)
+  let tree = Wp_xmark.Generator.generate ~seed:8 ~target_bytes:40_000 () in
+  let path = Filename.temp_file "wp_sax" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Printer.to_channel oc tree;
+      close_out oc;
+      let ic = open_in_bin path in
+      let doc =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Sax.doc_of_channel ~buffer_size:64 ic)
+      in
+      Alcotest.(check bool) "streamed tree equals source" true
+        (Tree.equal tree (Doc.to_tree doc 0)))
+
+let test_tiny_buffer_boundaries () =
+  (* Entities, comments and CDATA spanning refill boundaries: parse the
+     same input through every tiny buffer size. *)
+  let input =
+    "<root a=\"x &amp; y\"><!-- a comment longer than the buffer -->\
+     <a>alpha &lt;&#65;&gt; omega</a><![CDATA[raw ]] >]]><b/></root>"
+  in
+  let reference = Wp_xml.Sax.tree_of_string input in
+  let path = Filename.temp_file "wp_sax_tiny" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc input;
+      close_out oc;
+      List.iter
+        (fun buffer_size ->
+          let ic = open_in_bin path in
+          let doc =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> Sax.doc_of_channel ~buffer_size ic)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "buffer=%d" buffer_size)
+            true
+            (Tree.equal reference (Doc.to_tree doc 0)))
+        [ 64; 65; 67; 128 ])
+
+let test_doc_of_file () =
+  let path = Filename.temp_file "wp_sax" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "<r><a>1</a><b>2</b></r>";
+      close_out oc;
+      let doc = Sax.doc_of_file path in
+      Alcotest.(check int) "nodes" 3 (Doc.size doc);
+      Alcotest.(check (option string)) "value" (Some "2") (Doc.value doc 2))
+
+let test_error_position_is_absolute () =
+  (* With a tiny buffer the error offset must still be absolute. *)
+  let pad = String.make 200 ' ' in
+  let input = "<a>" ^ pad ^ "<b></a></b>" in
+  let ic_like () =
+    match Sax.tree_of_string input with
+    | exception Sax.Error { position; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "position %d beyond the padding" position)
+          true (position > 200)
+    | _ -> Alcotest.fail "expected an error"
+  in
+  ic_like ()
+
+let suite =
+  [
+    Alcotest.test_case "event stream" `Quick test_event_stream;
+    Alcotest.test_case "misc events" `Quick test_misc_events;
+    Alcotest.test_case "entities" `Quick test_entities;
+    Alcotest.test_case "well-formedness" `Quick test_well_formedness_errors;
+    Alcotest.test_case "agrees with parser" `Quick test_agrees_with_parser;
+    QCheck_alcotest.to_alcotest prop_agrees_with_parser;
+    Alcotest.test_case "channel streaming" `Quick test_channel_streaming_small_buffer;
+    Alcotest.test_case "tiny buffer boundaries" `Quick test_tiny_buffer_boundaries;
+    Alcotest.test_case "doc_of_file" `Quick test_doc_of_file;
+    Alcotest.test_case "absolute error positions" `Quick test_error_position_is_absolute;
+  ]

@@ -1,0 +1,123 @@
+open Wp_score
+open Wp_relax
+
+let idx = Fixtures.books_index
+let parse = Fixtures.parse
+let float_eq = Alcotest.(check (float 1e-9))
+
+let test_raw_weights () =
+  let t =
+    Score_table.build idx (parse Fixtures.q2a) Relaxation.all Score_table.Raw
+  in
+  Alcotest.(check int) "size" 5 (Score_table.size t);
+  (* Exact weights are the exact-component idfs. *)
+  float_eq "title exact" (log (3.0 /. 2.0)) (Score_table.entry t 1).exact_weight;
+  float_eq "publisher exact" (log 3.0) (Score_table.entry t 3).exact_weight;
+  (* The relaxed publisher predicate (any descendant) is satisfied by
+     books (a) and (b): lower idf. *)
+  float_eq "publisher relaxed" (log (3.0 /. 2.0))
+    (Score_table.entry t 3).relaxed_weight;
+  (* Relaxation can only lose selectivity. *)
+  for i = 0 to Score_table.size t - 1 do
+    let e = Score_table.entry t i in
+    Alcotest.(check bool) "relaxed <= exact" true
+      (e.relaxed_weight <= e.exact_weight +. 1e-12)
+  done
+
+let test_exact_config_weights () =
+  let t =
+    Score_table.build idx (parse Fixtures.q2a) Relaxation.exact Score_table.Raw
+  in
+  for i = 0 to Score_table.size t - 1 do
+    let e = Score_table.entry t i in
+    float_eq "no relaxation: weights equal" e.exact_weight e.relaxed_weight
+  done
+
+let test_sparse_normalization () =
+  let t =
+    Score_table.build idx (parse Fixtures.q2a) Relaxation.all Score_table.Sparse
+  in
+  for i = 0 to Score_table.size t - 1 do
+    let e = Score_table.entry t i in
+    float_eq "every exact weight is 1" 1.0 e.exact_weight;
+    Alcotest.(check bool) "relaxed within [0,1]" true
+      (e.relaxed_weight >= 0.0 && e.relaxed_weight <= 1.0)
+  done;
+  float_eq "max_total = pattern size" 5.0 (Score_table.max_total t)
+
+let test_dense_normalization () =
+  let t =
+    Score_table.build idx (parse Fixtures.q2a) Relaxation.all Score_table.Dense
+  in
+  let max_w = ref 0.0 in
+  for i = 0 to Score_table.size t - 1 do
+    max_w := Float.max !max_w (Score_table.entry t i).exact_weight
+  done;
+  float_eq "global max is 1" 1.0 !max_w;
+  (* Skew preserved: title/publisher ratio survives normalization. *)
+  let title = (Score_table.entry t 1).exact_weight in
+  let publisher = (Score_table.entry t 3).exact_weight in
+  float_eq "ratio preserved" (log (3.0 /. 2.0) /. log 3.0) (title /. publisher)
+
+let test_random_tables () =
+  let pat = parse Fixtures.q2 in
+  let t1 = Score_table.build idx pat Relaxation.all (Score_table.Random_sparse 7) in
+  let t2 = Score_table.build idx pat Relaxation.all (Score_table.Random_sparse 7) in
+  for i = 0 to Score_table.size t1 - 1 do
+    float_eq "deterministic per seed" (Score_table.entry t1 i).exact_weight
+      (Score_table.entry t2 i).exact_weight
+  done;
+  let t3 = Score_table.build idx pat Relaxation.all (Score_table.Random_sparse 8) in
+  let differs = ref false in
+  for i = 0 to Score_table.size t1 - 1 do
+    if
+      Float.abs
+        ((Score_table.entry t1 i).exact_weight
+        -. (Score_table.entry t3 i).exact_weight)
+      > 1e-12
+    then differs := true
+  done;
+  Alcotest.(check bool) "seeds differ" true !differs;
+  (* Shape: sparse has a large exact/relaxed gap, dense a small one. *)
+  let gap table i =
+    let e = Score_table.entry table i in
+    e.relaxed_weight /. e.exact_weight
+  in
+  let dense = Score_table.build idx pat Relaxation.all (Score_table.Random_dense 7) in
+  for i = 1 to Score_table.size t1 - 1 do
+    Alcotest.(check bool) "sparse gap below dense gap" true (gap t1 i < gap dense i)
+  done
+
+let test_max_contribution () =
+  let t = Score_table.build idx (parse Fixtures.q2a) Relaxation.all Score_table.Raw in
+  float_eq "max contribution = exact weight" (log 3.0)
+    (Score_table.max_contribution t 3)
+
+let test_of_entries () =
+  let entries =
+    [|
+      { Score_table.node = 0; exact_weight = 0.0; relaxed_weight = 0.0 };
+      { Score_table.node = 1; exact_weight = 0.5; relaxed_weight = 0.25 };
+    |]
+  in
+  let t = Score_table.of_entries entries in
+  float_eq "entry preserved" 0.5 (Score_table.entry t 1).exact_weight;
+  float_eq "max_total" 0.5 (Score_table.max_total t)
+
+let test_normalization_parsing () =
+  Alcotest.(check bool) "sparse" true
+    (Score_table.normalization_of_string "sparse" = Some Score_table.Sparse);
+  Alcotest.(check bool) "unknown" true
+    (Score_table.normalization_of_string "bogus" = None)
+
+let suite =
+  [
+    Alcotest.test_case "raw weights" `Quick test_raw_weights;
+    Alcotest.test_case "exact config" `Quick test_exact_config_weights;
+    Alcotest.test_case "sparse normalization" `Quick test_sparse_normalization;
+    Alcotest.test_case "dense normalization" `Quick test_dense_normalization;
+    Alcotest.test_case "random tables" `Quick test_random_tables;
+    Alcotest.test_case "max contribution" `Quick test_max_contribution;
+    Alcotest.test_case "of_entries" `Quick test_of_entries;
+    Alcotest.test_case "normalization parsing" `Quick test_normalization_parsing;
+  ]

@@ -1,0 +1,205 @@
+open Whirlpool
+
+let idx = Fixtures.books_index
+let parse = Fixtures.parse
+
+let make_plan ?(config = Wp_relax.Relaxation.all) q =
+  Run.compile ~config ~normalization:Wp_score.Score_table.Sparse idx (parse q)
+
+let id_gen () =
+  let n = ref 100 in
+  fun () -> incr n; !n
+
+let initial plan =
+  Server.initial_matches plan (Stats.create ()) ~next_id:(id_gen ())
+
+let book_a, book_b, book_c =
+  match Fixtures.book_roots with
+  | [ a; b; c ] -> (a, b, c)
+  | _ -> assert false
+
+let test_initial_matches () =
+  let plan = make_plan Fixtures.q2a in
+  let stats = Stats.create () in
+  let ms = Server.initial_matches plan stats ~next_id:(id_gen ()) in
+  Alcotest.(check int) "one match per book" 3 (List.length ms);
+  Alcotest.(check (list int)) "roots in document order" [ book_a; book_b; book_c ]
+    (List.map Partial_match.root_binding ms);
+  Alcotest.(check int) "counted as one op" 1 stats.server_ops;
+  Alcotest.(check int) "created" 3 stats.matches_created;
+  List.iter
+    (fun pm ->
+      Alcotest.(check bool) "only root visited" true
+        (Partial_match.visited pm 0 && not (Partial_match.visited pm 1)))
+    ms
+
+let test_extension_binds () =
+  let plan = make_plan Fixtures.q2a in
+  let stats = Stats.create () in
+  let pm_a = List.hd (initial plan) in
+  (* server 1 = title='wodehouse' *)
+  let { Server.extensions; died } =
+    Server.process plan stats ~next_id:(id_gen ()) pm_a ~server:1
+  in
+  Alcotest.(check bool) "alive" false died;
+  Alcotest.(check int) "one title binding" 1 (List.length extensions);
+  let ext = List.hd extensions in
+  Alcotest.(check bool) "bound" true (Partial_match.bound ext 1 <> None);
+  (* exact child binding earns the exact (sparse = 1.0) weight *)
+  Alcotest.(check (float 1e-9)) "score grew by 1" (pm_a.score +. 1.0) ext.score;
+  Alcotest.(check (float 1e-9)) "max unchanged on exact binding"
+    pm_a.max_possible ext.max_possible
+
+let test_relaxed_binding_scores_less () =
+  let plan = make_plan Fixtures.q2a in
+  let stats = Stats.create () in
+  (* book (c): its wodehouse title sits under reviews — a relaxed
+     (descendant) binding for the child predicate. *)
+  let pm_c =
+    List.find (fun pm -> Partial_match.root_binding pm = book_c) (initial plan)
+  in
+  let { Server.extensions; _ } =
+    Server.process plan stats ~next_id:(id_gen ()) pm_c ~server:1
+  in
+  Alcotest.(check int) "one binding" 1 (List.length extensions);
+  let ext = List.hd extensions in
+  let relaxed_w = (Wp_score.Score_table.entry plan.scores 1).relaxed_weight in
+  Alcotest.(check (float 1e-9)) "relaxed weight earned" (pm_c.score +. relaxed_w)
+    ext.score;
+  Alcotest.(check bool) "max dropped" true (ext.max_possible < pm_c.max_possible)
+
+let test_optional_unbound_extension () =
+  let plan = make_plan Fixtures.q2a in
+  let stats = Stats.create () in
+  (* book (c) has no publisher at all: server 3 must produce an unbound
+     extension under leaf deletion. *)
+  let pm_c =
+    List.find (fun pm -> Partial_match.root_binding pm = book_c) (initial plan)
+  in
+  let { Server.extensions; died } =
+    Server.process plan stats ~next_id:(id_gen ()) pm_c ~server:3
+  in
+  Alcotest.(check bool) "alive" false died;
+  Alcotest.(check int) "single unbound extension" 1 (List.length extensions);
+  let ext = List.hd extensions in
+  Alcotest.(check (option int)) "unbound" None (Partial_match.bound ext 3);
+  Alcotest.(check (float 1e-9)) "no score" pm_c.score ext.score
+
+let test_exact_mode_death () =
+  let plan = make_plan ~config:Wp_relax.Relaxation.exact Fixtures.q2a in
+  let stats = Stats.create () in
+  let pm_c =
+    List.find (fun pm -> Partial_match.root_binding pm = book_c) (initial plan)
+  in
+  let { Server.extensions; died } =
+    Server.process plan stats ~next_id:(id_gen ()) pm_c ~server:3
+  in
+  Alcotest.(check bool) "died" true died;
+  Alcotest.(check int) "no extensions" 0 (List.length extensions);
+  Alcotest.(check int) "death recorded" 1 stats.matches_died;
+  (* In exact mode even the title server rejects book (c): the title is
+     not a child. *)
+  let { Server.died = died_title; _ } =
+    Server.process plan stats ~next_id:(id_gen ()) pm_c ~server:1
+  in
+  Alcotest.(check bool) "title rejects nested binding" true died_title
+
+let test_hard_conditionals_without_promotion () =
+  (* Without promotion, a bound ancestor constrains candidates: book (b)'s
+     publisher is not under info, so binding info first then asking for
+     publisher must fail (and deletion is blocked by the bound
+     descendant rule in the other direction). *)
+  let config =
+    {
+      Wp_relax.Relaxation.edge_generalization = true;
+      leaf_deletion = true;
+      subtree_promotion = false;
+      value_relaxation = false;
+    }
+  in
+  let plan = make_plan ~config Fixtures.q2a in
+  let stats = Stats.create () in
+  let pm_b =
+    List.find (fun pm -> Partial_match.root_binding pm = book_b) (initial plan)
+  in
+  (* Bind info (server 2) first. *)
+  let { Server.extensions; _ } =
+    Server.process plan stats ~next_id:(id_gen ()) pm_b ~server:2
+  in
+  let with_info =
+    List.find (fun pm -> Partial_match.bound pm 2 <> None) extensions
+  in
+  (* Now the publisher server (3): without promotion the candidate
+     relation keeps its minimum depth of 2, so book (b)'s depth-1
+     publisher is rejected and (the name being unbound) the node is
+     deleted instead. *)
+  let { Server.extensions; _ } =
+    Server.process plan stats ~next_id:(id_gen ()) with_info ~server:3
+  in
+  Alcotest.(check (list bool)) "publisher stays unbound"
+    [ true ]
+    (List.map (fun pm -> Partial_match.bound pm 3 = None) extensions)
+
+let test_deletion_blocked_by_bound_descendant () =
+  let config =
+    {
+      Wp_relax.Relaxation.edge_generalization = true;
+      leaf_deletion = true;
+      subtree_promotion = false;
+      value_relaxation = false;
+    }
+  in
+  (* Pattern nodes: 0 book, 1 info, 2 name. *)
+  let plan = make_plan ~config "/book[./info/name = 'psmith']" in
+  let stats = Stats.create () in
+  let pm_b =
+    List.find (fun pm -> Partial_match.root_binding pm = book_b) (initial plan)
+  in
+  (* Bind name (server 2) first: book (b)'s psmith sits at depth 2 under
+     its publisher child, accepted by the generalized depth->=2
+     relation. *)
+  let { Server.extensions; _ } =
+    Server.process plan stats ~next_id:(id_gen ()) pm_b ~server:2
+  in
+  let with_name =
+    List.find (fun pm -> Partial_match.bound pm 2 <> None) extensions
+  in
+  (* Info server next: book (b) has an info child, but the bound name is
+     not inside it — the hard descendant conditional rejects the
+     candidate, and deletion is blocked by the bound descendant, so the
+     match dies. *)
+  let { Server.extensions = exts; died } =
+    Server.process plan stats ~next_id:(id_gen ()) with_name ~server:1
+  in
+  Alcotest.(check bool) "info cannot be deleted over a bound subtree" true died;
+  Alcotest.(check int) "no extensions" 0 (List.length exts)
+
+let test_comparison_counting () =
+  let plan = make_plan Fixtures.q2d in
+  let stats = Stats.create () in
+  let pm = List.hd (initial plan) in
+  let before = stats.comparisons in
+  let _ = Server.process plan stats ~next_id:(id_gen ()) pm ~server:1 in
+  (* book (a) has one title node to examine. *)
+  Alcotest.(check int) "one comparison" (before + 1) stats.comparisons;
+  Alcotest.(check int) "one op" 1 stats.server_ops
+
+let test_rejects_visited_server () =
+  let plan = make_plan Fixtures.q2d in
+  let pm = List.hd (initial plan) in
+  Alcotest.check_raises "root server rejected"
+    (Invalid_argument "Server.process: the root server runs first") (fun () ->
+      ignore (Server.process plan (Stats.create ()) ~next_id:(id_gen ()) pm ~server:0))
+
+let suite =
+  [
+    Alcotest.test_case "initial matches" `Quick test_initial_matches;
+    Alcotest.test_case "extension binds" `Quick test_extension_binds;
+    Alcotest.test_case "relaxed binding scores less" `Quick test_relaxed_binding_scores_less;
+    Alcotest.test_case "optional unbound extension" `Quick test_optional_unbound_extension;
+    Alcotest.test_case "exact-mode death" `Quick test_exact_mode_death;
+    Alcotest.test_case "hard conditionals" `Quick test_hard_conditionals_without_promotion;
+    Alcotest.test_case "deletion blocked" `Quick test_deletion_blocked_by_bound_descendant;
+    Alcotest.test_case "comparison counting" `Quick test_comparison_counting;
+    Alcotest.test_case "rejects visited" `Quick test_rejects_visited_server;
+  ]

@@ -1,0 +1,98 @@
+open Wp_relax
+
+let parse = Fixtures.parse
+
+let specs_all q = Server_spec.build Relaxation.all (parse q)
+let specs_exact q = Server_spec.build Relaxation.exact (parse q)
+
+let test_root_spec () =
+  let specs = specs_all Fixtures.q2 in
+  let root = specs.(0) in
+  Alcotest.(check string) "tag" "item" root.tag;
+  Alcotest.(check bool) "root is mandatory" false root.optional;
+  Alcotest.(check bool) "root edge relation" true
+    (Relation.equal root.to_root.exact Relation.descendant);
+  Alcotest.(check bool) "already most relaxed" true (root.to_root.relaxed = None)
+
+let test_structural_predicates () =
+  let specs = specs_all Fixtures.q2 in
+  (* q5 = text, reached via item/mailbox/mail/text: exact depth 3. *)
+  let text = specs.(5) in
+  Alcotest.(check string) "text tag" "text" text.tag;
+  Alcotest.(check bool) "exact = depth 3" true
+    (text.to_root.exact.min_depth = 3 && text.to_root.exact.max_depth = Some 3);
+  (match text.to_root.relaxed with
+  | Some r -> Alcotest.(check bool) "relaxed = any descendant" true
+      (r.min_depth = 1 && r.max_depth = None)
+  | None -> Alcotest.fail "expected a relaxed level");
+  Alcotest.(check bool) "structural predicate is hard" true text.to_root.hard;
+  Alcotest.(check bool) "non-root servers optional under leaf deletion" true
+    text.optional
+
+let test_conditionals () =
+  let specs = specs_all Fixtures.q2 in
+  (* mail (q4) relates upward to mailbox (q3) and downward to text (q5);
+     the root is covered by to_root. *)
+  let mail = specs.(4) in
+  let others = List.map (fun c -> (c.Server_spec.other, c.Server_spec.downward)) mail.conditionals in
+  Alcotest.(check (list (pair int bool))) "related nodes" [ (3, false); (5, true) ] others;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "soft under promotion" false c.Server_spec.hard)
+    mail.conditionals
+
+let test_exact_config () =
+  let specs = specs_exact Fixtures.q2 in
+  let text = specs.(5) in
+  Alcotest.(check bool) "no relaxed level" true (text.to_root.relaxed = None);
+  Alcotest.(check bool) "not optional" false text.optional;
+  List.iter
+    (fun c -> Alcotest.(check bool) "hard without promotion" true c.Server_spec.hard)
+    text.conditionals;
+  Alcotest.(check bool) "candidate relation = exact" true
+    (Relation.equal (Server_spec.candidate_relation text) text.to_root.exact)
+
+let test_candidate_relation_relaxed () =
+  let specs = specs_all Fixtures.q2 in
+  let text = specs.(5) in
+  Alcotest.(check bool) "candidate relation = relaxed" true
+    (Relation.equal (Server_spec.candidate_relation text) Relation.descendant)
+
+let test_promotion_only_softens_ancestors () =
+  let config =
+    { Relaxation.exact with Relaxation.subtree_promotion = true }
+  in
+  let specs = Server_spec.build config (parse Fixtures.q2) in
+  let mail = specs.(4) in
+  List.iter
+    (fun c -> Alcotest.(check bool) "soft with promotion" false c.Server_spec.hard)
+    mail.conditionals;
+  (* Promotion alone still allows escaping to the root. *)
+  Alcotest.(check bool) "root relation relaxed to any depth" true
+    (Relation.equal (Server_spec.candidate_relation mail) Relation.descendant)
+
+let test_every_node_has_spec () =
+  List.iter
+    (fun q ->
+      let pat = parse q in
+      let specs = specs_all q in
+      Alcotest.(check int) "one spec per node" (Wp_pattern.Pattern.size pat)
+        (Array.length specs);
+      Array.iteri
+        (fun i spec ->
+          Alcotest.(check int) "ids align" i spec.Server_spec.node;
+          Alcotest.(check string) "tags align" (Wp_pattern.Pattern.tag pat i)
+            spec.Server_spec.tag)
+        specs)
+    [ Fixtures.q1; Fixtures.q2; Fixtures.q3; Fixtures.q2a ]
+
+let suite =
+  [
+    Alcotest.test_case "root spec" `Quick test_root_spec;
+    Alcotest.test_case "structural predicates" `Quick test_structural_predicates;
+    Alcotest.test_case "conditionals" `Quick test_conditionals;
+    Alcotest.test_case "exact config" `Quick test_exact_config;
+    Alcotest.test_case "relaxed candidate relation" `Quick test_candidate_relation_relaxed;
+    Alcotest.test_case "promotion-only" `Quick test_promotion_only_softens_ancestors;
+    Alcotest.test_case "spec per node" `Quick test_every_node_has_spec;
+  ]

@@ -1,0 +1,104 @@
+open Wp_score
+
+let idx = Fixtures.books_index
+let parse = Fixtures.parse
+let comps q = Component.of_pattern ~doc_root_tag:"bib" (parse q)
+
+let book_a, book_b, book_c =
+  match Fixtures.book_roots with
+  | [ a; b; c ] -> (a, b, c)
+  | _ -> assert false
+
+let float_eq = Alcotest.(check (float 1e-9))
+
+let test_idf_values () =
+  let c = comps Fixtures.q2a in
+  (* All three books are children of the collection root. *)
+  float_eq "root component idf" 0.0 (Tfidf.idf idx c.(0));
+  (* title='wodehouse' as a child: books (a) and (b). *)
+  float_eq "title idf" (log (3.0 /. 2.0)) (Tfidf.idf idx c.(1));
+  (* info as a child: books (a) and (b). *)
+  float_eq "info idf" (log (3.0 /. 2.0)) (Tfidf.idf idx c.(2));
+  (* publisher at depth exactly 2: only book (a). *)
+  float_eq "publisher idf" (log 3.0) (Tfidf.idf idx c.(3));
+  (* name='psmith' at depth exactly 3: only book (a). *)
+  float_eq "name idf" (log 3.0) (Tfidf.idf idx c.(4))
+
+let test_idf_no_satisfier () =
+  let c = comps "/book[./nonexistent]" in
+  (* No book satisfies the predicate: idf falls back to log(total+1). *)
+  float_eq "smoothed idf" (log 4.0) (Tfidf.idf idx c.(1))
+
+let test_idf_empty_candidate_set () =
+  let c = comps "/pamphlet[./title]" in
+  float_eq "no candidates: idf 0" 0.0 (Tfidf.idf idx c.(1))
+
+let test_tf_values () =
+  let c = comps Fixtures.q2d in
+  (* q2d's title component is descendant-based. *)
+  Alcotest.(check int) "book a: one title" 1 (Tfidf.tf idx c.(1) ~root:book_a);
+  Alcotest.(check int) "book c: one (nested) title" 1
+    (Tfidf.tf idx c.(1) ~root:book_c);
+  let c = comps Fixtures.q2a in
+  Alcotest.(check int) "child-only tf misses nested title" 0
+    (Tfidf.tf idx c.(1) ~root:book_c);
+  (* tf counts multiplicity. *)
+  let multi =
+    Wp_xml.Doc.of_forest ~root_tag:"bib"
+      [
+        Wp_xml.Tree.el "book"
+          [ Wp_xml.Tree.leaf "title" "x"; Wp_xml.Tree.leaf "title" "x" ];
+      ]
+  in
+  let midx = Wp_xml.Index.build multi in
+  let c = Component.of_pattern ~doc_root_tag:"bib" (parse "/book[./title = 'x']") in
+  Alcotest.(check int) "two titles, tf = 2" 2 (Tfidf.tf midx c.(1) ~root:1)
+
+let test_satisfies () =
+  let c = comps Fixtures.q2a in
+  (* book (a)'s title node is its first child. *)
+  let title_a = List.hd (Wp_xml.Doc.children Fixtures.books_doc book_a) in
+  Alcotest.(check bool) "title satisfies" true
+    (Tfidf.satisfies idx c.(1) ~root:book_a ~target:title_a);
+  Alcotest.(check bool) "wrong root" false
+    (Tfidf.satisfies idx c.(1) ~root:book_b ~target:title_a)
+
+let test_score_aggregates () =
+  let c = comps Fixtures.q2a in
+  let expected_a =
+    0.0 +. log (3.0 /. 2.0) +. log (3.0 /. 2.0) +. log 3.0 +. log 3.0
+  in
+  float_eq "book a score" expected_a (Tfidf.score idx c ~root:book_a);
+  (* book b satisfies title and info only. *)
+  float_eq "book b score" (2.0 *. log (3.0 /. 2.0)) (Tfidf.score idx c ~root:book_b);
+  float_eq "book c score" 0.0 (Tfidf.score idx c ~root:book_c)
+
+let test_rank () =
+  let ranked = Tfidf.rank idx (parse Fixtures.q2d) ~k:3 in
+  Alcotest.(check int) "three candidates" 3 (List.length ranked);
+  (* All books have exactly one wodehouse title reachable by descendant,
+     so scores tie and ranking falls back to document order. *)
+  Alcotest.(check (list int)) "document order on ties" [ book_a; book_b; book_c ]
+    (List.map fst ranked);
+  let ranked = Tfidf.rank idx (parse Fixtures.q2a) ~k:2 in
+  Alcotest.(check int) "k truncates" 2 (List.length ranked);
+  Alcotest.(check int) "book a first" book_a (fst (List.hd ranked))
+
+let test_rank_scores_match_score () =
+  let pat = parse Fixtures.q2c in
+  let c = Component.of_pattern ~doc_root_tag:"bib" pat in
+  List.iter
+    (fun (root, s) -> float_eq "rank score = score" (Tfidf.score idx c ~root) s)
+    (Tfidf.rank idx pat ~k:10)
+
+let suite =
+  [
+    Alcotest.test_case "idf values" `Quick test_idf_values;
+    Alcotest.test_case "idf without satisfiers" `Quick test_idf_no_satisfier;
+    Alcotest.test_case "idf empty candidates" `Quick test_idf_empty_candidate_set;
+    Alcotest.test_case "tf values" `Quick test_tf_values;
+    Alcotest.test_case "satisfies" `Quick test_satisfies;
+    Alcotest.test_case "score aggregates" `Quick test_score_aggregates;
+    Alcotest.test_case "rank" `Quick test_rank;
+    Alcotest.test_case "rank/score agreement" `Quick test_rank_scores_match_score;
+  ]

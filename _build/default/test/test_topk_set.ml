@@ -1,0 +1,111 @@
+open Whirlpool
+
+let pm ~id ~root ~score ~max_possible =
+  let p =
+    Partial_match.create_root ~plan_servers:2 ~id ~root ~weight:score
+      ~max_rest:(max_possible -. score)
+  in
+  p
+
+let test_fill_and_threshold () =
+  let t = Topk_set.create ~k:2 ~admit_partial:true in
+  Alcotest.(check bool) "empty threshold" true
+    (Topk_set.threshold t = neg_infinity);
+  Topk_set.consider t ~complete:false (pm ~id:1 ~root:10 ~score:0.5 ~max_possible:1.0);
+  Alcotest.(check bool) "below k, threshold stays -inf" true
+    (Topk_set.threshold t = neg_infinity);
+  Topk_set.consider t ~complete:false (pm ~id:2 ~root:20 ~score:0.8 ~max_possible:1.0);
+  Alcotest.(check (float 1e-9)) "kth score" 0.5 (Topk_set.threshold t);
+  Alcotest.(check int) "cardinality" 2 (Topk_set.cardinality t)
+
+let test_replacement () =
+  let t = Topk_set.create ~k:2 ~admit_partial:true in
+  Topk_set.consider t ~complete:false (pm ~id:1 ~root:10 ~score:0.5 ~max_possible:1.0);
+  Topk_set.consider t ~complete:false (pm ~id:2 ~root:20 ~score:0.8 ~max_possible:1.0);
+  (* Higher score evicts the min entry. *)
+  Topk_set.consider t ~complete:false (pm ~id:3 ~root:30 ~score:0.9 ~max_possible:1.0);
+  let roots = List.map (fun (e : Topk_set.entry) -> e.root) (Topk_set.entries t) in
+  Alcotest.(check (list int)) "evicted the weakest" [ 30; 20 ] roots;
+  (* Lower score is ignored. *)
+  Topk_set.consider t ~complete:false (pm ~id:4 ~root:40 ~score:0.1 ~max_possible:1.0);
+  Alcotest.(check int) "still two entries" 2 (Topk_set.cardinality t)
+
+let test_per_root_dedup () =
+  let t = Topk_set.create ~k:3 ~admit_partial:true in
+  Topk_set.consider t ~complete:false (pm ~id:1 ~root:10 ~score:0.5 ~max_possible:1.0);
+  Topk_set.consider t ~complete:false (pm ~id:2 ~root:10 ~score:0.7 ~max_possible:1.0);
+  Alcotest.(check int) "one entry per root" 1 (Topk_set.cardinality t);
+  (match Topk_set.entries t with
+  | [ e ] -> Alcotest.(check (float 1e-9)) "kept the best score" 0.7 e.score
+  | _ -> Alcotest.fail "expected one entry");
+  (* A weaker match for the same root does not downgrade it. *)
+  Topk_set.consider t ~complete:false (pm ~id:3 ~root:10 ~score:0.2 ~max_possible:1.0);
+  match Topk_set.entries t with
+  | [ e ] -> Alcotest.(check (float 1e-9)) "unchanged" 0.7 e.score
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_admit_partial_false () =
+  let t = Topk_set.create ~k:2 ~admit_partial:false in
+  Topk_set.consider t ~complete:false (pm ~id:1 ~root:10 ~score:0.9 ~max_possible:1.0);
+  Alcotest.(check int) "partials ignored" 0 (Topk_set.cardinality t);
+  Topk_set.consider t ~complete:true (pm ~id:2 ~root:20 ~score:0.4 ~max_possible:0.4);
+  Alcotest.(check int) "completes admitted" 1 (Topk_set.cardinality t)
+
+let test_pruning () =
+  let t = Topk_set.create ~k:1 ~admit_partial:true in
+  Topk_set.consider t ~complete:false (pm ~id:1 ~root:10 ~score:0.8 ~max_possible:0.9);
+  Alcotest.(check bool) "hopeless match pruned" true
+    (Topk_set.should_prune t (pm ~id:2 ~root:20 ~score:0.1 ~max_possible:0.5));
+  Alcotest.(check bool) "promising match kept" false
+    (Topk_set.should_prune t (pm ~id:3 ~root:30 ~score:0.1 ~max_possible:1.5));
+  (* A tie on max-possible cannot displace another root. *)
+  Alcotest.(check bool) "tie pruned" true
+    (Topk_set.should_prune t (pm ~id:4 ~root:40 ~score:0.8 ~max_possible:0.8));
+  (* ... but the entry owner itself is not pruned. *)
+  Alcotest.(check bool) "own entry survives" false
+    (Topk_set.should_prune t (pm ~id:1 ~root:10 ~score:0.8 ~max_possible:0.9))
+
+let test_entries_sorted () =
+  let t = Topk_set.create ~k:5 ~admit_partial:true in
+  List.iter
+    (fun (id, root, score) ->
+      Topk_set.consider t ~complete:false (pm ~id ~root ~score ~max_possible:score))
+    [ (1, 10, 0.3); (2, 20, 0.9); (3, 30, 0.6); (4, 40, 0.9) ];
+  let entries = Topk_set.entries t in
+  Alcotest.(check (list int)) "sorted by score desc, ties by root"
+    [ 20; 40; 30; 10 ]
+    (List.map (fun (e : Topk_set.entry) -> e.root) entries)
+
+let test_invalid_k () =
+  Alcotest.check_raises "k must be positive"
+    (Invalid_argument "Topk_set.create: k must be positive") (fun () ->
+      ignore (Topk_set.create ~k:0 ~admit_partial:true))
+
+(* The threshold never decreases under any sequence of considers. *)
+let prop_threshold_monotone =
+  QCheck2.Test.make ~name:"threshold is monotone" ~count:200
+    QCheck2.Gen.(list (pair (int_range 1 20) (float_range 0.0 1.0)))
+    (fun events ->
+      let t = Topk_set.create ~k:3 ~admit_partial:true in
+      let last = ref neg_infinity in
+      List.for_all
+        (fun (root, score) ->
+          Topk_set.consider t ~complete:false
+            (pm ~id:root ~root ~score ~max_possible:(score +. 0.1));
+          let th = Topk_set.threshold t in
+          let ok = th >= !last in
+          last := th;
+          ok)
+        events)
+
+let suite =
+  [
+    Alcotest.test_case "fill and threshold" `Quick test_fill_and_threshold;
+    Alcotest.test_case "replacement" `Quick test_replacement;
+    Alcotest.test_case "per-root dedup" `Quick test_per_root_dedup;
+    Alcotest.test_case "admit_partial=false" `Quick test_admit_partial_false;
+    Alcotest.test_case "pruning" `Quick test_pruning;
+    Alcotest.test_case "entries sorted" `Quick test_entries_sorted;
+    Alcotest.test_case "invalid k" `Quick test_invalid_k;
+    QCheck_alcotest.to_alcotest prop_threshold_monotone;
+  ]

@@ -1,0 +1,121 @@
+open Whirlpool
+
+let idx = Lazy.force Fixtures.xmark_index
+let parse = Fixtures.parse
+
+let traced_run ?(k = 5) q =
+  let plan = Run.compile idx (parse q) in
+  let trace, events = Trace.collector () in
+  let r = Engine.run ~trace plan ~k in
+  (plan, r, events ())
+
+let test_events_flow () =
+  let _, r, events = traced_run Fixtures.q1 in
+  let count p = List.length (List.filter p events) in
+  Alcotest.(check int) "one Routed per routing decision"
+    r.stats.routing_decisions
+    (count (function Trace.Routed _ -> true | _ -> false));
+  Alcotest.(check int) "one Completed per completion" r.stats.completed
+    (count (function Trace.Completed _ -> true | _ -> false));
+  Alcotest.(check bool) "extensions traced" true
+    (count (function Trace.Extended _ -> true | _ -> false) > 0)
+
+let test_route_follows_pop () =
+  (* Every Routed event must be immediately preceded by a Popped of the
+     same match (batching aside, which also pops first). *)
+  let _, _, events = traced_run Fixtures.q2 in
+  let rec check = function
+    | [] | [ _ ] -> ()
+    | a :: (b :: _ as rest) ->
+        (match b with
+        | Trace.Routed { id; _ } -> (
+            match a with
+            | Trace.Popped { id = id'; _ } ->
+                Alcotest.(check int) "routed after its own pop" id' id
+            | _ -> Alcotest.fail "Routed not preceded by Popped")
+        | _ -> ());
+        check rest
+  in
+  check events
+
+let test_no_activity_after_prune () =
+  (* Once a match id is pruned, it never appears again. *)
+  let _, _, events = traced_run Fixtures.q2 in
+  let pruned = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let id = Trace.event_id e in
+      (match e with
+      | Trace.Pruned _ -> Hashtbl.replace pruned id ()
+      | Trace.Popped _ | Trace.Routed _ | Trace.Completed _ | Trace.Died _ ->
+          Alcotest.(check bool) "no activity after prune" false
+            (Hashtbl.mem pruned id)
+      | Trace.Extended { parent; _ } ->
+          Alcotest.(check bool) "no extension of a pruned match" false
+            (Hashtbl.mem pruned parent)))
+    events
+
+let test_max_possible_never_grows_along_lineage () =
+  (* A child extension's max-possible score never exceeds its parent's. *)
+  let _, _, events = traced_run Fixtures.q3 in
+  let max_of = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      match e with
+      | Trace.Popped { id; max_possible; _ } ->
+          Hashtbl.replace max_of id max_possible
+      | _ -> ())
+    events;
+  (* Pair Extended with the later Popped of the child, where available. *)
+  List.iter
+    (fun e ->
+      match e with
+      | Trace.Extended { parent; id; _ } -> (
+          match (Hashtbl.find_opt max_of parent, Hashtbl.find_opt max_of id) with
+          | Some p, Some c ->
+              Alcotest.(check bool) "monotone max-possible" true (c <= p +. 1e-9)
+          | _ -> ())
+      | _ -> ())
+    events
+
+let test_completed_scores_match_answers () =
+  let _, r, events = traced_run ~k:3 Fixtures.q1 in
+  let best_completed =
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Trace.Completed { score; _ } -> Float.max acc score
+        | _ -> acc)
+      neg_infinity events
+  in
+  match r.answers with
+  | top :: _ ->
+      Alcotest.(check (float 1e-9)) "top answer = best completed score"
+        top.score best_completed
+  | [] -> Alcotest.fail "expected answers"
+
+let test_silent_by_default () =
+  let plan = Run.compile idx (parse Fixtures.q1) in
+  (* No tracer: must simply run (the ignore tracer is free). *)
+  let r = Engine.run plan ~k:3 in
+  Alcotest.(check bool) "answers" true (List.length r.answers > 0)
+
+let test_pp_event () =
+  let rendered =
+    Format.asprintf "%a" Trace.pp_event
+      (Trace.Extended { parent = 1; id = 2; server = 3; bound = true })
+  in
+  Alcotest.(check bool) "rendering mentions ids" true
+    (Test_stats.contains ~needle:"#1" rendered
+    && Test_stats.contains ~needle:"#2" rendered)
+
+let suite =
+  [
+    Alcotest.test_case "events flow" `Quick test_events_flow;
+    Alcotest.test_case "route follows pop" `Quick test_route_follows_pop;
+    Alcotest.test_case "no activity after prune" `Quick test_no_activity_after_prune;
+    Alcotest.test_case "max-possible monotone" `Quick test_max_possible_never_grows_along_lineage;
+    Alcotest.test_case "completed = answers" `Quick test_completed_scores_match_answers;
+    Alcotest.test_case "silent by default" `Quick test_silent_by_default;
+    Alcotest.test_case "pp event" `Quick test_pp_event;
+  ]

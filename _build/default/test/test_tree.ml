@@ -1,0 +1,55 @@
+open Wp_xml
+
+let sample =
+  Tree.el "a" [ Tree.leaf "b" "1"; Tree.el "c" [ Tree.leaf "d" "2" ] ]
+
+let test_builders () =
+  Alcotest.(check string) "el tag" "a" (Tree.tag sample);
+  Alcotest.(check (option string)) "leaf value" (Some "1")
+    (Tree.value (List.hd (Tree.children sample)));
+  let ev = Tree.el_v "x" "v" [ Tree.el "y" [] ] in
+  Alcotest.(check (option string)) "el_v value" (Some "v") (Tree.value ev);
+  Alcotest.(check int) "el_v children" 1 (List.length (Tree.children ev))
+
+let test_size_depth () =
+  Alcotest.(check int) "size" 4 (Tree.size sample);
+  Alcotest.(check int) "depth" 3 (Tree.depth sample);
+  Alcotest.(check int) "single node depth" 1 (Tree.depth (Tree.el "x" []))
+
+let test_fold_iter () =
+  let tags = List.rev (Tree.fold (fun acc t -> Tree.tag t :: acc) [] sample) in
+  Alcotest.(check (list string)) "preorder fold" [ "a"; "b"; "c"; "d" ] tags;
+  let count = ref 0 in
+  Tree.iter (fun _ -> incr count) sample;
+  Alcotest.(check int) "iter visits all" 4 !count
+
+let test_tags () =
+  let t = Tree.el "a" [ Tree.el "b" []; Tree.el "a" [ Tree.el "c" [] ] ] in
+  Alcotest.(check (list string)) "distinct first-occurrence" [ "a"; "b"; "c" ]
+    (Tree.tags t)
+
+let test_equal () =
+  Alcotest.(check bool) "reflexive" true (Tree.equal sample sample);
+  Alcotest.(check bool) "tag differs" false
+    (Tree.equal (Tree.el "a" []) (Tree.el "b" []));
+  Alcotest.(check bool) "value differs" false
+    (Tree.equal (Tree.leaf "a" "1") (Tree.leaf "a" "2"));
+  Alcotest.(check bool) "child order matters" false
+    (Tree.equal
+       (Tree.el "a" [ Tree.el "b" []; Tree.el "c" [] ])
+       (Tree.el "a" [ Tree.el "c" []; Tree.el "b" [] ]))
+
+let test_pp () =
+  Alcotest.(check string)
+    "compact pp" "<a><b>1</b><c><d>2</d></c></a>"
+    (Format.asprintf "%a" Tree.pp sample)
+
+let suite =
+  [
+    Alcotest.test_case "builders" `Quick test_builders;
+    Alcotest.test_case "size and depth" `Quick test_size_depth;
+    Alcotest.test_case "fold and iter" `Quick test_fold_iter;
+    Alcotest.test_case "tags" `Quick test_tags;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

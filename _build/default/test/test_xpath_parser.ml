@@ -1,0 +1,127 @@
+open Wp_pattern
+
+let parse = Xpath_parser.parse
+
+let test_single_step () =
+  let p = parse "//item" in
+  Alcotest.(check int) "size" 1 (Pattern.size p);
+  Alcotest.(check bool) "ad root edge" true (Pattern.root_edge p = Pattern.Ad);
+  let p = parse "/book" in
+  Alcotest.(check bool) "pc root edge" true (Pattern.root_edge p = Pattern.Pc)
+
+let test_paper_q1 () =
+  let p = parse Fixtures.q1 in
+  Alcotest.(check int) "3 nodes" 3 (Pattern.size p);
+  Alcotest.(check string) "tags" "item,description,parlist"
+    (String.concat "," (List.map (Pattern.tag p) (Pattern.node_ids p)));
+  Alcotest.(check bool) "all pc below root" true
+    (Pattern.edge p 1 = Pattern.Pc && Pattern.edge p 2 = Pattern.Pc)
+
+let test_paper_q2 () =
+  let p = parse Fixtures.q2 in
+  Alcotest.(check int) "6 nodes" 6 (Pattern.size p);
+  Alcotest.(check (list int)) "root children" [ 1; 3 ] (Pattern.children p 0);
+  Alcotest.(check string) "mail under mailbox" "mail" (Pattern.tag p 4)
+
+let test_paper_q3 () =
+  let p = parse Fixtures.q3 in
+  Alcotest.(check int) "8 nodes" 8 (Pattern.size p);
+  Alcotest.(check string) "tags" "item,mailbox,mail,text,bold,keyword,name,incategory"
+    (String.concat "," (List.map (Pattern.tag p) (Pattern.node_ids p)));
+  (* text has two predicate children *)
+  Alcotest.(check (list int)) "text children" [ 4; 5 ] (Pattern.children p 3)
+
+let test_values () =
+  let p = parse Fixtures.q2a in
+  Alcotest.(check int) "5 nodes" 5 (Pattern.size p);
+  Alcotest.(check (option string)) "title value" (Some "wodehouse") (Pattern.value p 1);
+  Alcotest.(check (option string)) "name value" (Some "psmith") (Pattern.value p 4);
+  let p = parse "//a[./b = \"double\"]" in
+  Alcotest.(check (option string)) "double quotes" (Some "double") (Pattern.value p 1)
+
+let test_mixed_axes () =
+  let p = parse "/book[.//title = 'wodehouse' and ./info//name]" in
+  Alcotest.(check bool) "title via ad" true (Pattern.edge p 1 = Pattern.Ad);
+  Alcotest.(check bool) "info via pc" true (Pattern.edge p 2 = Pattern.Pc);
+  Alcotest.(check bool) "name via ad" true (Pattern.edge p 3 = Pattern.Ad)
+
+let test_whitespace () =
+  let a = parse "//item[ ./name and   ./incategory ]" in
+  let b = parse "//item[./name and ./incategory]" in
+  Alcotest.(check bool) "whitespace insensitive" true (Pattern.equal a b)
+
+let test_attribute_names () =
+  let p = parse "//incategory[./@category = 'category3']" in
+  Alcotest.(check string) "attribute step" "@category" (Pattern.tag p 1)
+
+let test_roundtrip_via_pp () =
+  List.iter
+    (fun q ->
+      let p = parse q in
+      let p' = parse (Pattern.to_string p) in
+      Alcotest.(check bool) ("pp roundtrip: " ^ q) true (Pattern.equal p p'))
+    [ Fixtures.q1; Fixtures.q2; Fixtures.q3; Fixtures.q2a; Fixtures.q2b;
+      Fixtures.q2c; Fixtures.q2d; "//a[.//b[./c = 'v'] and ./d//e]" ]
+
+let check_error input =
+  match parse input with
+  | exception Xpath_parser.Error _ -> ()
+  | _ -> Alcotest.fail (Printf.sprintf "expected a parse error on %S" input)
+
+let test_errors () =
+  List.iter check_error
+    [
+      "";
+      "item";
+      "//";
+      "//item[";
+      "//item[./]";
+      "//item[name]";
+      "//item[./name and]";
+      "//item[./name = ]";
+      "//item[./name = 'unterminated]";
+      "//item]";
+      "//item[./a = 'v'/b]";
+      "//item extra";
+    ]
+
+(* Random pattern generator: print with Pattern.pp, re-parse, compare. *)
+let gen_pattern =
+  let open QCheck2.Gen in
+  let tag = map (fun i -> Printf.sprintf "t%d" i) (int_bound 6) in
+  let value = opt ~ratio:0.25 (map (fun i -> Printf.sprintf "v%d" i) (int_bound 5)) in
+  let edge = map (fun b -> if b then Pattern.Pc else Pattern.Ad) bool in
+  let spec =
+    sized @@ fix (fun self n ->
+        if n = 0 then
+          map2 (fun t v -> { Pattern.tag = t; value = v; children = [] }) tag value
+        else
+          (* A node with both a value and children prints as
+             tag[preds] = 'v', which the parser accepts. *)
+          map3
+            (fun t v cs -> { Pattern.tag = t; value = v; children = cs })
+            tag value
+            (list_size (int_bound 3) (map2 (fun e s -> (e, s)) edge (self (n / 4)))))
+  in
+  map2
+    (fun root_edge s -> Pattern.of_spec ~root_edge s)
+    edge spec
+
+let prop_pp_parse_roundtrip =
+  QCheck2.Test.make ~name:"parse . pp = id" ~count:300 gen_pattern (fun p ->
+      Pattern.equal p (parse (Pattern.to_string p)))
+
+let suite =
+  [
+    Alcotest.test_case "single step" `Quick test_single_step;
+    Alcotest.test_case "paper Q1" `Quick test_paper_q1;
+    Alcotest.test_case "paper Q2" `Quick test_paper_q2;
+    Alcotest.test_case "paper Q3" `Quick test_paper_q3;
+    Alcotest.test_case "values" `Quick test_values;
+    Alcotest.test_case "mixed axes" `Quick test_mixed_axes;
+    Alcotest.test_case "whitespace" `Quick test_whitespace;
+    Alcotest.test_case "attribute names" `Quick test_attribute_names;
+    Alcotest.test_case "pp roundtrip" `Quick test_roundtrip_via_pp;
+    Alcotest.test_case "errors" `Quick test_errors;
+    QCheck_alcotest.to_alcotest prop_pp_parse_roundtrip;
+  ]
