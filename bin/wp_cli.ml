@@ -5,12 +5,14 @@
      query      run a top-k query against an XML file
      explain    print the compiled plan and score table for a query
      relax      enumerate the relaxations of a query
+     lint       statically analyze a query (and its plan) for defects
 
    Examples:
      wp_cli generate -o /tmp/site.xml --size 1000000 --seed 7
      wp_cli query /tmp/site.xml -q "//item[./description/parlist]" -k 10
      wp_cli explain /tmp/site.xml -q "//item[./name]"
      wp_cli relax -q "/book[./title and ./info/publisher]"
+     wp_cli lint -q "//item[./name]" /tmp/site.xml
 *)
 
 open Cmdliner
@@ -265,9 +267,102 @@ let relax_cmd =
     (Cmd.info "relax" ~doc:"enumerate the relaxations of a query")
     Term.(const relax $ query_arg $ limit)
 
+(* --- lint --- *)
+
+let diagnostic_to_json (d : Wp_analysis.Diagnostic.t) =
+  let open Wp_json.Json in
+  Obj
+    [
+      ("severity", String (Wp_analysis.Diagnostic.severity_label d.severity));
+      ("code", String d.code);
+      ("node", match d.node with Some n -> Int n | None -> Null);
+      ("message", String d.message);
+    ]
+
+let lint q path exact max_lattice json =
+  let pattern = parse_query q in
+  let config =
+    if exact then Wp_relax.Relaxation.exact else Wp_relax.Relaxation.all
+  in
+  let synopsis =
+    Option.map
+      (fun p ->
+        let idx = load_index p in
+        Wp_stats.Synopsis.build (Wp_xml.Index.doc idx))
+      path
+  in
+  let diags =
+    Wp_analysis.Lint.check ?synopsis ~max_lattice ~config pattern
+  in
+  if json then
+    Format.printf "%a@." Wp_json.Json.pp
+      (Wp_json.Json.Obj
+         [
+           ("query", Wp_json.Json.String (Wp_pattern.Pattern.to_string pattern));
+           ( "errors",
+             Wp_json.Json.Bool (Wp_analysis.Diagnostic.has_errors diags) );
+           ( "diagnostics",
+             Wp_json.Json.List (List.map diagnostic_to_json diags) );
+         ])
+  else begin
+    Printf.printf "lint %s:\n" (Wp_pattern.Pattern.to_string pattern);
+    if diags = [] then print_endline "  no findings"
+    else
+      List.iter
+        (fun d ->
+          Format.printf "  %a@." Wp_analysis.Diagnostic.pp d)
+        diags
+  end;
+  if Wp_analysis.Diagnostic.has_errors diags then exit 1
+
+let lint_cmd =
+  let path =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "XML document or snapshot; when given, the analyzer also \
+             checks the query's tag vocabulary, structural \
+             satisfiability and static score bound against it.")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Lint against the exact \
+                                               (no-relaxation) plan.")
+  in
+  let max_lattice =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-lattice" ] ~docv:"N"
+          ~doc:
+            "Skip the relaxation-lattice cross-check when the lattice \
+             exceeds N labeled patterns.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"statically analyze a query and its relaxation plan"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the Whirlpool static analyzer over the query: \
+              well-formedness, predicate redundancy, server-plan \
+              consistency, relaxation-lattice cross-checks and (with a \
+              document) vocabulary and satisfiability checks.  Exits 1 \
+              when any error-severity finding is reported — the same \
+              findings make the engines refuse the plan.";
+         ])
+    Term.(const lint $ query_arg $ path $ exact $ max_lattice $ json)
+
 let () =
   let doc = "adaptive top-k XPath matching (Whirlpool)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "wp_cli" ~version:"1.0.0" ~doc)
-          [ generate_cmd; query_cmd; explain_cmd; relax_cmd; snapshot_cmd ]))
+          [
+            generate_cmd; query_cmd; explain_cmd; relax_cmd; snapshot_cmd;
+            lint_cmd;
+          ]))

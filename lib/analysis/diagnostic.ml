@@ -1,0 +1,58 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  node : Wp_pattern.Pattern.node_id option;
+  message : string;
+}
+
+let make ?node severity code message = { severity; code; node; message }
+
+let kmake severity ?node code fmt =
+  Format.kasprintf (fun message -> make ?node severity code message) fmt
+
+let errorf ?node code fmt = kmake Error ?node code fmt
+let warningf ?node code fmt = kmake Warning ?node code fmt
+let infof ?node code fmt = kmake Info ?node code fmt
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+      match Option.compare Int.compare a.node b.node with
+      | 0 -> String.compare a.code b.code
+      | c -> c)
+  | c -> c
+
+let sort ds = List.sort compare ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let class_of d =
+  match String.index_opt d.code '/' with
+  | Some i -> String.sub d.code 0 i
+  | None -> d.code
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]%t: %s" (severity_label d.severity) d.code
+    (fun ppf ->
+      match d.node with
+      | Some n -> Format.fprintf ppf " node q%d" n
+      | None -> ())
+    d.message
+
+let pp_list ppf ds =
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      pp ppf d)
+    ds;
+  Format.pp_close_box ppf ()

@@ -1,0 +1,54 @@
+(** Structured analyzer findings.
+
+    Every check of the static analyzer reports its findings as
+    diagnostics: a severity, a stable machine-readable code (a
+    [class/detail] slug such as ["ill-formed/value-on-internal"]), the
+    query node concerned (when one is), and a human-readable message.
+    [Error]-severity diagnostics identify plans the engines refuse to
+    run; [Warning]s flag suspicious-but-executable queries (redundant
+    predicates, vocabulary misses on deletable nodes); [Info]s carry
+    derived facts such as the static score bound. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** stable [class/detail] slug *)
+  node : Wp_pattern.Pattern.node_id option;
+      (** the query node the finding anchors to, when one does *)
+  message : string;
+}
+
+val make : ?node:Wp_pattern.Pattern.node_id -> severity -> string -> string -> t
+(** [make sev code message]. *)
+
+val errorf :
+  ?node:Wp_pattern.Pattern.node_id -> string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warningf :
+  ?node:Wp_pattern.Pattern.node_id -> string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val infof :
+  ?node:Wp_pattern.Pattern.node_id -> string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val severity_label : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val compare : t -> t -> int
+(** Errors first, then warnings, then infos; ties by node then code. *)
+
+val sort : t list -> t list
+
+val has_errors : t list -> bool
+val errors : t list -> t list
+
+val class_of : t -> string
+(** The [class] part of the [class/detail] code. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error[code] node q2: message]. *)
+
+val pp_list : Format.formatter -> t list -> unit

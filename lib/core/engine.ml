@@ -2,10 +2,18 @@ type result = { answers : Topk_set.entry list; stats : Stats.t }
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
+(* Static gate: a plan whose pattern or predicate sequences carry
+   error-severity lint findings would silently return wrong answers;
+   refuse to run it (raises {!Wp_analysis.Lint.Rejected}). *)
+let validate_plan (plan : Plan.t) =
+  Wp_analysis.Lint.validate_exn ~config:plan.config ~specs:plan.specs
+    plan.pattern
+
 let run ?(routing = Strategy.Min_alive)
     ?(queue_policy = Strategy.Max_final_score) ?(batch = 1)
     ?(trace = Trace.ignore_tracer) (plan : Plan.t) ~k =
   if batch < 1 then invalid_arg "Engine.run: batch >= 1";
+  validate_plan plan;
   let stats = Stats.create () in
   let t0 = now_ns () in
   let topk = Topk_set.create ~k ~admit_partial:(Plan.admits_partial_answers plan) in
@@ -24,8 +32,10 @@ let run ?(routing = Strategy.Min_alive)
       pm
   in
   let single_node = plan.n_servers = 1 in
+  let checking = Invariants.enabled () in
   List.iter
     (fun pm ->
+      if checking then Invariants.check_root plan pm;
       Topk_set.consider topk ~complete:single_node pm;
       if single_node then stats.completed <- stats.completed + 1
       else if Topk_set.should_prune topk pm then
@@ -36,6 +46,8 @@ let run ?(routing = Strategy.Min_alive)
     let { Server.extensions; died } =
       Server.process plan stats ~next_id pm ~server
     in
+    if checking then
+      List.iter (Invariants.check_extension plan ~parent:pm) extensions;
     if died then begin
       trace (Trace.Died { id = pm.id; server });
       Topk_set.retract topk pm
@@ -123,6 +135,7 @@ let run ?(routing = Strategy.Min_alive)
    completed match above the bar is an answer (best score per root). *)
 let run_above ?(routing = Strategy.Min_alive)
     ?(queue_policy = Strategy.Max_final_score) (plan : Plan.t) ~threshold =
+  validate_plan plan;
   let stats = Stats.create () in
   let t0 = now_ns () in
   let queue : Partial_match.t Pqueue.t = Pqueue.create () in
@@ -158,8 +171,10 @@ let run_above ?(routing = Strategy.Min_alive)
       pm
   in
   let single_node = plan.n_servers = 1 in
+  let checking = Invariants.enabled () in
   List.iter
     (fun pm ->
+      if checking then Invariants.check_root plan pm;
       if single_node then record pm
       else if hopeless pm then
         stats.matches_pruned <- stats.matches_pruned + 1
@@ -174,6 +189,8 @@ let run_above ?(routing = Strategy.Min_alive)
         let { Server.extensions; died = _ } =
           Server.process plan stats ~next_id pm ~server
         in
+        if checking then
+          List.iter (Invariants.check_extension plan ~parent:pm) extensions;
         List.iter
           (fun ext ->
             if Partial_match.is_complete ext ~full_mask:plan.full_mask then

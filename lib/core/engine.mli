@@ -14,6 +14,12 @@ type result = {
   stats : Stats.t;
 }
 
+val validate_plan : Plan.t -> unit
+(** Static gate run at every engine entry point: raises
+    {!Wp_analysis.Lint.Rejected} when the quick lint pass (structural
+    well-formedness plus plan consistency — no lattice enumeration)
+    reports an error-severity diagnostic for the plan. *)
+
 val run :
   ?routing:Strategy.routing ->
   ?queue_policy:Strategy.queue_policy ->

@@ -117,6 +117,10 @@ let server_loop shared server (stats : Stats.t) =
           let { Server.extensions; died } =
             Server.process shared.plan stats ~next_id pm ~server
           in
+          if Invariants.enabled () then
+            List.iter
+              (Invariants.check_extension shared.plan ~parent:pm)
+              extensions;
           if died then with_topk shared (fun topk -> Topk_set.retract topk pm);
           let alive =
             List.filter_map
@@ -159,6 +163,7 @@ let run ?(routing = Strategy.Min_alive)
     (plan : Plan.t) ~k =
   if threads_per_server < 1 then
     invalid_arg "Engine_mt.run: threads_per_server >= 1";
+  Engine.validate_plan plan;
   let t0 = now_ns () in
   let main_stats = Stats.create () in
   let shared =

@@ -1,0 +1,48 @@
+exception Violation of string
+
+(* Read eagerly at module init: [enabled] is consulted concurrently from
+   worker domains, where forcing a lazy would race. *)
+let from_env =
+  match Sys.getenv_opt "WP_CHECK_INVARIANTS" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let override = ref None
+let enabled () = match !override with Some b -> b | None -> from_env
+let set_enabled b = override := Some b
+
+(* Scores are sums of idf logs accumulated in different orders by the
+   two engines; allow for rounding. *)
+(* The exact comparison comes first: the tolerance arithmetic turns into
+   NaN when [b] is infinite (e.g. the -inf threshold of an unfilled
+   top-k set). *)
+let le a b = a <= b || a <= b +. 1e-9 +. (1e-12 *. Float.abs b)
+
+let fail fmt = Format.kasprintf (fun m -> raise (Violation m)) fmt
+
+let check_bounds plan (pm : Partial_match.t) =
+  let bound = Wp_score.Score_table.max_total (plan : Plan.t).scores in
+  if not (le pm.score pm.max_possible) then
+    fail "match %d: score %.6f exceeds its max_possible %.6f" pm.id pm.score
+      pm.max_possible;
+  if not (le pm.max_possible bound) then
+    fail "match %d: max_possible %.6f exceeds the static score bound %.6f"
+      pm.id pm.max_possible bound
+
+let check_root plan pm = check_bounds plan pm
+
+let check_extension plan ~parent (ext : Partial_match.t) =
+  let p : Partial_match.t = parent in
+  if not (le p.score ext.score) then
+    fail "match %d -> %d: score decreased %.6f -> %.6f along an extension"
+      p.id ext.id p.score ext.score;
+  if not (le ext.max_possible p.max_possible) then
+    fail "match %d -> %d: max_possible increased %.6f -> %.6f along an \
+          extension (pruning is unsound)"
+      p.id ext.id p.max_possible ext.max_possible;
+  check_bounds plan ext
+
+let check_threshold ~before ~after =
+  if not (le before after) then
+    fail "top-k threshold decreased %.6f -> %.6f within an insertion" before
+      after

@@ -1,0 +1,35 @@
+(** Debug-mode runtime invariant checks.
+
+    The engines' pruning is sound only while, for every partial match,
+    the score grows and [max_possible] shrinks monotonically along
+    extensions, [score <= max_possible] always, [max_possible] never
+    exceeds the plan's static score bound, and the top-k set's k-th
+    score (the pruning threshold) never decreases within an insertion.
+    These hold by construction — unless a corrupted score table, spec
+    array or queue discipline breaks them, in which case the engine
+    silently returns wrong top-k answers.
+
+    With the environment variable [WP_CHECK_INVARIANTS] set (to
+    anything but ["0"] or the empty string), both engines assert the
+    invariants on every extension and raise {!Violation} on the first
+    breach.  The checks are skipped entirely — a single cached boolean
+    test — when the variable is unset. *)
+
+exception Violation of string
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Programmatic override of the environment variable (tests). *)
+
+val check_root : Plan.t -> Partial_match.t -> unit
+(** A fresh root match: [score <= max_possible <= static bound]. *)
+
+val check_extension : Plan.t -> parent:Partial_match.t -> Partial_match.t -> unit
+(** An extension produced by a server from [parent]: score monotonically
+    non-decreasing, [max_possible] monotonically non-increasing, and the
+    root-match bounds. *)
+
+val check_threshold : before:float -> after:float -> unit
+(** The top-k threshold observed around an insertion: non-decreasing
+    (retraction of a died match may lower it and is not checked). *)

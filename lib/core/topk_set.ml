@@ -37,6 +37,9 @@ let threshold t =
 
 let consider t ~complete (pm : Partial_match.t) =
   if complete || t.admit_partial then begin
+    let threshold_before =
+      if Invariants.enabled () then Some (threshold t) else None
+    in
     let root = Partial_match.root_binding pm in
     let entry =
       {
@@ -47,7 +50,7 @@ let consider t ~complete (pm : Partial_match.t) =
         progress = popcount pm.visited_mask;
       }
     in
-    match Hashtbl.find_opt t.by_root root with
+    (match Hashtbl.find_opt t.by_root root with
     | Some existing ->
         (* Equal scores prefer the more-processed match, so the reported
            bindings reflect a maximal match rather than an early partial
@@ -64,7 +67,10 @@ let consider t ~complete (pm : Partial_match.t) =
               Hashtbl.remove t.by_root m.root;
               Hashtbl.add t.by_root root entry
           | Some _ | None -> ()
-        end
+        end);
+    match threshold_before with
+    | Some before -> Invariants.check_threshold ~before ~after:(threshold t)
+    | None -> ()
   end
 
 let should_prune t (pm : Partial_match.t) =

@@ -88,3 +88,14 @@ val closure_with_steps :
 (** Like {!closure}, also reporting the minimal number of single-step
     relaxations needed to reach each pattern (0 for the original) — the
     "relaxation distance" used to grade answer relevance. *)
+
+val closure_labeled :
+  ?limit:int -> config -> Wp_pattern.Pattern.t ->
+  (Wp_pattern.Pattern.t * Wp_pattern.Pattern.node_id array) list
+(** Lattice enumeration with node provenance: each reachable pattern
+    comes with an array mapping its node ids to the originating node ids
+    of the input pattern (leaf deletion renumbers survivors, so the
+    mapping is not the identity).  Unlike {!closure}, deduplication
+    distinguishes same-shaped patterns with different provenance — the
+    lattice the static analyzer checks server predicates against.
+    @raise Failure if the closure exceeds [limit]. *)

@@ -103,11 +103,15 @@ let pair_count t ~anc ~desc ~depth =
       Hashtbl.fold (fun _ ps acc -> acc + ps.by_depth.(depth)) t.pairs 0
 
 let pairs_in_relation t ~anc ~desc (r : Relation.t) =
+  (* Depths beyond the cap share the last bucket, so both bounds clamp
+     to it: a relation demanding depth > cap still admits every pair
+     recorded there (conservative for satisfiability tests). *)
+  let lo = min r.min_depth depth_cap in
   let hi =
     match r.max_depth with Some m -> min m depth_cap | None -> depth_cap
   in
   let total = ref 0 in
-  for d = r.min_depth to hi do
+  for d = lo to hi do
     total := !total + pair_count t ~anc ~desc ~depth:(d - 1)
   done;
   !total

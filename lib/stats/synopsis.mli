@@ -33,6 +33,13 @@ val pair_count : t -> anc:string -> desc:string -> depth:int -> int
 (** Number of (ancestor, descendant) pairs with the given tags at
     exactly the given depth difference (capped). *)
 
+val pairs_in_relation : t -> anc:string -> desc:string -> Wp_relax.Relation.t -> int
+(** Total number of (ancestor, descendant) pairs with the given tags
+    whose depth difference satisfies the relation (buckets beyond
+    {!depth_cap} are included conservatively).  Zero means no node pair
+    in the document can satisfy a structural predicate carrying this
+    relation — the satisfiability test the static analyzer performs. *)
+
 val expected_related :
   t -> anc:string -> desc:string -> Wp_relax.Relation.t -> float
 (** Expected number of [desc]-tagged nodes related to one [anc]-tagged

@@ -23,8 +23,14 @@ let read_u32 ic =
   let d = input_byte ic in
   a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
 
+let remaining ic = in_channel_length ic - pos_in ic
+
 let read_string ic =
   let n = read_u32 ic in
+  (* Never trust a length field further than the bytes actually left:
+     a corrupt or truncated file must fail before a multi-gigabyte
+     allocation, not after. *)
+  if n > remaining ic then raise End_of_file;
   really_input_string ic n
 
 let write oc doc =
@@ -68,12 +74,18 @@ let read ic =
     with End_of_file -> fail "truncated header"
   in
   if not (String.equal header magic) then fail "bad magic";
-  let v = read_u8 ic in
-  if v <> version then fail (Printf.sprintf "unsupported version %d" v);
   try
+    let v = read_u8 ic in
+    if v <> version then fail (Printf.sprintf "unsupported version %d" v);
     let n = read_u32 ic in
     if n = 0 then fail "empty document";
+    (* Each node record is 4 u32s; each string costs at least its length
+       prefix.  Counts beyond what the file can hold are corruption —
+       reject them before sizing any array after them. *)
+    if n > remaining ic / 16 then fail "node count exceeds file size";
     let n_strings = read_u32 ic in
+    if n_strings > remaining ic / 4 then
+      fail "string count exceeds file size";
     let strings = Array.make (n_strings + 1) "" in
     for i = 1 to n_strings do
       strings.(i) <- read_string ic

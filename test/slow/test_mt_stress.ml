@@ -1,0 +1,35 @@
+(* Whirlpool-M coordination stress: many repeated runs, also with
+   several worker domains per server, must all terminate and agree with
+   the single-threaded reference.  Adverse schedules let queues grow and
+   interleavings vary, so this is the suite's main flakiness and
+   wall-clock sink — hence @slow. *)
+
+open Whirlpool
+
+let idx = Lazy.force Fixtures.xmark_index
+let parse = Fixtures.parse
+
+let test_repeated_runs_terminate () =
+  let plan = Run.compile idx (parse Fixtures.q1) in
+  let reference = Fixtures.sorted_scores (Engine.run plan ~k:5).answers in
+  for _ = 1 to 20 do
+    let m = Engine_mt.run plan ~k:5 in
+    Fixtures.check_scores_equal ~msg:"repeated W-M run" reference
+      (Fixtures.sorted_scores m.answers)
+  done
+
+let test_multi_worker_runs () =
+  let plan = Run.compile idx (parse Fixtures.q2) in
+  let reference = Fixtures.sorted_scores (Engine.run plan ~k:10).answers in
+  for _ = 1 to 5 do
+    let m = Engine_mt.run ~threads_per_server:2 plan ~k:10 in
+    Fixtures.check_scores_equal ~msg:"2-worker W-M run" reference
+      (Fixtures.sorted_scores m.answers)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "repeated runs terminate" `Slow
+      test_repeated_runs_terminate;
+    Alcotest.test_case "multi-worker runs" `Slow test_multi_worker_runs;
+  ]

@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "whirlpool-slow"
+    [ ("fuzz", Test_fuzz.suite); ("mt-stress", Test_mt_stress.suite) ]

@@ -1,0 +1,114 @@
+(* The WP_CHECK_INVARIANTS runtime checker: engines pass under checking,
+   and deliberately broken score bounds are caught. *)
+
+open Whirlpool
+
+let idx = Fixtures.books_index
+let parse = Fixtures.parse
+
+let with_checking f =
+  Invariants.set_enabled true;
+  Fun.protect ~finally:(fun () -> Invariants.set_enabled false) f
+
+let test_engines_pass_under_checking () =
+  with_checking (fun () ->
+      List.iter
+        (fun q ->
+          let plan = Run.compile idx (parse q) in
+          let reference = Fixtures.sorted_scores (Engine.run plan ~k:3).answers in
+          let m = Engine_mt.run plan ~k:3 in
+          Fixtures.check_scores_equal ~msg:("checked run of " ^ q) reference
+            (Fixtures.sorted_scores m.answers);
+          ignore (Engine.run_above plan ~threshold:0.0))
+        [ Fixtures.q2a; Fixtures.q2c; Fixtures.q2d ];
+      let xidx = Lazy.force Fixtures.xmark_index in
+      let plan = Run.compile xidx (parse Fixtures.q2) in
+      ignore (Engine.run plan ~k:5);
+      ignore (Engine_mt.run plan ~k:5))
+
+let test_broken_static_bound_caught () =
+  (* A match whose max_possible was computed against one score table,
+     checked against a plan whose table was deflated afterwards: its
+     bound now exceeds the static bound, which must be caught. *)
+  let plan = Run.compile idx (parse Fixtures.q2d) in
+  let total = Wp_score.Score_table.max_total plan.scores in
+  Alcotest.(check bool) "plan has a positive bound" true (total > 0.0);
+  let pm =
+    Partial_match.create_root ~plan_servers:plan.n_servers ~id:1 ~root:1
+      ~weight:total ~max_rest:total
+  in
+  Alcotest.check_raises "inflated bound caught"
+    (Invariants.Violation
+       (Printf.sprintf
+          "match 1: max_possible %.6f exceeds the static score bound %.6f"
+          (2.0 *. total) total))
+    (fun () -> Invariants.check_root plan pm)
+
+let test_score_above_bound_caught () =
+  let plan = Run.compile idx (parse Fixtures.q2d) in
+  let pm =
+    Partial_match.create_root ~plan_servers:plan.n_servers ~id:7 ~root:1
+      ~weight:1.0 ~max_rest:0.0
+  in
+  pm.score <- 2.0;
+  pm.max_possible <- 1.0;
+  Alcotest.(check bool) "score > max_possible caught" true
+    (match Invariants.check_root plan pm with
+    | () -> false
+    | exception Invariants.Violation _ -> true)
+
+let test_non_monotone_extension_caught () =
+  let plan = Run.compile idx (parse Fixtures.q2d) in
+  let parent =
+    Partial_match.create_root ~plan_servers:plan.n_servers ~id:1 ~root:1
+      ~weight:0.1 ~max_rest:0.2
+  in
+  (* Extending with a weight above the server's own maximum raises
+     max_possible along the extension — exactly the non-monotone bound
+     the checker exists for. *)
+  let ext =
+    Partial_match.extend parent ~id:2 ~server:1 ~binding:(Some 5) ~weight:0.4
+      ~server_max:0.1
+  in
+  Alcotest.(check bool) "max_possible increased" true
+    (ext.max_possible > parent.max_possible);
+  Alcotest.(check bool) "violation raised" true
+    (match Invariants.check_extension plan ~parent ext with
+    | () -> false
+    | exception Invariants.Violation _ -> true);
+  (* A well-behaved extension passes. *)
+  let ok =
+    Partial_match.extend parent ~id:3 ~server:1 ~binding:(Some 5) ~weight:0.05
+      ~server_max:0.2
+  in
+  Invariants.check_extension plan ~parent ok
+
+let test_threshold_monotonicity_checked () =
+  Invariants.check_threshold ~before:1.0 ~after:1.5;
+  Invariants.check_threshold ~before:neg_infinity ~after:0.0;
+  Alcotest.(check bool) "decreasing threshold caught" true
+    (match Invariants.check_threshold ~before:2.0 ~after:1.0 with
+    | () -> false
+    | exception Invariants.Violation _ -> true)
+
+let test_enabled_toggle () =
+  Invariants.set_enabled false;
+  Alcotest.(check bool) "disabled" false (Invariants.enabled ());
+  Invariants.set_enabled true;
+  Alcotest.(check bool) "enabled" true (Invariants.enabled ());
+  Invariants.set_enabled false
+
+let suite =
+  [
+    Alcotest.test_case "engines pass under checking" `Quick
+      test_engines_pass_under_checking;
+    Alcotest.test_case "broken static bound caught" `Quick
+      test_broken_static_bound_caught;
+    Alcotest.test_case "score above bound caught" `Quick
+      test_score_above_bound_caught;
+    Alcotest.test_case "non-monotone extension caught" `Quick
+      test_non_monotone_extension_caught;
+    Alcotest.test_case "threshold monotonicity checked" `Quick
+      test_threshold_monotonicity_checked;
+    Alcotest.test_case "enabled toggle" `Quick test_enabled_toggle;
+  ]
