@@ -46,12 +46,12 @@ let index_for ?(seed = 42) target_bytes =
   match Hashtbl.find_opt doc_cache target_bytes with
   | Some idx -> idx
   | None ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Whirlpool.Clock.now () in
       let doc = Wp_xmark.Generator.generate_doc ~seed ~target_bytes () in
       let idx = Index.build doc in
       Printf.printf "  [generated %d-byte document: %d nodes, %.1fs]\n%!"
         target_bytes (Wp_xml.Doc.size doc)
-        (Unix.gettimeofday () -. t0);
+        (Whirlpool.Clock.now () -. t0);
       Hashtbl.add doc_cache target_bytes idx;
       idx
 
@@ -84,10 +84,11 @@ let clear_caches () =
   Hashtbl.reset plan_cache;
   Gc.compact ()
 
+(* Monotonic (NTP-step-proof) wall clock shared with the engines. *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Whirlpool.Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Whirlpool.Clock.now () -. t0)
 
 (* Robust wall-clock: median of [runs] runs (first run warms caches). *)
 let timed_runs ?(runs = 3) f =
@@ -166,12 +167,12 @@ let measure_decision_costs plan =
   let pm = List.hd pms in
   let iters = 20_000 in
   let time_routing routing =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Whirlpool.Clock.now () in
     for _ = 1 to iters do
       ignore
         (Whirlpool.Strategy.choose_next routing plan ~threshold:1.0 pm)
     done;
-    (Unix.gettimeofday () -. t0) /. float_of_int iters
+    (Whirlpool.Clock.now () -. t0) /. float_of_int iters
   in
   let adaptive = time_routing Whirlpool.Strategy.Min_alive in
   let static =

@@ -62,10 +62,10 @@ let run_selected quick csv names =
     "(defaults: %d-byte document, k=%d; see DESIGN.md for the experiment \
      index)\n"
     scale.Common.default_size scale.Common.default_k;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Whirlpool.Clock.now () in
   List.iter (fun n -> (List.assoc n exhibits) scale) (dedup names);
   Common.close_csv ();
-  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nTotal bench time: %.1fs\n" (Whirlpool.Clock.now () -. t0)
 
 open Cmdliner
 

@@ -1,0 +1,325 @@
+type tid = int
+type atomic_kind = Get | Set | Rmw
+type access_kind = Read | Write
+
+type event =
+  | Spawn of { parent : tid; child : tid; name : string }
+  | Exit of { tid : tid }
+  | Join of { tid : tid; child : tid }
+  | Acquire of { tid : tid; lock : string }
+  | Release of { tid : tid; lock : string }
+  | Atomic of { tid : tid; loc : string; kind : atomic_kind; value : int }
+  | Access of { tid : tid; loc : string; kind : access_kind }
+
+let pp_event ppf = function
+  | Spawn { parent; child; name } ->
+      Format.fprintf ppf "t%d spawns t%d (%s)" parent child name
+  | Exit { tid } -> Format.fprintf ppf "t%d exits" tid
+  | Join { tid; child } -> Format.fprintf ppf "t%d joins t%d" tid child
+  | Acquire { tid; lock } -> Format.fprintf ppf "t%d acquires %s" tid lock
+  | Release { tid; lock } -> Format.fprintf ppf "t%d releases %s" tid lock
+  | Atomic { tid; loc; kind; value } ->
+      Format.fprintf ppf "t%d %s %s -> %d" tid
+        (match kind with Get -> "gets" | Set -> "sets" | Rmw -> "updates")
+        loc value
+  | Access { tid; loc; kind } ->
+      Format.fprintf ppf "t%d %s %s" tid
+        (match kind with Read -> "reads" | Write -> "writes")
+        loc
+
+module Vc = struct
+  type t = int array
+
+  let empty = [||]
+  let get v i = if i >= 0 && i < Array.length v then v.(i) else 0
+
+  let ensure v n =
+    if Array.length v >= n then Array.copy v
+    else Array.init n (fun i -> get v i)
+
+  let tick v i =
+    let v' = ensure v (i + 1) in
+    v'.(i) <- v'.(i) + 1;
+    v'
+
+  let join a b =
+    let n = max (Array.length a) (Array.length b) in
+    Array.init n (fun i -> max (get a i) (get b i))
+
+  let leq a b =
+    let ok = ref true in
+    Array.iteri (fun i x -> if x > get b i then ok := false) a;
+    !ok
+
+  let pp ppf v =
+    Format.fprintf ppf "[%s]"
+      (String.concat ";" (Array.to_list (Array.map string_of_int v)))
+end
+
+let thread_names events =
+  List.fold_left
+    (fun acc ev ->
+      match ev with
+      | Spawn { child; name; _ } -> (child, name) :: acc
+      | Exit _ | Join _ | Acquire _ | Release _ | Atomic _ | Access _ -> acc)
+    [ (0, "main") ] events
+  |> List.rev
+
+let name_of names tid =
+  match List.assoc_opt tid names with
+  | Some n -> Printf.sprintf "%s (t%d)" n tid
+  | None -> Printf.sprintf "t%d" tid
+
+(* --- vector-clock replay shared by the detectors --- *)
+
+(* Per-location access history for the race check: the last write (with
+   the writer's clock) plus every read since, one per thread. *)
+type loc_state = {
+  mutable last_write : (tid * Vc.t) option;
+  mutable reads : (tid * Vc.t) list;
+}
+
+let races events =
+  let names = thread_names events in
+  let clocks : (tid, Vc.t) Hashtbl.t = Hashtbl.create 8 in
+  let finals : (tid, Vc.t) Hashtbl.t = Hashtbl.create 8 in
+  let locks : (string, Vc.t) Hashtbl.t = Hashtbl.create 8 in
+  let atomics : (string, Vc.t) Hashtbl.t = Hashtbl.create 8 in
+  let locs : (string, loc_state) Hashtbl.t = Hashtbl.create 8 in
+  let reported : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let findings = ref [] in
+  let clock t =
+    match Hashtbl.find_opt clocks t with
+    | Some c -> c
+    | None ->
+        let c = Vc.tick Vc.empty t in
+        Hashtbl.replace clocks t c;
+        c
+  in
+  let set_clock t c = Hashtbl.replace clocks t c in
+  let loc_state l =
+    match Hashtbl.find_opt locs l with
+    | Some s -> s
+    | None ->
+        let s = { last_write = None; reads = [] } in
+        Hashtbl.add locs l s;
+        s
+  in
+  let report loc kind_a ta kind_b tb =
+    if not (Hashtbl.mem reported loc) then begin
+      Hashtbl.add reported loc ();
+      let verb = function Read -> "read" | Write -> "write" in
+      findings :=
+        Diagnostic.errorf "race/unsynchronized"
+          "unsynchronized %s/%s on %s between %s and %s (no happens-before \
+           edge orders them)"
+          (verb kind_a) (verb kind_b) loc (name_of names ta) (name_of names tb)
+        :: !findings
+    end
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Spawn { parent; child; _ } ->
+          let cp = clock parent in
+          set_clock child (Vc.tick (Vc.join (clock child) cp) child);
+          set_clock parent (Vc.tick cp parent)
+      | Exit { tid } -> Hashtbl.replace finals tid (clock tid)
+      | Join { tid; child } ->
+          let final =
+            match Hashtbl.find_opt finals child with
+            | Some c -> c
+            | None -> clock child
+          in
+          set_clock tid (Vc.join (clock tid) final)
+      | Acquire { tid; lock } -> (
+          match Hashtbl.find_opt locks lock with
+          | Some lc -> set_clock tid (Vc.join (clock tid) lc)
+          | None -> ())
+      | Release { tid; lock } ->
+          Hashtbl.replace locks lock (clock tid);
+          set_clock tid (Vc.tick (clock tid) tid)
+      | Atomic { tid; loc; kind; _ } -> (
+          let ac =
+            match Hashtbl.find_opt atomics loc with
+            | Some c -> c
+            | None -> Vc.empty
+          in
+          match kind with
+          | Get -> set_clock tid (Vc.join (clock tid) ac)
+          | Set ->
+              Hashtbl.replace atomics loc (Vc.join ac (clock tid));
+              set_clock tid (Vc.tick (clock tid) tid)
+          | Rmw ->
+              let c = Vc.join (clock tid) ac in
+              Hashtbl.replace atomics loc c;
+              set_clock tid (Vc.tick c tid))
+      | Access { tid; loc; kind } -> (
+          let st = loc_state loc in
+          let c = clock tid in
+          (match st.last_write with
+          | Some (tw, wc) when tw <> tid && not (Vc.leq wc c) ->
+              report loc Write tw kind tid
+          | Some _ | None -> ());
+          match kind with
+          | Read -> st.reads <- (tid, c) :: List.remove_assoc tid st.reads
+          | Write ->
+              List.iter
+                (fun (tr, rc) ->
+                  if tr <> tid && not (Vc.leq rc c) then
+                    report loc Read tr Write tid)
+                st.reads;
+              st.last_write <- Some (tid, c);
+              st.reads <- []))
+    events;
+  List.rev !findings
+
+(* --- lock-order graph --- *)
+
+module Lock_graph = struct
+  (* Edge a -> b: some thread acquired b while holding a. *)
+  type t = {
+    edges : (string * string, unit) Hashtbl.t;
+    mutable lock_names : string list;
+  }
+
+  let create () = { edges = Hashtbl.create 16; lock_names = [] }
+
+  let note_lock g l =
+    if not (List.mem l g.lock_names) then g.lock_names <- l :: g.lock_names
+
+  let add_trace g events =
+    let held : (tid, string list) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Acquire { tid; lock } ->
+            note_lock g lock;
+            let hs =
+              Option.value ~default:[] (Hashtbl.find_opt held tid)
+            in
+            List.iter
+              (fun h ->
+                if not (Hashtbl.mem g.edges (h, lock)) then
+                  Hashtbl.add g.edges (h, lock) ())
+              hs;
+            Hashtbl.replace held tid (lock :: hs)
+        | Release { tid; lock } ->
+            let hs =
+              Option.value ~default:[] (Hashtbl.find_opt held tid)
+            in
+            let rec drop = function
+              | [] -> []
+              | h :: tl -> if String.equal h lock then tl else h :: drop tl
+            in
+            Hashtbl.replace held tid (drop hs)
+        | Spawn _ | Exit _ | Join _ | Atomic _ | Access _ -> ())
+      events
+
+  let successors g a =
+    Hashtbl.fold
+      (fun (x, y) () acc -> if String.equal x a then y :: acc else acc)
+      g.edges []
+    |> List.sort String.compare
+
+  (* One representative cycle through each node found on a back edge. *)
+  let cycles g =
+    let color : (string, [ `Gray | `Black ]) Hashtbl.t = Hashtbl.create 8 in
+    let found = ref [] in
+    let rec dfs path node =
+      match Hashtbl.find_opt color node with
+      | Some `Black -> ()
+      | Some `Gray ->
+          let rec cycle_from = function
+            | [] -> []
+            | x :: tl ->
+                if String.equal x node then [ x ] else x :: cycle_from tl
+          in
+          found := List.rev (cycle_from path) :: !found
+      | None ->
+          Hashtbl.replace color node `Gray;
+          List.iter (dfs (node :: path)) (successors g node);
+          Hashtbl.replace color node `Black
+    in
+    List.iter (dfs []) (List.sort String.compare g.lock_names);
+    List.rev !found
+
+  let check ?rank g =
+    let hierarchy =
+      match rank with
+      | None -> []
+      | Some rank ->
+          Hashtbl.fold
+            (fun (a, b) () acc ->
+              match (rank a, rank b) with
+              | Some ra, Some rb when ra >= rb ->
+                  Diagnostic.errorf "lock-order/hierarchy"
+                    "%s (rank %d) acquired while holding %s (rank %d): lock \
+                     ranks must strictly increase along nesting"
+                    b rb a ra
+                  :: acc
+              | _, _ -> acc)
+            g.edges []
+    in
+    let cycles =
+      List.map
+        (fun cycle ->
+          Diagnostic.errorf "lock-order/cycle"
+            "cyclic lock acquisition order %s: schedules exist that deadlock"
+            (String.concat " -> " (cycle @ [ List.hd cycle ])))
+        (cycles g)
+    in
+    Diagnostic.sort (hierarchy @ cycles)
+end
+
+let lock_order ?rank events =
+  let g = Lock_graph.create () in
+  Lock_graph.add_trace g events;
+  Lock_graph.check ?rank g
+
+(* --- shutdown counter checks --- *)
+
+let shutdown ?(initial = 0) ?(completed = true) ~pending_loc events =
+  let value = ref initial in
+  let negative = ref None in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Atomic { tid; loc; kind = Set | Rmw; value = v }
+        when String.equal loc pending_loc ->
+          value := v;
+          if v < 0 && !negative = None then negative := Some (tid, v)
+      | Atomic _ | Spawn _ | Exit _ | Join _ | Acquire _ | Release _
+      | Access _ ->
+          ())
+    events;
+  let neg =
+    match !negative with
+    | Some (tid, v) ->
+        [
+          Diagnostic.errorf "shutdown/pending-negative"
+            "in-flight counter %s dropped to %d (t%d): a match was retired \
+             without being registered, so shutdown can fire early"
+            pending_loc v tid;
+        ]
+    | None -> []
+  in
+  let final =
+    if completed && !value <> 0 then
+      [
+        Diagnostic.errorf "shutdown/pending-nonzero"
+          "in-flight counter %s is %d after the run completed: matches were \
+           registered but never retired (leaked or unprocessed)"
+          pending_loc !value;
+      ]
+    else []
+  in
+  neg @ final
+
+let analyze ?rank ?pending_loc ?(completed = true) events =
+  let shutdown_diags =
+    match pending_loc with
+    | Some pending_loc -> shutdown ~completed ~pending_loc events
+    | None -> []
+  in
+  Diagnostic.sort (races events @ lock_order ?rank events @ shutdown_diags)

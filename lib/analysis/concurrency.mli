@@ -1,0 +1,99 @@
+(** Raceway — trace-level concurrency analysis for the multithreaded
+    Whirlpool engine.
+
+    The instrumented synchronization layer ({!Whirlpool.Sched}) records
+    a totally ordered trace of synchronization events and shared-memory
+    accesses as it executes one schedule of the engine.  This module
+    analyzes such traces, independent of the engine itself:
+
+    - {e vector-clock race detection} — replay the trace maintaining a
+      vector clock per thread, lock and atomic location
+      (acquire/release, spawn/join and atomic read-modify-write edges
+      define happens-before); two accesses to the same plain location,
+      at least one a write, with incomparable clocks are a data race;
+    - {e lock-order analysis} — collect the [held -> acquired] nesting
+      edges of one or many traces into a graph; a cycle means a
+      potential deadlock, and an edge that decreases (or repeats) a
+      declared lock rank violates the lock hierarchy;
+    - {e shutdown checks} — the engine terminates when an atomic count
+      of in-flight partial matches reaches zero; a count observed below
+      zero, or nonzero after a completed run, means retire/enqueue
+      pairing is broken (early shutdown or leaked matches).
+
+    Findings are reported as {!Diagnostic}s with codes in the [race/],
+    [lock-order/] and [shutdown/] classes. *)
+
+type tid = int
+(** Thread (fiber) identifier; the main thread is [0]. *)
+
+type atomic_kind = Get | Set | Rmw
+type access_kind = Read | Write
+
+type event =
+  | Spawn of { parent : tid; child : tid; name : string }
+  | Exit of { tid : tid }
+  | Join of { tid : tid; child : tid }
+  | Acquire of { tid : tid; lock : string }
+  | Release of { tid : tid; lock : string }
+  | Atomic of { tid : tid; loc : string; kind : atomic_kind; value : int }
+      (** [value] is the location's value {e after} the operation. *)
+  | Access of { tid : tid; loc : string; kind : access_kind }
+      (** A plain (non-atomic) shared-memory access. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** Vector clocks over thread ids. *)
+module Vc : sig
+  type t
+
+  val empty : t
+  val get : t -> tid -> int
+  val tick : t -> tid -> t
+  val join : t -> t -> t
+
+  val leq : t -> t -> bool
+  (** Pointwise; [leq a b] means everything [a] has seen, [b] has. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val thread_names : event list -> (tid * string) list
+(** Names from the [Spawn] events, with [0 -> "main"]. *)
+
+val races : event list -> Diagnostic.t list
+(** Vector-clock data-race detection over one trace.  At most one
+    finding per location ([race/unsynchronized], error severity). *)
+
+(** Lock-nesting edges accumulated over one or many traces (a cycle may
+    need two schedules to exhibit both orders). *)
+module Lock_graph : sig
+  type t
+
+  val create : unit -> t
+
+  val add_trace : t -> event list -> unit
+
+  val check : ?rank:(string -> int option) -> t -> Diagnostic.t list
+  (** [lock-order/hierarchy] for an edge acquiring a lock whose declared
+      rank is not strictly above every held lock's, and
+      [lock-order/cycle] for each cycle in the accumulated graph. *)
+end
+
+val lock_order : ?rank:(string -> int option) -> event list -> Diagnostic.t list
+(** One-trace convenience over {!Lock_graph}. *)
+
+val shutdown :
+  ?initial:int -> ?completed:bool -> pending_loc:string -> event list ->
+  Diagnostic.t list
+(** Check the in-flight counter at [pending_loc]:
+    [shutdown/pending-negative] if any operation leaves it below zero,
+    and — only when [completed] (default [true], pass [false] for runs
+    cut short by deadlock or step budget) — [shutdown/pending-nonzero]
+    if its final value differs from zero.  [initial] (default 0) is the
+    value before the first recorded operation. *)
+
+val analyze :
+  ?rank:(string -> int option) -> ?pending_loc:string -> ?completed:bool ->
+  event list -> Diagnostic.t list
+(** Full single-trace pipeline: {!races}, {!lock_order} and (when
+    [pending_loc] is given) {!shutdown}, sorted by severity. *)

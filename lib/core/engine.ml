@@ -1,6 +1,6 @@
 type result = { answers : Topk_set.entry list; stats : Stats.t }
 
-let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+let now_ns = Clock.now_ns
 
 (* Static gate: a plan whose pattern or predicate sequences carry
    error-severity lint findings would silently return wrong answers;

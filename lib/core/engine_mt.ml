@@ -1,235 +1,329 @@
-(* A blocking priority queue: pop waits until an element arrives or the
-   shared stop flag is raised. *)
-module Shared_queue = struct
-  type 'a t = {
-    queue : 'a Pqueue.t;
-    mutex : Mutex.t;
-    cond : Condition.t;
-    mutable seq : int;
-  }
+(* Whirlpool-M, written against the Sync signature so the identical
+   engine code runs on real domains (Sync.Real) and under the
+   deterministic instrumented scheduler (Sched) for race detection and
+   schedule exploration.
 
-  let create () =
-    { queue = Pqueue.create (); mutex = Mutex.create (); cond = Condition.create (); seq = 0 }
+   Lock hierarchy (checked by Race): queue mutexes (rank 0) below
+   topk.mutex (rank 1); in fact no thread ever holds two locks at once.
+   Shutdown protocol: [pending] counts partial matches alive in queues
+   or in flight; workers increment it for every surviving extension
+   *before* retiring the consumed match, so the count reaches zero
+   exactly when no work remains; the thread that decrements it to zero
+   raises the stop flag and broadcasts all queues awake. *)
 
-  let push t ~tie ~priority_of x =
-    Mutex.lock t.mutex;
-    t.seq <- t.seq + 1;
-    Pqueue.push t.queue ~tie (priority_of ~seq:t.seq x) x;
-    Condition.signal t.cond;
-    Mutex.unlock t.mutex
+module Fault = struct
+  type t = Drop_topk_lock | Retire_early | Skip_pending_incr
 
-  let pop t ~stopped =
-    Mutex.lock t.mutex;
-    let rec wait () =
-      match Pqueue.pop t.queue with
-      | Some x ->
-          Mutex.unlock t.mutex;
-          Some x
-      | None ->
-          if stopped () then begin
-            Mutex.unlock t.mutex;
-            None
-          end
-          else begin
-            Condition.wait t.cond t.mutex;
-            wait ()
-          end
-    in
-    wait ()
+  let to_string = function
+    | Drop_topk_lock -> "drop-topk-lock"
+    | Retire_early -> "retire-early"
+    | Skip_pending_incr -> "skip-pending-incr"
 
-  let wake_all t =
-    Mutex.lock t.mutex;
-    Condition.broadcast t.cond;
-    Mutex.unlock t.mutex
+  let of_string = function
+    | "drop-topk-lock" -> Some Drop_topk_lock
+    | "retire-early" -> Some Retire_early
+    | "skip-pending-incr" -> Some Skip_pending_incr
+    | _ -> None
+
+  let all = [ Drop_topk_lock; Retire_early; Skip_pending_incr ]
+  let pp ppf f = Format.pp_print_string ppf (to_string f)
 end
 
-let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+(* Shared-location names reported by the instrumented build; the topk
+   set is one logical location because every engine access goes through
+   with_topk. *)
+let topk_loc = "topk.set"
+let pending_loc = "pending"
 
-type shared = {
-  plan : Plan.t;
-  routing : Strategy.routing;
-  queue_policy : Strategy.queue_policy;
-  topk : Topk_set.t;
-  topk_mutex : Mutex.t;
-  router_queue : Partial_match.t Shared_queue.t;
-  server_queues : Partial_match.t Shared_queue.t array;  (* index 0 unused *)
-  pending : int Atomic.t;  (* partial matches alive in queues or in flight *)
-  stop : bool Atomic.t;
-  next_id : int Atomic.t;
-}
-
-let stopped shared () = Atomic.get shared.stop
-
-let finish shared =
-  Atomic.set shared.stop true;
-  Shared_queue.wake_all shared.router_queue;
-  Array.iter Shared_queue.wake_all shared.server_queues
-
-(* Decrement the in-flight count; the thread that reaches zero shuts the
-   system down. *)
-let retire shared =
-  if Atomic.fetch_and_add shared.pending (-1) = 1 then finish shared
-
-let router_priority shared ~seq pm =
-  Strategy.priority shared.queue_policy shared.plan ~seq ~server:None pm
-
-let server_priority shared server ~seq pm =
-  Strategy.priority shared.queue_policy shared.plan ~seq ~server:(Some server) pm
-
-let with_topk shared f =
-  Mutex.lock shared.topk_mutex;
-  let r = f shared.topk in
-  Mutex.unlock shared.topk_mutex;
-  r
-
-let router_loop shared (stats : Stats.t) =
-  let rec loop () =
-    match Shared_queue.pop shared.router_queue ~stopped:(stopped shared) with
-    | None -> ()
-    | Some pm ->
-        let pruned, threshold =
-          with_topk shared (fun topk ->
-              (Topk_set.should_prune topk pm, Topk_set.threshold topk))
-        in
-        if pruned then begin
-          stats.matches_pruned <- stats.matches_pruned + 1;
-          retire shared
-        end
-        else begin
-          let server = Strategy.choose_next shared.routing shared.plan ~threshold pm in
-          stats.routing_decisions <- stats.routing_decisions + 1;
-          Shared_queue.push shared.server_queues.(server) ~tie:pm.Partial_match.score
-            ~priority_of:(server_priority shared server) pm
-        end;
-        loop ()
-  in
-  loop ()
-
-let server_loop shared server (stats : Stats.t) =
-  let next_id () = Atomic.fetch_and_add shared.next_id 1 in
-  let rec loop () =
-    match Shared_queue.pop shared.server_queues.(server) ~stopped:(stopped shared) with
-    | None -> ()
-    | Some pm ->
-        let pruned = with_topk shared (fun topk -> Topk_set.should_prune topk pm) in
-        if pruned then stats.matches_pruned <- stats.matches_pruned + 1
-        else begin
-          let { Server.extensions; died } =
-            Server.process shared.plan stats ~next_id pm ~server
-          in
-          if Invariants.enabled () then
-            List.iter
-              (Invariants.check_extension shared.plan ~parent:pm)
-              extensions;
-          if died then with_topk shared (fun topk -> Topk_set.retract topk pm);
-          let alive =
-            List.filter_map
-              (fun ext ->
-                let complete =
-                  Partial_match.is_complete ext ~full_mask:shared.plan.full_mask
-                in
-                let keep =
-                  with_topk shared (fun topk ->
-                      Topk_set.consider topk ~complete ext;
-                      (not complete) && not (Topk_set.should_prune topk ext))
-                in
-                if complete then begin
-                  stats.completed <- stats.completed + 1;
-                  None
-                end
-                else if keep then Some ext
-                else begin
-                  stats.matches_pruned <- stats.matches_pruned + 1;
-                  None
-                end)
-              extensions
-          in
-          (* Register the new in-flight matches before retiring the
-             consumed one, so the count never dips to zero early. *)
-          List.iter
-            (fun ext ->
-              Atomic.incr shared.pending;
-              Shared_queue.push shared.router_queue ~tie:ext.Partial_match.score
-                ~priority_of:(router_priority shared) ext)
-            alive
-        end;
-        retire shared;
-        loop ()
-  in
-  loop ()
-
-let run ?(routing = Strategy.Min_alive)
-    ?(queue_policy = Strategy.Max_final_score) ?(threads_per_server = 1)
-    (plan : Plan.t) ~k =
-  if threads_per_server < 1 then
-    invalid_arg "Engine_mt.run: threads_per_server >= 1";
-  Engine.validate_plan plan;
-  let t0 = now_ns () in
-  let main_stats = Stats.create () in
-  let shared =
-    {
-      plan;
-      routing;
-      queue_policy;
-      topk = Topk_set.create ~k ~admit_partial:(Plan.admits_partial_answers plan);
-      topk_mutex = Mutex.create ();
-      router_queue = Shared_queue.create ();
-      server_queues = Array.init plan.n_servers (fun _ -> Shared_queue.create ());
-      pending = Atomic.make 0;
-      stop = Atomic.make false;
-      next_id = Atomic.make 1;
+module Make (S : Sync.S) = struct
+  (* A blocking priority queue: pop waits until an element arrives or
+     the shared stop flag is raised. *)
+  module Shared_queue = struct
+    type 'a t = {
+      queue : 'a Pqueue.t;
+      mutex : S.mutex;
+      cond : S.condition;
+      mutable seq : int;
+      state_loc : string;  (* race-detection name for seq + heap *)
     }
-  in
-  let next_id () = Atomic.fetch_and_add shared.next_id 1 in
-  let initial = Server.initial_matches plan main_stats ~next_id in
-  let single_node = plan.n_servers = 1 in
-  let to_route =
-    List.filter_map
-      (fun pm ->
-        Topk_set.consider shared.topk ~complete:single_node pm;
-        if single_node then begin
-          main_stats.completed <- main_stats.completed + 1;
-          None
-        end
-        else if Topk_set.should_prune shared.topk pm then begin
-          main_stats.matches_pruned <- main_stats.matches_pruned + 1;
-          None
-        end
-        else Some pm)
-      initial
-  in
-  if to_route = [] then Atomic.set shared.stop true
-  else begin
-    Atomic.set shared.pending (List.length to_route);
-    List.iter
-      (fun pm ->
-        Shared_queue.push shared.router_queue ~tie:pm.Partial_match.score
-          ~priority_of:(router_priority shared) pm)
-      to_route
-  end;
-  let router_stats = Stats.create () in
-  let server_stats =
-    Array.init (plan.n_servers * threads_per_server) (fun _ -> Stats.create ())
-  in
-  let router_domain =
-    Domain.spawn (fun () -> router_loop shared router_stats)
-  in
-  (* One or more worker domains per server, all draining that server's
-     queue. *)
-  let server_domains =
-    List.concat_map
-      (fun i ->
-        let s = i + 1 in
-        List.init threads_per_server (fun t ->
-            let stats = server_stats.(((s - 1) * threads_per_server) + t) in
-            Domain.spawn (fun () -> server_loop shared s stats)))
-      (List.init (plan.n_servers - 1) Fun.id)
-  in
-  Domain.join router_domain;
-  List.iter Domain.join server_domains;
-  let stats = Stats.create () in
-  Stats.add stats main_stats;
-  Stats.add stats router_stats;
-  Array.iter (Stats.add stats) server_stats;
-  stats.wall_ns <- Int64.sub (now_ns ()) t0;
-  { Engine.answers = Topk_set.entries shared.topk; stats }
+
+    let create name =
+      {
+        queue = Pqueue.create ();
+        mutex = S.mutex (name ^ ".mutex");
+        cond = S.condition (name ^ ".cond");
+        seq = 0;
+        state_loc = name ^ ".state";
+      }
+
+    (* Exception-safe critical section: a raising callback (or a Pqueue
+       bug) must not leave the mutex held and deadlock the other
+       domains. *)
+    let with_lock t f =
+      S.lock t.mutex;
+      Fun.protect ~finally:(fun () -> S.unlock t.mutex) f
+
+    let push t ~tie ~priority_of x =
+      with_lock t (fun () ->
+          t.seq <- t.seq + 1;
+          S.note_write t.state_loc;
+          Pqueue.push t.queue ~tie (priority_of ~seq:t.seq x) x;
+          S.signal t.cond)
+
+    let pop t ~stopped =
+      with_lock t (fun () ->
+          let rec wait () =
+            S.note_write t.state_loc;
+            match Pqueue.pop t.queue with
+            | Some x -> Some x
+            | None ->
+                if stopped () then None
+                else begin
+                  S.wait t.cond t.mutex;
+                  wait ()
+                end
+          in
+          wait ())
+
+    let wake_all t = with_lock t (fun () -> S.broadcast t.cond)
+  end
+
+  type shared = {
+    plan : Plan.t;
+    routing : Strategy.routing;
+    queue_policy : Strategy.queue_policy;
+    topk : Topk_set.t;
+    topk_mutex : S.mutex;
+    router_queue : Partial_match.t Shared_queue.t;
+    server_queues : Partial_match.t Shared_queue.t array;  (* index 0 unused *)
+    pending : S.atomic_int;  (* partial matches alive in queues or in flight *)
+    stop : S.atomic_int;
+    next_id : S.atomic_int;
+    drop_topk_lock : bool;
+    retire_early : bool;
+    skip_pending_incr : bool;
+  }
+
+  let stopped shared () = S.get shared.stop <> 0
+
+  let finish shared =
+    S.set shared.stop 1;
+    Shared_queue.wake_all shared.router_queue;
+    Array.iter Shared_queue.wake_all shared.server_queues
+
+  (* Decrement the in-flight count; the thread that reaches zero shuts
+     the system down. *)
+  let retire shared =
+    if S.fetch_and_add shared.pending (-1) = 1 then finish shared
+
+  let router_priority shared ~seq pm =
+    Strategy.priority shared.queue_policy shared.plan ~seq ~server:None pm
+
+  let server_priority shared server ~seq pm =
+    Strategy.priority shared.queue_policy shared.plan ~seq ~server:(Some server)
+      pm
+
+  let with_topk shared f =
+    if shared.drop_topk_lock then begin
+      S.note_write topk_loc;
+      f shared.topk
+    end
+    else begin
+      S.lock shared.topk_mutex;
+      Fun.protect
+        ~finally:(fun () -> S.unlock shared.topk_mutex)
+        (fun () ->
+          S.note_write topk_loc;
+          f shared.topk)
+    end
+
+  let router_loop shared (stats : Stats.t) =
+    let rec loop () =
+      match Shared_queue.pop shared.router_queue ~stopped:(stopped shared) with
+      | None -> ()
+      | Some pm ->
+          S.note_write "stats.router";
+          let pruned, threshold =
+            with_topk shared (fun topk ->
+                (Topk_set.should_prune topk pm, Topk_set.threshold topk))
+          in
+          if pruned then begin
+            stats.matches_pruned <- stats.matches_pruned + 1;
+            retire shared
+          end
+          else begin
+            let server =
+              Strategy.choose_next shared.routing shared.plan ~threshold pm
+            in
+            stats.routing_decisions <- stats.routing_decisions + 1;
+            Shared_queue.push shared.server_queues.(server)
+              ~tie:pm.Partial_match.score
+              ~priority_of:(server_priority shared server) pm
+          end;
+          loop ()
+    in
+    loop ()
+
+  let server_loop shared server ~stats_loc (stats : Stats.t) =
+    let next_id () = S.fetch_and_add shared.next_id 1 in
+    let rec loop () =
+      match
+        Shared_queue.pop shared.server_queues.(server)
+          ~stopped:(stopped shared)
+      with
+      | None -> ()
+      | Some pm ->
+          S.note_write stats_loc;
+          let pruned =
+            with_topk shared (fun topk -> Topk_set.should_prune topk pm)
+          in
+          if pruned then begin
+            stats.matches_pruned <- stats.matches_pruned + 1;
+            retire shared
+          end
+          else begin
+            let { Server.extensions; died } =
+              Server.process shared.plan stats ~next_id pm ~server
+            in
+            if Invariants.enabled () then
+              List.iter
+                (Invariants.check_extension shared.plan ~parent:pm)
+                extensions;
+            if died then with_topk shared (fun topk -> Topk_set.retract topk pm);
+            let alive =
+              List.filter_map
+                (fun ext ->
+                  let complete =
+                    Partial_match.is_complete ext
+                      ~full_mask:shared.plan.full_mask
+                  in
+                  let keep =
+                    with_topk shared (fun topk ->
+                        Topk_set.consider topk ~complete ext;
+                        (not complete) && not (Topk_set.should_prune topk ext))
+                  in
+                  if complete then begin
+                    stats.completed <- stats.completed + 1;
+                    None
+                  end
+                  else if keep then Some ext
+                  else begin
+                    stats.matches_pruned <- stats.matches_pruned + 1;
+                    None
+                  end)
+                extensions
+            in
+            (* Register the new in-flight matches before retiring the
+               consumed one, so the count never dips to zero early.
+               (The Retire_early / Skip_pending_incr faults break
+               exactly this protocol, for detector validation.) *)
+            if shared.retire_early then retire shared;
+            List.iter
+              (fun ext ->
+                if not shared.skip_pending_incr then S.incr shared.pending;
+                Shared_queue.push shared.router_queue
+                  ~tie:ext.Partial_match.score
+                  ~priority_of:(router_priority shared) ext)
+              alive;
+            if not shared.retire_early then retire shared
+          end;
+          loop ()
+    in
+    loop ()
+
+  let run ?(faults = []) ?(routing = Strategy.Min_alive)
+      ?(queue_policy = Strategy.Max_final_score) ?(threads_per_server = 1)
+      (plan : Plan.t) ~k =
+    if threads_per_server < 1 then
+      invalid_arg "Engine_mt.run: threads_per_server >= 1";
+    Engine.validate_plan plan;
+    let t0 = Clock.now_ns () in
+    let main_stats = Stats.create () in
+    let shared =
+      {
+        plan;
+        routing;
+        queue_policy;
+        topk =
+          Topk_set.create ~k ~admit_partial:(Plan.admits_partial_answers plan);
+        topk_mutex = S.mutex "topk.mutex";
+        router_queue = Shared_queue.create "queue.router";
+        server_queues =
+          Array.init plan.n_servers (fun i ->
+              Shared_queue.create (Printf.sprintf "queue.server.%d" i));
+        pending = S.atomic pending_loc 0;
+        stop = S.atomic "stop" 0;
+        next_id = S.atomic "next_id" 1;
+        drop_topk_lock = List.mem Fault.Drop_topk_lock faults;
+        retire_early = List.mem Fault.Retire_early faults;
+        skip_pending_incr = List.mem Fault.Skip_pending_incr faults;
+      }
+    in
+    let next_id () = S.fetch_and_add shared.next_id 1 in
+    let initial = Server.initial_matches plan main_stats ~next_id in
+    let single_node = plan.n_servers = 1 in
+    let to_route =
+      List.filter_map
+        (fun pm ->
+          S.note_write topk_loc;
+          Topk_set.consider shared.topk ~complete:single_node pm;
+          if single_node then begin
+            main_stats.completed <- main_stats.completed + 1;
+            None
+          end
+          else if Topk_set.should_prune shared.topk pm then begin
+            main_stats.matches_pruned <- main_stats.matches_pruned + 1;
+            None
+          end
+          else Some pm)
+        initial
+    in
+    if to_route = [] then S.set shared.stop 1
+    else begin
+      S.set shared.pending (List.length to_route);
+      List.iter
+        (fun pm ->
+          Shared_queue.push shared.router_queue ~tie:pm.Partial_match.score
+            ~priority_of:(router_priority shared) pm)
+        to_route
+    end;
+    let router_stats = Stats.create () in
+    let server_stats =
+      Array.init
+        (plan.n_servers * threads_per_server)
+        (fun _ -> Stats.create ())
+    in
+    let router_handle =
+      S.spawn "router" (fun () -> router_loop shared router_stats)
+    in
+    (* One or more worker domains per server, all draining that server's
+       queue. *)
+    let server_handles =
+      List.concat_map
+        (fun i ->
+          let s = i + 1 in
+          List.init threads_per_server (fun t ->
+              let stats = server_stats.(((s - 1) * threads_per_server) + t) in
+              S.spawn
+                (Printf.sprintf "server.%d.%d" s t)
+                (fun () ->
+                  server_loop shared s
+                    ~stats_loc:(Printf.sprintf "stats.server.%d.%d" s t)
+                    stats)))
+        (List.init (plan.n_servers - 1) Fun.id)
+    in
+    S.join router_handle;
+    List.iter S.join server_handles;
+    let stats = Stats.create () in
+    Stats.add stats main_stats;
+    Stats.add stats router_stats;
+    Array.iter (Stats.add stats) server_stats;
+    stats.wall_ns <- Int64.sub (Clock.now_ns ()) t0;
+    S.note_read topk_loc;
+    { Engine.answers = Topk_set.entries shared.topk; stats }
+end
+
+module Default = Make (Sync.Real)
+
+let run ?routing ?queue_policy ?threads_per_server plan ~k =
+  Default.run ?routing ?queue_policy ?threads_per_server plan ~k

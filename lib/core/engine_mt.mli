@@ -12,7 +12,53 @@
     pruning decisions — and hence the operation counts — can differ from
     run to run and from Whirlpool-S; the paper observes exactly this
     effect (Section 6.3.5: the threshold grows at a different pace,
-    changing the adaptive routing choices). *)
+    changing the adaptive routing choices).
+
+    The engine is a functor over {!Sync.S}: {!run} instantiates it with
+    real domains, while {!Race} instantiates it with the deterministic
+    instrumented scheduler ({!Sched}) for lock-order analysis, race
+    detection and schedule exploration.  DESIGN.md ("Concurrency
+    model") documents the lock hierarchy, the happens-before edges and
+    the shutdown protocol the analyzer checks. *)
+
+(** Injectable concurrency defects, exercised by the race-detection
+    tests and by [wp_cli race --inject] to demonstrate the analyzers.
+    Never enabled by the plain {!run}. *)
+module Fault : sig
+  type t =
+    | Drop_topk_lock  (** access the shared top-k set without its mutex *)
+    | Retire_early
+        (** retire a consumed match before its surviving extensions are
+            registered in the in-flight count *)
+    | Skip_pending_incr
+        (** enqueue extensions without incrementing the in-flight count *)
+
+  val to_string : t -> string
+  val of_string : string -> t option
+  val all : t list
+  val pp : Format.formatter -> t -> unit
+end
+
+val topk_loc : string
+(** Shared-location name under which instrumented runs report top-k-set
+    accesses. *)
+
+val pending_loc : string
+(** Atomic-location name of the in-flight counter, for
+    {!Wp_analysis.Concurrency.shutdown}. *)
+
+module Make (S : Sync.S) : sig
+  val run :
+    ?faults:Fault.t list ->
+    ?routing:Strategy.routing ->
+    ?queue_policy:Strategy.queue_policy ->
+    ?threads_per_server:int ->
+    Plan.t ->
+    k:int ->
+    Engine.result
+  (** As the top-level {!run}; [faults] (default none) injects the
+      given defects for detector validation. *)
+end
 
 val run :
   ?routing:Strategy.routing ->

@@ -1,4 +1,4 @@
-let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+let now_ns = Clock.now_ns
 
 let run ?order ?(queue_policy = Strategy.Max_final_score) ?(prune = true)
     (plan : Plan.t) ~k =

@@ -1,0 +1,335 @@
+module C = Wp_analysis.Concurrency
+
+type fiber_state = Runnable | Blocked | Done
+
+type fiber = {
+  fid : int;
+  fname : string;
+  mutable fstate : fiber_state;
+  mutable start : (unit -> unit) option;  (* not yet started *)
+  mutable resume : (unit, unit) Effect.Deep.continuation option;
+  mutable joiners : fiber list;
+  mutable failure : exn option;
+}
+
+type mutex_i = {
+  m_name : string;
+  mutable owner : int option;  (* fid *)
+  mutable m_waiters : fiber list;  (* FIFO *)
+}
+
+type cond_i = { mutable c_waiters : fiber list (* FIFO *) }
+
+type reason =
+  | Point  (* plain scheduling point; fiber stays runnable *)
+  | Lock_wait of mutex_i
+  | Cond_wait of cond_i
+  | Join_wait of fiber
+
+type _ Effect.t += Suspend : reason -> unit Effect.t
+
+type sched = {
+  mutable fibers : fiber list;  (* in spawn order *)
+  mutable current : fiber;
+  mutable next_fid : int;
+  mutable trace_rev : C.event list;
+  mutable steps : int;
+  max_steps : int;
+  choose : arity:int -> int;
+  mutable choices_rev : (int * int) list;
+  mutable budget_exceeded : bool;
+}
+
+type 'a outcome = {
+  value : ('a, exn) result;
+  trace : C.event list;
+  blocked : string list;
+  steps : int;
+  choices : (int * int) list;
+  budget_exceeded : bool;
+}
+
+let park fiber = function
+  | Point -> ()
+  | Lock_wait m ->
+      fiber.fstate <- Blocked;
+      m.m_waiters <- m.m_waiters @ [ fiber ]
+  | Cond_wait c ->
+      fiber.fstate <- Blocked;
+      c.c_waiters <- c.c_waiters @ [ fiber ]
+  | Join_wait target ->
+      if target.fstate = Done then ()
+      else begin
+        fiber.fstate <- Blocked;
+        target.joiners <- fiber :: target.joiners
+      end
+
+let finish_fiber st fiber failure =
+  fiber.fstate <- Done;
+  fiber.failure <- failure;
+  st.trace_rev <- C.Exit { tid = fiber.fid } :: st.trace_rev;
+  List.iter (fun j -> j.fstate <- Runnable) fiber.joiners;
+  fiber.joiners <- []
+
+(* Advance one fiber until it suspends again or terminates.  The deep
+   handler installed at the fiber's first dispatch stays in force for
+   its whole life, so resuming a continuation returns here on the next
+   Suspend. *)
+let dispatch st fiber =
+  st.current <- fiber;
+  match fiber.start with
+  | Some thunk ->
+      fiber.start <- None;
+      Effect.Deep.match_with thunk ()
+        {
+          retc = (fun () -> finish_fiber st fiber None);
+          exnc = (fun e -> finish_fiber st fiber (Some e));
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Suspend reason ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      fiber.resume <- Some k;
+                      park fiber reason)
+              | _ -> None);
+        }
+  | None -> (
+      match fiber.resume with
+      | Some k ->
+          fiber.resume <- None;
+          Effect.Deep.continue k ()
+      | None -> assert false)
+
+(* --- the instrumented Sync implementation, closed over one run --- *)
+
+let make_sync (st : sched) : (module Sync.S) =
+  (module struct
+    type mutex = mutex_i
+    type condition = cond_i
+    type atomic_rec = { a_name : string; mutable v : int }
+    type atomic_int = atomic_rec
+    type handle = fiber
+
+    let record ev = st.trace_rev <- ev :: st.trace_rev
+    let self () = st.current
+    let point () = Effect.perform (Suspend Point)
+    let mutex name = { m_name = name; owner = None; m_waiters = [] }
+
+    let lock m =
+      point ();
+      let f = self () in
+      (match m.owner with
+      | None -> m.owner <- Some f.fid
+      | Some _ ->
+          (* Ownership is handed to us by the releasing fiber. *)
+          Effect.perform (Suspend (Lock_wait m)));
+      record (C.Acquire { tid = f.fid; lock = m.m_name })
+
+    (* Release without a scheduling point, so Condition.wait can
+       atomically release-and-sleep. *)
+    let release_owned m =
+      let f = self () in
+      (match m.owner with
+      | Some o when o = f.fid -> ()
+      | Some _ | None ->
+          failwith ("Sched: unlock of a mutex not held: " ^ m.m_name));
+      record (C.Release { tid = f.fid; lock = m.m_name });
+      match m.m_waiters with
+      | [] -> m.owner <- None
+      | w :: rest ->
+          m.m_waiters <- rest;
+          m.owner <- Some w.fid;
+          w.fstate <- Runnable
+
+    let unlock m =
+      release_owned m;
+      point ()
+
+    let condition _name = { c_waiters = [] }
+
+    let wait c m =
+      release_owned m;
+      (* No scheduling point between the release and the suspension:
+         registration on the condition is atomic with the unlock, as in
+         the real primitive (no lost wakeups beyond the real ones). *)
+      Effect.perform (Suspend (Cond_wait c));
+      lock m
+
+    let signal c =
+      (match c.c_waiters with
+      | [] -> ()
+      | w :: rest ->
+          c.c_waiters <- rest;
+          w.fstate <- Runnable);
+      point ()
+
+    let broadcast c =
+      List.iter (fun w -> w.fstate <- Runnable) c.c_waiters;
+      c.c_waiters <- [];
+      point ()
+
+    let atomic name v = { a_name = name; v }
+
+    let get a =
+      point ();
+      record (C.Atomic { tid = (self ()).fid; loc = a.a_name; kind = C.Get; value = a.v });
+      a.v
+
+    let set a x =
+      point ();
+      a.v <- x;
+      record (C.Atomic { tid = (self ()).fid; loc = a.a_name; kind = C.Set; value = x })
+
+    let fetch_and_add a d =
+      point ();
+      let old = a.v in
+      a.v <- old + d;
+      record (C.Atomic { tid = (self ()).fid; loc = a.a_name; kind = C.Rmw; value = a.v });
+      old
+
+    let incr a = ignore (fetch_and_add a 1)
+
+    let spawn name fn =
+      point ();
+      let parent = self () in
+      let fiber =
+        {
+          fid = st.next_fid;
+          fname = name;
+          fstate = Runnable;
+          start = Some fn;
+          resume = None;
+          joiners = [];
+          failure = None;
+        }
+      in
+      st.next_fid <- st.next_fid + 1;
+      st.fibers <- st.fibers @ [ fiber ];
+      record (C.Spawn { parent = parent.fid; child = fiber.fid; name });
+      fiber
+
+    let join h =
+      point ();
+      if h.fstate <> Done then Effect.perform (Suspend (Join_wait h));
+      record (C.Join { tid = (self ()).fid; child = h.fid });
+      match h.failure with Some e -> raise e | None -> ()
+
+    let note_read loc =
+      point ();
+      record (C.Access { tid = (self ()).fid; loc; kind = C.Read })
+
+    let note_write loc =
+      point ();
+      record (C.Access { tid = (self ()).fid; loc; kind = C.Write })
+  end : Sync.S)
+
+let run ?(max_steps = 1_000_000) ~choose f =
+  let main =
+    {
+      fid = 0;
+      fname = "main";
+      fstate = Runnable;
+      start = None;
+      resume = None;
+      joiners = [];
+      failure = None;
+    }
+  in
+  let st =
+    {
+      fibers = [ main ];
+      current = main;
+      next_fid = 1;
+      trace_rev = [];
+      steps = 0;
+      max_steps;
+      choose;
+      choices_rev = [];
+      budget_exceeded = false;
+    }
+  in
+  let out = ref None in
+  main.start <- Some (fun () -> out := Some (f (make_sync st)));
+  let rec loop () =
+    let runnable = List.filter (fun fb -> fb.fstate = Runnable) st.fibers in
+    match runnable with
+    | [] -> ()
+    | fs ->
+        if st.steps >= st.max_steps then st.budget_exceeded <- true
+        else begin
+          st.steps <- st.steps + 1;
+          let n = List.length fs in
+          let i =
+            if n = 1 then 0
+            else begin
+              let i = st.choose ~arity:n in
+              let i = if i < 0 || i >= n then 0 else i in
+              st.choices_rev <- (n, i) :: st.choices_rev;
+              i
+            end
+          in
+          dispatch st (List.nth fs i);
+          loop ()
+        end
+  in
+  loop ();
+  let blocked =
+    List.filter_map
+      (fun fb -> if fb.fstate <> Done then Some fb.fname else None)
+      st.fibers
+  in
+  let value =
+    match !out with
+    | Some v -> Ok v
+    | None -> (
+        match main.failure with
+        | Some e -> Error e
+        | None -> Error (Failure "Sched.run: main fiber did not complete"))
+  in
+  {
+    value;
+    trace = List.rev st.trace_rev;
+    blocked;
+    steps = st.steps;
+    choices = List.rev st.choices_rev;
+    budget_exceeded = st.budget_exceeded;
+  }
+
+let random ~seed =
+  let state = Random.State.make [| seed; 0x5ced |] in
+  fun ~arity -> Random.State.int state arity
+
+let replay prefix =
+  let rem = ref prefix in
+  fun ~arity ->
+    match !rem with
+    | [] -> 0
+    | c :: tl ->
+        rem := tl;
+        if c < arity then c else arity - 1
+
+(* The next depth-first schedule after one with the given choices: bump
+   the deepest choice that still has an untried sibling, drop everything
+   after it. *)
+let next_prefix choices =
+  let rec go = function
+    | [] -> None
+    | (arity, chosen) :: earlier ->
+        if chosen + 1 < arity then
+          Some (List.rev_map snd earlier @ [ chosen + 1 ])
+        else go earlier
+  in
+  go (List.rev choices)
+
+let explore ?max_steps ~max_schedules f =
+  let rec go prefix n acc =
+    let r = run ?max_steps ~choose:(replay prefix) f in
+    let acc = r :: acc in
+    if n + 1 >= max_schedules then (List.rev acc, next_prefix r.choices = None)
+    else
+      match next_prefix r.choices with
+      | None -> (List.rev acc, true)
+      | Some p -> go p (n + 1) acc
+  in
+  go [] 0 []

@@ -1,0 +1,67 @@
+(** Deterministic virtual-time scheduler — the instrumented {!Sync}
+    implementation.
+
+    Runs a multithreaded program (typically {!Engine_mt.Make}) as
+    cooperative fibers on a single domain, using OCaml effects to
+    suspend a fiber at every synchronization operation (lock, unlock,
+    condition wait/signal, atomic access, spawn/join, shared-memory
+    note).  At each such point the scheduler consults a pluggable
+    choice function to pick which runnable fiber advances, so a run is
+    a pure function of the program and the choice sequence: the same
+    seed replays the same interleaving, and different seeds explore
+    different ones.
+
+    Every operation is recorded as a {!Wp_analysis.Concurrency.event};
+    the resulting trace feeds the lock-order, data-race and shutdown
+    analyzers.  Blocking faithfully models the real primitives —
+    condition wait atomically releases its mutex, signal with no waiter
+    is lost, mutexes hand off FIFO — so a deadlock in the model is a
+    schedule the real engine can reach at its synchronization points.
+
+    If no fiber is runnable but some are blocked, the run stops and
+    reports them in [blocked] (deadlock).  A step budget bounds
+    livelock: when exceeded, [budget_exceeded] is set and the remaining
+    fibers are abandoned. *)
+
+type 'a outcome = {
+  value : ('a, exn) result;
+      (** the program's return value, or the exception that killed the
+          main fiber *)
+  trace : Wp_analysis.Concurrency.event list;  (** in execution order *)
+  blocked : string list;
+      (** names of fibers that never completed — deadlocked threads, or
+          everything still alive when the step budget ran out *)
+  steps : int;
+  choices : (int * int) list;
+      (** the (arity, chosen) decisions taken at every point where more
+          than one fiber was runnable — a replayable schedule *)
+  budget_exceeded : bool;
+}
+
+val run :
+  ?max_steps:int ->
+  choose:(arity:int -> int) ->
+  ((module Sync.S) -> 'a) ->
+  'a outcome
+(** Execute the program under the scheduler.  [choose ~arity] picks the
+    index of the next fiber among [arity] runnable ones (called only
+    when [arity > 1]; out-of-range answers are clamped to 0).
+    [max_steps] (default [1_000_000]) bounds total scheduling steps. *)
+
+val random : seed:int -> arity:int -> int
+(** A self-contained seeded uniform chooser: partially applying
+    [random ~seed] yields a fresh deterministic choice stream. *)
+
+val replay : int list -> arity:int -> int
+(** Follow the given choice prefix, then always pick 0 — the
+    depth-first exploration order.  Partially apply per run. *)
+
+val explore :
+  ?max_steps:int ->
+  max_schedules:int ->
+  ((module Sync.S) -> 'a) ->
+  'a outcome list * bool
+(** Exhaustive depth-first schedule enumeration by replay, up to
+    [max_schedules] runs.  Returns the outcomes and whether the
+    schedule tree was fully explored ([true]) or truncated by the
+    budget ([false]). *)

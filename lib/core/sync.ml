@@ -1,0 +1,55 @@
+module type S = sig
+  type mutex
+  type condition
+  type atomic_int
+  type handle
+
+  val mutex : string -> mutex
+  val lock : mutex -> unit
+  val unlock : mutex -> unit
+
+  val condition : string -> condition
+  val wait : condition -> mutex -> unit
+  val signal : condition -> unit
+  val broadcast : condition -> unit
+
+  val atomic : string -> int -> atomic_int
+  val get : atomic_int -> int
+  val set : atomic_int -> int -> unit
+  val fetch_and_add : atomic_int -> int -> int
+  val incr : atomic_int -> unit
+
+  val spawn : string -> (unit -> unit) -> handle
+  val join : handle -> unit
+
+  val note_read : string -> unit
+  val note_write : string -> unit
+end
+
+module Real : S = struct
+  type mutex = Mutex.t
+  type condition = Condition.t
+  type atomic_int = int Atomic.t
+  type handle = unit Domain.t
+
+  let mutex _name = Mutex.create ()
+  let lock = Mutex.lock
+  let unlock = Mutex.unlock
+
+  let condition _name = Condition.create ()
+  let wait = Condition.wait
+  let signal = Condition.signal
+  let broadcast = Condition.broadcast
+
+  let atomic _name v = Atomic.make v
+  let get = Atomic.get
+  let set = Atomic.set
+  let fetch_and_add = Atomic.fetch_and_add
+  let incr = Atomic.incr
+
+  let spawn _name f = Domain.spawn f
+  let join = Domain.join
+
+  let note_read _loc = ()
+  let note_write _loc = ()
+end

@@ -1,0 +1,62 @@
+(** Synchronization primitives behind a signature.
+
+    {!Engine_mt} is written against this interface rather than against
+    [Mutex]/[Condition]/[Atomic]/[Domain] directly, so the same engine
+    code runs in two worlds:
+
+    - {!Real} — the production implementation: OCaml 5 domains and the
+      stdlib primitives, with the instrumentation hooks compiled to
+      no-ops;
+    - the instrumented implementation of {!Sched} — cooperative fibers
+      under a deterministic virtual-time scheduler that records every
+      operation as a {!Wp_analysis.Concurrency.event} for lock-order
+      and data-race analysis, and explores many interleavings
+      reproducibly.
+
+    Every primitive is created with a name; names are the vocabulary of
+    the analyzer's findings and of the declared lock hierarchy
+    ([queue.* < topk.mutex]). *)
+
+module type S = sig
+  type mutex
+  type condition
+  type atomic_int
+  type handle
+
+  val mutex : string -> mutex
+  val lock : mutex -> unit
+  val unlock : mutex -> unit
+
+  val condition : string -> condition
+
+  val wait : condition -> mutex -> unit
+  (** Atomically release the mutex and sleep until signalled; the mutex
+      is re-acquired before returning. *)
+
+  val signal : condition -> unit
+  val broadcast : condition -> unit
+
+  val atomic : string -> int -> atomic_int
+  val get : atomic_int -> int
+  val set : atomic_int -> int -> unit
+
+  val fetch_and_add : atomic_int -> int -> int
+  (** Returns the previous value. *)
+
+  val incr : atomic_int -> unit
+
+  val spawn : string -> (unit -> unit) -> handle
+
+  val join : handle -> unit
+  (** Re-raises the thread's exception, if it terminated with one. *)
+
+  val note_read : string -> unit
+  (** Record a plain (non-atomic) read of the named shared location —
+      a no-op in {!Real}, a race-detection sample when instrumented. *)
+
+  val note_write : string -> unit
+  (** Likewise for a plain write. *)
+end
+
+module Real : S
+(** Domains and stdlib primitives; instrumentation hooks are no-ops. *)

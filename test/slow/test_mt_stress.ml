@@ -1,6 +1,7 @@
-(* Whirlpool-M coordination stress: many repeated runs, also with
-   several worker domains per server, must all terminate and agree with
-   the single-threaded reference.  Adverse schedules let queues grow and
+(* Whirlpool-M coordination stress: many repeated runs, a full sweep of
+   worker counts x routing strategies x documents, and deep Raceway
+   schedule exploration must all terminate and agree with the
+   single-threaded reference.  Adverse schedules let queues grow and
    interleavings vary, so this is the suite's main flakiness and
    wall-clock sink — hence @slow. *)
 
@@ -27,9 +28,60 @@ let test_multi_worker_runs () =
       (Fixtures.sorted_scores m.answers)
   done
 
+(* Sweep worker count x routing strategy x document seed: every
+   combination must agree with Engine.run on the same plan.  The Static
+   routing order is the identity permutation over the plan's non-root
+   servers. *)
+let test_sweep () =
+  List.iter
+    (fun gen_seed ->
+      let doc =
+        Wp_xmark.Generator.generate_doc ~seed:gen_seed ~target_bytes:60_000 ()
+      in
+      let sweep_idx = Wp_xml.Index.build doc in
+      let plan = Run.compile sweep_idx (parse Fixtures.q1) in
+      let static_order =
+        Array.init (plan.Plan.n_servers - 1) (fun i -> i + 1)
+      in
+      let routings =
+        [ Strategy.Min_alive; Strategy.Max_score; Strategy.Min_score;
+          Strategy.Static static_order ]
+      in
+      List.iter
+        (fun routing ->
+          let reference =
+            Fixtures.sorted_scores (Engine.run ~routing plan ~k:5).answers
+          in
+          List.iter
+            (fun threads_per_server ->
+              let m = Engine_mt.run ~routing ~threads_per_server plan ~k:5 in
+              Fixtures.check_scores_equal
+                ~msg:
+                  (Format.asprintf "doc seed %d, %a, %d worker(s)" gen_seed
+                     Strategy.pp_routing routing threads_per_server)
+                reference
+                (Fixtures.sorted_scores m.answers))
+            [ 1; 2; 4 ])
+        routings)
+    [ 11; 23; 47 ]
+
+(* Deep Raceway pass over the shared fixture: 200 explored schedules of
+   the clean engine must produce zero findings and oracle-equivalent
+   answers (the per-query depth the checker is specified at). *)
+let test_race_deep () =
+  let plan = Run.compile idx (parse Fixtures.q1) in
+  let r = Race.check ~schedules:200 ~threads_per_server:2 plan ~k:5 in
+  Alcotest.(check (list string))
+    "200 schedules, no findings" []
+    (List.map
+       (fun (d : Wp_analysis.Diagnostic.t) -> d.Wp_analysis.Diagnostic.code)
+       r.Race.diagnostics)
+
 let suite =
   [
     Alcotest.test_case "repeated runs terminate" `Slow
       test_repeated_runs_terminate;
     Alcotest.test_case "multi-worker runs" `Slow test_multi_worker_runs;
+    Alcotest.test_case "worker x routing x seed sweep" `Slow test_sweep;
+    Alcotest.test_case "raceway: 200 schedules clean" `Slow test_race_deep;
   ]

@@ -1,0 +1,168 @@
+(* Unit tests for the pure trace analyzers of Wp_analysis.Concurrency:
+   hand-built traces with known races, lock-order violations and
+   shutdown-counter defects.  The integration with the real engine and
+   scheduler is exercised in Test_race. *)
+
+module C = Wp_analysis.Concurrency
+module D = Wp_analysis.Diagnostic
+
+let codes ds = List.map (fun (d : D.t) -> d.D.code) ds
+
+let check_codes msg expected ds =
+  Alcotest.(check (list string)) msg expected (List.sort compare (codes ds))
+
+(* --- vector clocks --- *)
+
+let test_vc_basics () =
+  let open C.Vc in
+  Alcotest.(check int) "empty" 0 (get empty 3);
+  let a = tick (tick empty 1) 1 in
+  Alcotest.(check int) "tick twice" 2 (get a 1);
+  let b = tick empty 4 in
+  let j = join a b in
+  Alcotest.(check int) "join left" 2 (get j 1);
+  Alcotest.(check int) "join right" 1 (get j 4);
+  Alcotest.(check bool) "a <= join" true (leq a j);
+  Alcotest.(check bool) "b <= join" true (leq b j);
+  Alcotest.(check bool) "incomparable" false (leq a b || leq b a)
+
+(* --- race detection --- *)
+
+let spawn child name = C.Spawn { parent = 0; child; name }
+let acq tid lock = C.Acquire { tid; lock }
+let rel tid lock = C.Release { tid; lock }
+let wr tid loc = C.Access { tid; loc; kind = C.Write }
+let rd tid loc = C.Access { tid; loc; kind = C.Read }
+
+let test_race_unlocked_writes () =
+  (* Two threads write the same location with no synchronization. *)
+  let trace =
+    [ spawn 1 "a"; spawn 2 "b"; wr 1 "x"; wr 2 "x"; C.Exit { tid = 1 };
+      C.Exit { tid = 2 } ]
+  in
+  check_codes "write/write race" [ "race/unsynchronized" ] (C.races trace)
+
+let test_race_read_write () =
+  let trace = [ spawn 1 "a"; wr 0 "x"; rd 1 "x" ] in
+  (* Spawn happens-before orders the parent's earlier ops, but here the
+     parent writes after the spawn: the child's read races with it. *)
+  check_codes "read/write race" [ "race/unsynchronized" ] (C.races trace)
+
+let test_no_race_spawn_ordered () =
+  (* Parent writes before spawning: the child's read is ordered. *)
+  let trace = [ wr 0 "x"; spawn 1 "a"; rd 1 "x" ] in
+  check_codes "spawn orders accesses" [] (C.races trace)
+
+let test_no_race_join_ordered () =
+  let trace =
+    [ spawn 1 "a"; wr 1 "x"; C.Exit { tid = 1 };
+      C.Join { tid = 0; child = 1 }; rd 0 "x" ]
+  in
+  check_codes "join orders accesses" [] (C.races trace)
+
+let test_no_race_mutex_ordered () =
+  let trace =
+    [ spawn 1 "a"; spawn 2 "b";
+      acq 1 "m"; wr 1 "x"; rel 1 "m";
+      acq 2 "m"; wr 2 "x"; rel 2 "m" ]
+  in
+  check_codes "release->acquire orders accesses" [] (C.races trace)
+
+let test_no_race_concurrent_reads () =
+  let trace = [ wr 0 "x"; spawn 1 "a"; spawn 2 "b"; rd 1 "x"; rd 2 "x" ] in
+  check_codes "concurrent reads are fine" [] (C.races trace)
+
+let test_no_race_atomic_ordered () =
+  (* Release/acquire edges through an atomic: writer sets the flag, the
+     reader observes it with a Get before touching the data. *)
+  let trace =
+    [ spawn 1 "a"; spawn 2 "b";
+      wr 1 "x"; C.Atomic { tid = 1; loc = "f"; kind = C.Set; value = 1 };
+      C.Atomic { tid = 2; loc = "f"; kind = C.Get; value = 1 }; rd 2 "x" ]
+  in
+  check_codes "atomic set->get orders accesses" [] (C.races trace)
+
+let test_race_one_finding_per_location () =
+  let trace =
+    [ spawn 1 "a"; spawn 2 "b"; wr 0 "x"; wr 1 "x"; wr 2 "x"; wr 1 "y";
+      wr 2 "y" ]
+  in
+  check_codes "one finding per location"
+    [ "race/unsynchronized"; "race/unsynchronized" ]
+    (C.races trace)
+
+(* --- lock order --- *)
+
+let rank name =
+  match name with "lo" -> Some 0 | "hi" -> Some 1 | _ -> None
+
+let test_lock_hierarchy_violation () =
+  (* Acquire [lo] while holding [hi]: rank must strictly increase. *)
+  let trace = [ acq 0 "hi"; acq 0 "lo"; rel 0 "lo"; rel 0 "hi" ] in
+  check_codes "hierarchy violation" [ "lock-order/hierarchy" ]
+    (C.lock_order ~rank trace)
+
+let test_lock_hierarchy_ok () =
+  let trace = [ acq 0 "lo"; acq 0 "hi"; rel 0 "hi"; rel 0 "lo" ] in
+  check_codes "hierarchy respected" [] (C.lock_order ~rank trace)
+
+let test_lock_cycle_across_traces () =
+  (* Each trace alone is acyclic; together they nest a/b both ways. *)
+  let g = C.Lock_graph.create () in
+  C.Lock_graph.add_trace g [ acq 0 "a"; acq 0 "b"; rel 0 "b"; rel 0 "a" ];
+  Alcotest.(check (list string)) "one order alone is fine" []
+    (codes (C.Lock_graph.check g));
+  C.Lock_graph.add_trace g [ acq 0 "b"; acq 0 "a"; rel 0 "a"; rel 0 "b" ];
+  check_codes "opposite orders form a cycle" [ "lock-order/cycle" ]
+    (C.Lock_graph.check g)
+
+(* --- shutdown counter --- *)
+
+let at tid kind value = C.Atomic { tid; loc = "pending"; kind; value }
+
+let test_shutdown_clean () =
+  let trace = [ at 0 C.Rmw 1; at 0 C.Rmw 2; at 1 C.Rmw 1; at 1 C.Rmw 0 ] in
+  check_codes "balanced counter" []
+    (C.shutdown ~pending_loc:"pending" trace)
+
+let test_shutdown_negative () =
+  let trace = [ at 0 C.Rmw (-1); at 0 C.Rmw 0 ] in
+  check_codes "dips below zero" [ "shutdown/pending-negative" ]
+    (C.shutdown ~pending_loc:"pending" trace)
+
+let test_shutdown_nonzero_final () =
+  let trace = [ at 0 C.Rmw 1; at 0 C.Rmw 2; at 1 C.Rmw 1 ] in
+  check_codes "leaks one in-flight match" [ "shutdown/pending-nonzero" ]
+    (C.shutdown ~pending_loc:"pending" trace);
+  check_codes "not reported for incomplete runs" []
+    (C.shutdown ~completed:false ~pending_loc:"pending" trace)
+
+let suite =
+  [
+    Alcotest.test_case "vector clock basics" `Quick test_vc_basics;
+    Alcotest.test_case "race: unlocked writes" `Quick
+      test_race_unlocked_writes;
+    Alcotest.test_case "race: read vs write" `Quick test_race_read_write;
+    Alcotest.test_case "no race: spawn ordering" `Quick
+      test_no_race_spawn_ordered;
+    Alcotest.test_case "no race: join ordering" `Quick
+      test_no_race_join_ordered;
+    Alcotest.test_case "no race: mutex ordering" `Quick
+      test_no_race_mutex_ordered;
+    Alcotest.test_case "no race: concurrent reads" `Quick
+      test_no_race_concurrent_reads;
+    Alcotest.test_case "no race: atomic ordering" `Quick
+      test_no_race_atomic_ordered;
+    Alcotest.test_case "race: one finding per location" `Quick
+      test_race_one_finding_per_location;
+    Alcotest.test_case "lock hierarchy violated" `Quick
+      test_lock_hierarchy_violation;
+    Alcotest.test_case "lock hierarchy respected" `Quick
+      test_lock_hierarchy_ok;
+    Alcotest.test_case "lock cycle across traces" `Quick
+      test_lock_cycle_across_traces;
+    Alcotest.test_case "shutdown: clean" `Quick test_shutdown_clean;
+    Alcotest.test_case "shutdown: negative" `Quick test_shutdown_negative;
+    Alcotest.test_case "shutdown: nonzero final" `Quick
+      test_shutdown_nonzero_final;
+  ]
