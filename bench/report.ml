@@ -1,0 +1,303 @@
+(* Machine-readable perf-regression harness.
+
+     dune exec bench/report.exe -- --quick              # small documents
+     dune exec bench/report.exe -- -o BENCH_core.json   # write the baseline
+     dune exec bench/report.exe -- --quick --check BENCH_core.json
+
+   Emits one JSON object per exhibit (fig6/fig8-style workloads plus a
+   cache sweep over k x document size x routing strategy) with the
+   engine's wall time and its machine-independent operation counters,
+   and — for every exhibit — the same workload re-run with the
+   per-(server, root) candidate cache disabled, so the committed
+   baseline itself documents what the cache buys.
+
+   [--check baseline.json] re-runs the exhibits and exits nonzero when
+   any comparison/ops/matches count regresses (those are deterministic
+   and machine-independent) or when wall time regresses by more than
+   the tolerance (15% by default; [--warn-wall] demotes wall-time
+   regressions to warnings for noisy CI machines). *)
+
+module Json = Wp_json.Json
+
+type measurement = {
+  wall_ns : int;
+  comparisons : int;
+  server_ops : int;
+  matches_created : int;
+  cache_hit_rate : float;
+}
+
+let of_stats (s : Whirlpool.Stats.t) =
+  {
+    wall_ns = Int64.to_int s.wall_ns;
+    comparisons = s.comparisons;
+    server_ops = s.server_ops;
+    matches_created = s.matches_created;
+    cache_hit_rate = Whirlpool.Stats.cache_hit_rate s;
+  }
+
+(* Median-by-wall-time of [runs] runs (the first run warms the document
+   and plan caches). *)
+let measure ~runs f =
+  let samples = List.init (max 1 runs) (fun _ -> of_stats (f ())) in
+  let sorted =
+    List.sort (fun a b -> compare a.wall_ns b.wall_ns) samples
+  in
+  List.nth sorted (List.length sorted / 2)
+
+type exhibit = { name : string; cached : measurement; uncached : measurement }
+
+let run_workload ~runs ~routing plan ~k =
+  let go use_cache () =
+    (Whirlpool.Engine.run ~routing ~use_cache plan ~k).Whirlpool.Engine.stats
+  in
+  let cached = measure ~runs (go true) in
+  let uncached = measure ~runs (go false) in
+  (cached, uncached)
+
+let exhibits (scale : Common.scale) ~runs =
+  let k = scale.default_k in
+  let out = ref [] in
+  let add name (cached, uncached) =
+    Printf.printf "  %-40s wall=%.4fs cmp=%d hit=%.2f (uncached %.4fs cmp=%d)\n%!"
+      name
+      (float_of_int cached.wall_ns /. 1e9)
+      cached.comparisons cached.cache_hit_rate
+      (float_of_int uncached.wall_ns /. 1e9)
+      uncached.comparisons;
+    out := { name; cached; uncached } :: !out
+  in
+  (* fig6-style: the paper's three XMark queries under adaptive routing
+     at the default size and k. *)
+  Printf.printf "fig6-style (adaptive routing, default size, k=%d)\n%!" k;
+  List.iter
+    (fun (qname, q) ->
+      let plan = Common.plan_for ~size:scale.default_size q in
+      add
+        (Printf.sprintf "fig6/%s" qname)
+        (run_workload ~runs ~routing:Whirlpool.Strategy.Min_alive plan ~k))
+    Common.queries;
+  (* fig8-style: adaptivity overhead — the same workload under the
+     default static order. *)
+  Printf.printf "fig8-style (static routing, default size, k=%d)\n%!" k;
+  List.iter
+    (fun (qname, q) ->
+      let plan = Common.plan_for ~size:scale.default_size q in
+      let order = Whirlpool.Strategy.default_static_order plan in
+      add
+        (Printf.sprintf "fig8/static/%s" qname)
+        (run_workload ~runs ~routing:(Whirlpool.Strategy.Static order) plan ~k))
+    Common.queries;
+  (* cache exhibit: k x document size x routing strategy over Q2. *)
+  Printf.printf "cache sweep (Q2, k x size x routing)\n%!";
+  List.iter
+    (fun (size_label, size) ->
+      let plan = Common.plan_for ~size Common.q2 in
+      let routings =
+        [
+          ("min_alive", Whirlpool.Strategy.Min_alive);
+          ( "static",
+            Whirlpool.Strategy.Static
+              (Whirlpool.Strategy.default_static_order plan) );
+        ]
+      in
+      List.iter
+        (fun k ->
+          List.iter
+            (fun (rname, routing) ->
+              add
+                (Printf.sprintf "cache/Q2/k=%d/%s/%s" k size_label rname)
+                (run_workload ~runs ~routing plan ~k))
+            routings)
+        scale.ks)
+    scale.sizes;
+  List.rev !out
+
+let measurement_to_json m =
+  Json.Obj
+    [
+      ("wall_ns", Json.Int m.wall_ns);
+      ("comparisons", Json.Int m.comparisons);
+      ("server_ops", Json.Int m.server_ops);
+      ("matches_created", Json.Int m.matches_created);
+      ("cache_hit_rate", Json.Float m.cache_hit_rate);
+    ]
+
+let to_json ~quick exhibits =
+  let speedup e =
+    if e.cached.wall_ns <= 0 then 0.0
+    else float_of_int e.uncached.wall_ns /. float_of_int e.cached.wall_ns
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "whirlpool-bench-core/1");
+      ("quick", Json.Bool quick);
+      ( "exhibits",
+        Json.Obj
+          (List.map
+             (fun e ->
+               ( e.name,
+                 match measurement_to_json e.cached with
+                 | Json.Obj fields ->
+                     Json.Obj
+                       (fields
+                       @ [
+                           ("uncached", measurement_to_json e.uncached);
+                           ("speedup", Json.Float (speedup e));
+                         ])
+                 | other -> other ))
+             exhibits) );
+    ]
+
+(* --- baseline checking --- *)
+
+let int_member name j =
+  match Json.member name j with Some (Json.Int i) -> Some i | _ -> None
+
+let baseline_exhibits path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Json.of_string text with
+  | Error m -> Error (Printf.sprintf "%s: unparseable baseline: %s" path m)
+  | Ok j -> (
+      match Json.member "exhibits" j with
+      | Some (Json.Obj fields) -> Ok fields
+      | _ -> Error (Printf.sprintf "%s: no \"exhibits\" object" path))
+
+type verdict = { failures : string list; warnings : string list }
+
+let check ~warn_wall ~wall_tolerance baseline exhibits =
+  let failures = ref [] and warnings = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let warn fmt = Printf.ksprintf (fun m -> warnings := m :: !warnings) fmt in
+  let checked = ref 0 in
+  List.iter
+    (fun e ->
+      match List.assoc_opt e.name baseline with
+      | None -> warn "%s: not in baseline (new exhibit?)" e.name
+      | Some base ->
+          incr checked;
+          let count field current =
+            match int_member field base with
+            | None -> warn "%s: baseline lacks %S" e.name field
+            | Some b ->
+                if current > b then
+                  fail "%s: %s regressed %d -> %d" e.name field b current
+          in
+          count "comparisons" e.cached.comparisons;
+          count "server_ops" e.cached.server_ops;
+          count "matches_created" e.cached.matches_created;
+          (match int_member "wall_ns" base with
+          | None -> warn "%s: baseline lacks \"wall_ns\"" e.name
+          | Some b when b > 0 ->
+              let ratio = float_of_int e.cached.wall_ns /. float_of_int b in
+              (* Sub-millisecond exhibits jitter well past any relative
+                 tolerance; require an absolute 1ms excess too. *)
+              if
+                ratio > 1.0 +. (wall_tolerance /. 100.0)
+                && e.cached.wall_ns - b > 1_000_000
+              then
+                if warn_wall then
+                  warn "%s: wall time %.2fx the baseline (%.4fs -> %.4fs)"
+                    e.name ratio
+                    (float_of_int b /. 1e9)
+                    (float_of_int e.cached.wall_ns /. 1e9)
+                else
+                  fail "%s: wall time %.2fx the baseline (%.4fs -> %.4fs)"
+                    e.name ratio
+                    (float_of_int b /. 1e9)
+                    (float_of_int e.cached.wall_ns /. 1e9)
+          | Some _ -> ()))
+    exhibits;
+  if !checked = 0 then
+    fail "no exhibit matched the baseline (quick vs full scale mismatch?)";
+  { failures = List.rev !failures; warnings = List.rev !warnings }
+
+let main quick runs output baseline_path warn_wall wall_tolerance =
+  let scale = if quick then Common.quick_scale else Common.full_scale in
+  Printf.printf "Whirlpool perf report — %s scale, %d run(s) per point\n%!"
+    scale.Common.label runs;
+  let exhibits = exhibits scale ~runs in
+  let json = to_json ~quick exhibits in
+  let oc = open_out output in
+  output_string oc (Format.asprintf "%a@." Json.pp json);
+  close_out oc;
+  Printf.printf "wrote %s (%d exhibits)\n%!" output (List.length exhibits);
+  match baseline_path with
+  | None -> 0
+  | Some path -> (
+      match baseline_exhibits path with
+      | Error m ->
+          prerr_endline m;
+          1
+      | Ok baseline ->
+          let { failures; warnings } =
+            check ~warn_wall ~wall_tolerance baseline exhibits
+          in
+          List.iter (Printf.printf "WARN %s\n") warnings;
+          List.iter (Printf.printf "FAIL %s\n") failures;
+          if failures = [] then begin
+            Printf.printf "baseline check passed (%s)\n" path;
+            0
+          end
+          else begin
+            Printf.printf "baseline check FAILED (%d regression(s))\n"
+              (List.length failures);
+            1
+          end)
+
+open Cmdliner
+
+let quick =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Use the small document scale (CI smoke runs).")
+
+let runs =
+  Arg.(
+    value & opt int 3
+    & info [ "runs" ] ~docv:"N"
+        ~doc:"Runs per measurement point; the median wall time is kept.")
+
+let output =
+  Arg.(
+    value
+    & opt string "BENCH_core.json"
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the JSON report.")
+
+let check_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "check" ] ~docv:"BASELINE"
+        ~doc:
+          "Compare against a committed baseline report: exit 1 on any \
+           comparison/ops/matches-count regression or a wall-time regression \
+           beyond the tolerance.")
+
+let warn_wall =
+  Arg.(
+    value & flag
+    & info [ "warn-wall" ]
+        ~doc:
+          "Demote wall-time regressions to warnings (counts still hard-fail) \
+           — for CI machines with noisy clocks.")
+
+let wall_tolerance =
+  Arg.(
+    value & opt float 15.0
+    & info [ "wall-tolerance" ] ~docv:"PCT"
+        ~doc:
+          "Accepted wall-time regression in percent (default 15); a \
+           regression must also exceed 1ms absolute to count.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "report" ~doc:"machine-readable perf report + regression gate")
+    Term.(
+      const main $ quick $ runs $ output $ check_path $ warn_wall
+      $ wall_tolerance)
+
+let () = exit (Cmd.eval' cmd)

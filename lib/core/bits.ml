@@ -1,0 +1,14 @@
+(* One shared popcount for the engine's visited-mask bookkeeping,
+   byte-table based: eight table lookups per word instead of one loop
+   iteration per bit. *)
+
+let table =
+  Array.init 256 (fun i ->
+      let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+      go i 0)
+
+let popcount mask =
+  let rec go m acc =
+    if m = 0 then acc else go (m lsr 8) (acc + table.(m land 0xff))
+  in
+  if mask < 0 then invalid_arg "Bits.popcount: negative mask" else go mask 0

@@ -1,0 +1,7 @@
+(** Bit-twiddling helpers shared by the mask-based bookkeeping in
+    {!Partial_match}, {!Topk_set} and the engines. *)
+
+val popcount : int -> int
+(** Number of set bits in a non-negative word, via a byte table (eight
+    lookups per word rather than one loop iteration per bit).
+    @raise Invalid_argument on a negative mask. *)

@@ -1,0 +1,106 @@
+module Doc = Wp_xml.Doc
+module Index = Wp_xml.Index
+module Relation = Wp_relax.Relation
+module Relaxation = Wp_relax.Relaxation
+module Server_spec = Wp_relax.Server_spec
+module Score_table = Wp_score.Score_table
+
+type entry = { node : int; exact : bool; weight : float }
+
+(* Names under which instrumented (Raceway) runs report the cache's
+   mutex and shared table; Race.lock_rank knows [mutex_name]. *)
+let mutex_name = "cache.mutex"
+let state_loc = "cache.state"
+
+type t = {
+  table : (int * int, entry array) Hashtbl.t;  (* key: (server, root) *)
+  lock : unit -> unit;
+  unlock : unit -> unit;
+  note : unit -> unit;  (* shared-state access sample for race detection *)
+}
+
+let nop () = ()
+
+let create ?(lock = nop) ?(unlock = nop) ?(note = nop) () =
+  { table = Hashtbl.create 256; lock; unlock; note }
+
+let cardinality t = Hashtbl.length t.table
+
+let content_level config doc value n =
+  match value with
+  | None -> Relaxation.Content_exact
+  | Some query ->
+      Relaxation.content_level config ~query ~actual:(Doc.value doc n)
+
+(* The (server, root)-only part of Server.process: the candidate nodes
+   below [root] satisfying the server's (relaxed) structural predicate
+   and content test, each with its exactness level and score weight.
+   Returns the entries in document order plus the number of index
+   candidates examined (the slice length), which is what the uncached
+   path charges to [Stats.comparisons]. *)
+let compute (plan : Plan.t) ~server ~root =
+  let spec = plan.specs.(server) in
+  let score = Score_table.entry plan.scores server in
+  let doc = Index.doc plan.index in
+  let root_depth = Doc.depth doc root in
+  let rel = Server_spec.candidate_relation spec in
+  let examined = ref 0 in
+  let rev = ref [] in
+  let n = ref 0 in
+  Index.iter_descendants plan.index spec.tag ~root (fun node ->
+      incr examined;
+      let content = content_level plan.config doc spec.value node in
+      if
+        content <> Relaxation.Content_reject
+        && Relation.test_depths rel ~anc_depth:root_depth
+             ~desc_depth:(Doc.depth doc node)
+      then begin
+        let exact =
+          content = Relaxation.Content_exact
+          && Relation.test_depths spec.to_root.exact ~anc_depth:root_depth
+               ~desc_depth:(Doc.depth doc node)
+        in
+        let weight = if exact then score.exact_weight else score.relaxed_weight in
+        incr n;
+        rev := { node; exact; weight } :: !rev
+      end);
+  let entries =
+    match !rev with
+    | [] -> [||]
+    | hd :: _ ->
+        let a = Array.make !n hd in
+        let i = ref (!n - 1) in
+        List.iter
+          (fun e ->
+            a.(!i) <- e;
+            decr i)
+          !rev;
+        a
+  in
+  (entries, !examined)
+
+(* Cached lookup.  A miss computes and stores the entry array, charging
+   the examined slice length to [comparisons] exactly as the uncached
+   path does.  A hit charges nothing: no candidate is re-examined, no
+   structural or content predicate re-evaluated — the match-dependent
+   conditional checks the caller still performs are not candidate
+   comparisons and were never counted as such.  Cached totals are
+   therefore strictly below uncached ones whenever any hit occurs.
+   The whole lookup runs inside the cache's critical section so each
+   (server, root) pair is computed at most once. *)
+let find t (plan : Plan.t) (stats : Stats.t) ~server ~root =
+  t.lock ();
+  Fun.protect
+    ~finally:(fun () -> t.unlock ())
+    (fun () ->
+      t.note ();
+      match Hashtbl.find_opt t.table (server, root) with
+      | Some entries ->
+          stats.cache_hits <- stats.cache_hits + 1;
+          entries
+      | None ->
+          let entries, examined = compute plan ~server ~root in
+          stats.cache_misses <- stats.cache_misses + 1;
+          stats.comparisons <- stats.comparisons + examined;
+          Hashtbl.add t.table (server, root) entries;
+          entries)

@@ -1,0 +1,63 @@
+(** Per-(server, root) candidate memoization — the engines' hot-path
+    cache.
+
+    Everything {!Server.process} derives per candidate node except the
+    conditional-predicate checks depends only on the pair
+    [(server, root binding)]: the index slice below the root, the
+    structural-relation test against the root's depth, the content
+    level, the exactness flag and the score weight.  Many partial
+    matches share a root binding (one per surviving extension chain), so
+    the engines memoize that work here: one flat [entry array] per
+    (server, root), computed on first use and replayed on every later
+    visit, leaving only the match-dependent conditional checks in the
+    inner loop.
+
+    A cache instance lives for one engine run over one plan — there is
+    no invalidation, because plans and documents are immutable within a
+    run.  {!Engine} uses an unsynchronized instance; {!Engine_mt} guards
+    one shared instance with a [Sync] mutex ([mutex_name]), acquired
+    leaf-only (never while holding another lock), which the Raceway pass
+    checks. *)
+
+type entry = {
+  node : int;  (** candidate document node *)
+  exact : bool;  (** satisfies the exact (unrelaxed) root predicate *)
+  weight : float;  (** score contribution at its exactness level *)
+}
+
+type t
+
+val mutex_name : string
+(** Lock name instrumented runs use for the cache mutex
+    (["cache.mutex"]), declared in the engine's lock hierarchy. *)
+
+val state_loc : string
+(** Shared-location name under which instrumented runs report table
+    accesses (["cache.state"]). *)
+
+val create :
+  ?lock:(unit -> unit) ->
+  ?unlock:(unit -> unit) ->
+  ?note:(unit -> unit) ->
+  unit ->
+  t
+(** A fresh cache.  The default callbacks are no-ops (single-threaded
+    use); {!Engine_mt} passes the [Sync] mutex operations plus a
+    [note_write] sample so the instrumented scheduler sees every table
+    access inside the critical section. *)
+
+val cardinality : t -> int
+(** Number of (server, root) pairs currently cached. *)
+
+val compute : Plan.t -> server:int -> root:int -> entry array * int
+(** Uncached computation of the candidate entries for a (server, root)
+    pair, in document order, plus the number of index candidates
+    examined — the oracle the cached path must agree with, also used
+    directly by {!Server.process} when no cache is supplied. *)
+
+val find : t -> Plan.t -> Stats.t -> server:int -> root:int -> entry array
+(** Memoized {!compute}: returns the cached entry array for
+    [(server, root)], computing and storing it on first use.  Updates
+    [stats.cache_hits]/[cache_misses], and charges [stats.comparisons]
+    with the examined slice length on a miss — a hit re-examines no
+    candidate and charges nothing. *)

@@ -11,9 +11,10 @@ let validate_plan (plan : Plan.t) =
 
 let run ?(routing = Strategy.Min_alive)
     ?(queue_policy = Strategy.Max_final_score) ?(batch = 1)
-    ?(trace = Trace.ignore_tracer) (plan : Plan.t) ~k =
+    ?(trace = Trace.ignore_tracer) ?(use_cache = true) (plan : Plan.t) ~k =
   if batch < 1 then invalid_arg "Engine.run: batch >= 1";
   validate_plan plan;
+  let cache = if use_cache then Some (Candidate_cache.create ()) else None in
   let stats = Stats.create () in
   let t0 = now_ns () in
   let topk = Topk_set.create ~k ~admit_partial:(Plan.admits_partial_answers plan) in
@@ -44,7 +45,7 @@ let run ?(routing = Strategy.Min_alive)
     (Server.initial_matches plan stats ~next_id);
   let process_at (pm : Partial_match.t) server =
     let { Server.extensions; died } =
-      Server.process plan stats ~next_id pm ~server
+      Server.process ?cache plan stats ~next_id pm ~server
     in
     if checking then
       List.iter (Invariants.check_extension plan ~parent:pm) extensions;
@@ -136,6 +137,7 @@ let run ?(routing = Strategy.Min_alive)
 let run_above ?(routing = Strategy.Min_alive)
     ?(queue_policy = Strategy.Max_final_score) (plan : Plan.t) ~threshold =
   validate_plan plan;
+  let cache = Candidate_cache.create () in
   let stats = Stats.create () in
   let t0 = now_ns () in
   let queue : Partial_match.t Pqueue.t = Pqueue.create () in
@@ -187,7 +189,7 @@ let run_above ?(routing = Strategy.Min_alive)
         let server = Strategy.choose_next routing plan ~threshold pm in
         stats.routing_decisions <- stats.routing_decisions + 1;
         let { Server.extensions; died = _ } =
-          Server.process plan stats ~next_id pm ~server
+          Server.process ~cache plan stats ~next_id pm ~server
         in
         if checking then
           List.iter (Invariants.check_extension plan ~parent:pm) extensions;

@@ -25,6 +25,7 @@ val run :
   ?queue_policy:Strategy.queue_policy ->
   ?batch:int ->
   ?trace:Trace.t ->
+  ?use_cache:bool ->
   Plan.t ->
   k:int ->
   result
@@ -35,7 +36,12 @@ val run :
     (Section 6.3.3: route tuples "in bulk, by grouping tuples based on
     similarity"): one routing decision is reused for up to [batch]
     consecutive queue heads that have visited the same set of servers,
-    amortizing the decision overhead when server operations are cheap. *)
+    amortizing the decision overhead when server operations are cheap.
+
+    [use_cache] (default true) memoizes per-(server, root) candidate
+    derivation through a run-local {!Candidate_cache}; disabling it
+    recomputes candidates on every server operation — the reference
+    behaviour [bench/report] measures the cache against. *)
 
 val run_above :
   ?routing:Strategy.routing ->

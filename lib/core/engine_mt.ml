@@ -3,8 +3,11 @@
    deterministic instrumented scheduler (Sched) for race detection and
    schedule exploration.
 
-   Lock hierarchy (checked by Race): queue mutexes (rank 0) below
-   topk.mutex (rank 1); in fact no thread ever holds two locks at once.
+   Lock hierarchy (checked by Race): cache.mutex and the queue mutexes
+   (rank 0) below topk.mutex (rank 1); in fact no thread ever holds two
+   locks at once — the candidate-cache mutex in particular is leaf-only,
+   taken and released inside Candidate_cache.find with no other lock
+   held.
    Shutdown protocol: [pending] counts partial matches alive in queues
    or in flight; workers increment it for every surviving extension
    *before* retiring the consumed match, so the count reaches zero
@@ -92,6 +95,7 @@ module Make (S : Sync.S) = struct
     plan : Plan.t;
     routing : Strategy.routing;
     queue_policy : Strategy.queue_policy;
+    cache : Candidate_cache.t;  (* shared, guarded by its own S.mutex *)
     topk : Topk_set.t;
     topk_mutex : S.mutex;
     router_queue : Partial_match.t Shared_queue.t;
@@ -183,7 +187,8 @@ module Make (S : Sync.S) = struct
           end
           else begin
             let { Server.extensions; died } =
-              Server.process shared.plan stats ~next_id pm ~server
+              Server.process ~cache:shared.cache shared.plan stats ~next_id pm
+                ~server
             in
             if Invariants.enabled () then
               List.iter
@@ -239,11 +244,18 @@ module Make (S : Sync.S) = struct
     Engine.validate_plan plan;
     let t0 = Clock.now_ns () in
     let main_stats = Stats.create () in
+    let cache_mutex = S.mutex Candidate_cache.mutex_name in
     let shared =
       {
         plan;
         routing;
         queue_policy;
+        cache =
+          Candidate_cache.create
+            ~lock:(fun () -> S.lock cache_mutex)
+            ~unlock:(fun () -> S.unlock cache_mutex)
+            ~note:(fun () -> S.note_write Candidate_cache.state_loc)
+            ();
         topk =
           Topk_set.create ~k ~admit_partial:(Plan.admits_partial_answers plan);
         topk_mutex = S.mutex "topk.mutex";

@@ -30,8 +30,7 @@ let unvisited_servers t ~n_servers =
   in
   go (n_servers - 1) []
 
-let extend t ~id ~server ~binding ~weight ~server_max =
-  let bindings = Array.copy t.bindings in
+let extend_onto bindings t ~id ~server ~binding ~weight ~server_max =
   bindings.(server) <- (match binding with Some n -> n | None -> unbound);
   {
     id;
@@ -40,6 +39,14 @@ let extend t ~id ~server ~binding ~weight ~server_max =
     score = t.score +. weight;
     max_possible = t.max_possible -. server_max +. weight;
   }
+
+let extend t ~id ~server ~binding ~weight ~server_max =
+  extend_onto (Array.copy t.bindings) t ~id ~server ~binding ~weight ~server_max
+
+let extend_last t ~id ~server ~binding ~weight ~server_max =
+  extend_onto t.bindings t ~id ~server ~binding ~weight ~server_max
+
+let n_visited t = Bits.popcount t.visited_mask
 
 let bound t s = if t.bindings.(s) = unbound then None else Some t.bindings.(s)
 

@@ -40,6 +40,18 @@ val extend : t -> id:int -> server:int -> binding:int option -> weight:float ->
     (or left unbound), its score raised by [weight] and its maximum
     possible score lowered by [server_max - weight]. *)
 
+val extend_last : t -> id:int -> server:int -> binding:int option ->
+  weight:float -> server_max:float -> t
+(** As {!extend}, but the parent's bindings array is transferred to the
+    extension instead of copied — the common single-extension case pays
+    no allocation for the array.  The parent must not be extended again
+    and its bindings must not be read afterwards (its root binding,
+    scores and visited mask stay valid). *)
+
+val n_visited : t -> int
+(** Number of servers that have processed the match (popcount of the
+    visited mask). *)
+
 val bound : t -> int -> int option
 (** Binding of a pattern node, if the node is bound. *)
 

@@ -5,6 +5,8 @@ type report = { schedules : int; steps : int; diagnostics : D.t list }
 
 let lock_rank name =
   if String.starts_with ~prefix:"queue." name then Some 0
+  else if String.equal name Candidate_cache.mutex_name then Some 0
+    (* leaf-only: never held together with a queue mutex *)
   else if String.equal name "topk.mutex" then Some 1
   else None
 

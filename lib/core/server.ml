@@ -100,61 +100,77 @@ let needs_deletion_branch (plan : Plan.t) (spec : Server_spec.t) =
   && (not plan.config.subtree_promotion)
   && spec.conditionals <> []
 
-let process (plan : Plan.t) (stats : Stats.t) ~next_id (pm : Partial_match.t)
-    ~server =
+let process ?cache (plan : Plan.t) (stats : Stats.t) ~next_id
+    (pm : Partial_match.t) ~server =
   if server = 0 then invalid_arg "Server.process: the root server runs first";
   if Partial_match.visited pm server then
     invalid_arg "Server.process: server already visited";
   let spec = plan.specs.(server) in
-  let entry = Score_table.entry plan.scores server in
   let doc = Index.doc plan.index in
-  let root = Partial_match.root_binding pm in
-  let root_depth = Doc.depth doc root in
-  let rel = Server_spec.candidate_relation spec in
-  let server_max = entry.exact_weight in
+  let server_max = (Score_table.entry plan.scores server).exact_weight in
   stats.server_ops <- stats.server_ops + 1;
-  let extensions = ref [] in
-  if not (under_deleted_ancestor plan pm ~server) then
-    Index.iter_descendants plan.index spec.tag ~root (fun n ->
-        stats.comparisons <- stats.comparisons + 1;
-        let content = content_level plan.config doc spec.value n in
-        if
-          content <> Relaxation.Content_reject
-          && Relation.test_depths rel ~anc_depth:root_depth
-               ~desc_depth:(Doc.depth doc n)
-          && hard_conditionals_ok doc spec pm n
-        then begin
-          let exact =
-            content = Relaxation.Content_exact
-            && Relation.test_depths spec.to_root.exact ~anc_depth:root_depth
-                 ~desc_depth:(Doc.depth doc n)
-          in
-          let weight = if exact then entry.exact_weight else entry.relaxed_weight in
-          extensions :=
-            Partial_match.extend pm ~id:(next_id ()) ~server ~binding:(Some n)
-              ~weight ~server_max
-            :: !extensions
-        end);
-  let extensions = List.rev !extensions in
-  let unbound_extension () =
-    Partial_match.extend pm ~id:(next_id ()) ~server ~binding:None ~weight:0.0
-      ~server_max
+  (* The (server, root)-only work — index slice, structural relation,
+     content level, exactness, weight — comes from the candidate cache
+     (or is computed in place when running uncached); only the
+     match-dependent conditional checks below run per partial match. *)
+  let candidates =
+    if under_deleted_ancestor plan pm ~server then [||]
+    else
+      let root = Partial_match.root_binding pm in
+      match cache with
+      | Some c -> Candidate_cache.find c plan stats ~server ~root
+      | None ->
+          let entries, examined = Candidate_cache.compute plan ~server ~root in
+          stats.comparisons <- stats.comparisons + examined;
+          entries
   in
-  match extensions with
-  | _ :: _ ->
-      let extensions =
-        if needs_deletion_branch plan spec && deletion_ok plan pm ~server then
-          extensions @ [ unbound_extension () ]
-        else extensions
-      in
-      stats.matches_created <- stats.matches_created + List.length extensions;
-      { extensions; died = false }
+  let survivors = ref [] in
+  Array.iter
+    (fun (e : Candidate_cache.entry) ->
+      if hard_conditionals_ok doc spec pm e.node then survivors := e :: !survivors)
+    candidates;
+  let unbound_extension ~last =
+    (if last then Partial_match.extend_last else Partial_match.extend)
+      pm ~id:(next_id ()) ~server ~binding:None ~weight:0.0 ~server_max
+  in
+  match !survivors with
   | [] ->
       if spec.optional && deletion_ok plan pm ~server then begin
         stats.matches_created <- stats.matches_created + 1;
-        { extensions = [ unbound_extension () ]; died = false }
+        { extensions = [ unbound_extension ~last:true ]; died = false }
       end
       else begin
         stats.matches_died <- stats.matches_died + 1;
         { extensions = []; died = true }
       end
+  | rev_survivors ->
+      let deletion_branch =
+        needs_deletion_branch plan spec && deletion_ok plan pm ~server
+      in
+      let extensions =
+        match (rev_survivors, deletion_branch) with
+        | [ e ], false ->
+            (* Sole extension: transfer the parent's bindings array
+               instead of copying it — the parent is consumed here. *)
+            [
+              Partial_match.extend_last pm ~id:(next_id ()) ~server
+                ~binding:(Some e.node) ~weight:e.weight ~server_max;
+            ]
+        | _ ->
+            (* Bound extensions in document order, deletion branch last
+               (ids follow creation order): cons everything onto an
+               accumulator and reverse once — no O(n) append. *)
+            let rev_exts =
+              List.fold_left
+                (fun acc (e : Candidate_cache.entry) ->
+                  Partial_match.extend pm ~id:(next_id ()) ~server
+                    ~binding:(Some e.node) ~weight:e.weight ~server_max
+                  :: acc)
+                [] (List.rev rev_survivors)
+            in
+            List.rev
+              (if deletion_branch then unbound_extension ~last:false :: rev_exts
+               else rev_exts)
+      in
+      stats.matches_created <- stats.matches_created + List.length extensions;
+      { extensions; died = false }

@@ -33,8 +33,15 @@ val initial_matches :
     binding (the paper's "book server" step). *)
 
 val process :
-  Plan.t -> Stats.t -> next_id:(unit -> int) -> Partial_match.t ->
-  server:int -> outcome
+  ?cache:Candidate_cache.t -> Plan.t -> Stats.t -> next_id:(unit -> int) ->
+  Partial_match.t -> server:int -> outcome
 (** Process a partial match at a non-root server it has not visited.
+
+    When [cache] is given, the (server, root)-only candidate derivation
+    is memoized through it ({!Candidate_cache}); without it every call
+    recomputes the candidates — the reference behaviour the cached path
+    is tested against.  Either way only the conditional-predicate checks
+    depend on the partial match itself.
+
     @raise Invalid_argument on the root server or an already-visited
     one. *)

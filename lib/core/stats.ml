@@ -6,6 +6,8 @@ type t = {
   mutable matches_died : int;
   mutable routing_decisions : int;
   mutable completed : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
   mutable wall_ns : int64;
 }
 
@@ -18,6 +20,8 @@ let create () =
     matches_died = 0;
     routing_decisions = 0;
     completed = 0;
+    cache_hits = 0;
+    cache_misses = 0;
     wall_ns = 0L;
   }
 
@@ -29,6 +33,8 @@ let reset t =
   t.matches_died <- 0;
   t.routing_decisions <- 0;
   t.completed <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
   t.wall_ns <- 0L
 
 let add acc x =
@@ -39,12 +45,21 @@ let add acc x =
   acc.matches_died <- acc.matches_died + x.matches_died;
   acc.routing_decisions <- acc.routing_decisions + x.routing_decisions;
   acc.completed <- acc.completed + x.completed;
+  acc.cache_hits <- acc.cache_hits + x.cache_hits;
+  acc.cache_misses <- acc.cache_misses + x.cache_misses;
   if Int64.compare x.wall_ns acc.wall_ns > 0 then acc.wall_ns <- x.wall_ns
 
 let wall_seconds t = Int64.to_float t.wall_ns /. 1e9
 
+let cache_hit_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int total
+
 let pp ppf t =
   Format.fprintf ppf
-    "ops=%d cmp=%d created=%d pruned=%d died=%d routed=%d completed=%d wall=%.4fs"
+    "ops=%d cmp=%d created=%d pruned=%d died=%d routed=%d completed=%d \
+     cache=%d/%d wall=%.4fs"
     t.server_ops t.comparisons t.matches_created t.matches_pruned
-    t.matches_died t.routing_decisions t.completed (wall_seconds t)
+    t.matches_died t.routing_decisions t.completed t.cache_hits
+    (t.cache_hits + t.cache_misses)
+    (wall_seconds t)

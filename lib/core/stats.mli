@@ -13,6 +13,10 @@ type t = {
   mutable matches_died : int;  (** dropped for (in)validity, e.g. exact-mode empty joins *)
   mutable routing_decisions : int;  (** adaptive/static router choices made *)
   mutable completed : int;  (** matches that visited every server *)
+  mutable cache_hits : int;
+      (** candidate-cache lookups answered from a cached (server, root)
+          entry array *)
+  mutable cache_misses : int;  (** lookups that had to compute the array *)
   mutable wall_ns : int64;  (** elapsed monotonic time *)
 }
 
@@ -24,4 +28,9 @@ val add : t -> t -> unit
     counters sum) — used to merge per-domain statistics. *)
 
 val wall_seconds : t -> float
+
+val cache_hit_rate : t -> float
+(** Fraction of candidate-cache lookups served from the cache, in
+    [0, 1]; [0.] when no lookup happened (e.g. the uncached engines). *)
+
 val pp : Format.formatter -> t -> unit

@@ -6,30 +6,109 @@ type entry = {
   progress : int;  (* servers visited when the snapshot was taken *)
 }
 
-let popcount mask =
-  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
-  go mask 0
+(* Min-heap over (score, root) with lazy deletion: [consider] pushes an
+   item whenever an entry's current score is set, and stale items (the
+   entry was evicted, retracted, or its score has moved on) are dropped
+   when they surface at the top.  Each table modification pushes at most
+   one item and each item is popped at most once, so threshold queries
+   are O(log m) amortized instead of the previous O(k) hashtable fold —
+   [should_prune] runs once per extension, making this the engines'
+   hottest read path. *)
+module Min_heap = struct
+  type t = {
+    mutable scores : float array;
+    mutable roots : int array;
+    mutable size : int;
+  }
+
+  let create cap =
+    let cap = max cap 4 in
+    { scores = Array.make cap 0.0; roots = Array.make cap 0; size = 0 }
+
+  let swap h i j =
+    let s = h.scores.(i) and r = h.roots.(i) in
+    h.scores.(i) <- h.scores.(j);
+    h.roots.(i) <- h.roots.(j);
+    h.scores.(j) <- s;
+    h.roots.(j) <- r
+
+  let push h score root =
+    if h.size = Array.length h.scores then begin
+      let cap = 2 * h.size in
+      let scores = Array.make cap 0.0 and roots = Array.make cap 0 in
+      Array.blit h.scores 0 scores 0 h.size;
+      Array.blit h.roots 0 roots 0 h.size;
+      h.scores <- scores;
+      h.roots <- roots
+    end;
+    h.scores.(h.size) <- score;
+    h.roots.(h.size) <- root;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      h.scores.(p) > h.scores.(!i)
+    do
+      let p = (!i - 1) / 2 in
+      swap h p !i;
+      i := p
+    done
+
+  let drop_min h =
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.scores.(0) <- h.scores.(h.size);
+      h.roots.(0) <- h.roots.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && h.scores.(l) < h.scores.(!smallest) then smallest := l;
+        if r < h.size && h.scores.(r) < h.scores.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+      done
+    end
+end
 
 type t = {
   k : int;
   admit_partial : bool;
   by_root : (int, entry) Hashtbl.t;  (* at most k bindings *)
+  heap : Min_heap.t;  (* (score, root) items, lazily pruned *)
 }
 
 let create ~k ~admit_partial =
   if k < 1 then invalid_arg "Topk_set.create: k must be positive";
-  { k; admit_partial; by_root = Hashtbl.create (2 * k) }
+  {
+    k;
+    admit_partial;
+    by_root = Hashtbl.create (2 * k);
+    heap = Min_heap.create (2 * k);
+  }
 
 let k t = t.k
 let cardinality t = Hashtbl.length t.by_root
 
-let min_entry t =
-  Hashtbl.fold
-    (fun _ e acc ->
-      match acc with
-      | None -> Some e
-      | Some m -> if e.score < m.score then Some e else acc)
-    t.by_root None
+(* The live minimum entry: pop stale heap items until the top one
+   matches a current table entry.  Every live entry's current score was
+   pushed when it was set, so the first live item is the true minimum. *)
+let rec min_entry t =
+  if t.heap.Min_heap.size = 0 then None
+  else
+    let score = t.heap.Min_heap.scores.(0)
+    and root = t.heap.Min_heap.roots.(0) in
+    match Hashtbl.find_opt t.by_root root with
+    | Some e when e.score = score -> Some e
+    | Some _ | None ->
+        Min_heap.drop_min t.heap;
+        min_entry t
 
 let threshold t =
   if Hashtbl.length t.by_root < t.k then neg_infinity
@@ -47,7 +126,7 @@ let consider t ~complete (pm : Partial_match.t) =
         score = pm.score;
         match_id = pm.id;
         bindings = Array.copy pm.bindings;
-        progress = popcount pm.visited_mask;
+        progress = Partial_match.n_visited pm;
       }
     in
     (match Hashtbl.find_opt t.by_root root with
@@ -55,17 +134,25 @@ let consider t ~complete (pm : Partial_match.t) =
         (* Equal scores prefer the more-processed match, so the reported
            bindings reflect a maximal match rather than an early partial
            snapshot. *)
-        if
-          pm.score > existing.score
-          || (pm.score = existing.score && entry.progress > existing.progress)
-        then Hashtbl.replace t.by_root root entry
+        if pm.score > existing.score then begin
+          Hashtbl.replace t.by_root root entry;
+          Min_heap.push t.heap entry.score root
+        end
+        else if pm.score = existing.score && entry.progress > existing.progress
+        then
+          (* Same score: the existing heap item stays valid. *)
+          Hashtbl.replace t.by_root root entry
     | None ->
-        if Hashtbl.length t.by_root < t.k then Hashtbl.add t.by_root root entry
+        if Hashtbl.length t.by_root < t.k then begin
+          Hashtbl.add t.by_root root entry;
+          Min_heap.push t.heap entry.score root
+        end
         else begin
           match min_entry t with
           | Some m when pm.score > m.score ->
               Hashtbl.remove t.by_root m.root;
-              Hashtbl.add t.by_root root entry
+              Hashtbl.add t.by_root root entry;
+              Min_heap.push t.heap entry.score root
           | Some _ | None -> ()
         end);
     match threshold_before with

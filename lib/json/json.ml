@@ -72,6 +72,195 @@ let to_string v =
   to_buffer b v;
   Buffer.contents b
 
+(* --- parsing (recursive descent; enough to read back what we emit) --- *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error fmt =
+    Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at offset %d: %s" !pos m))) fmt
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> error "expected '%c', found '%c'" c d
+    | None -> error "expected '%c', found end of input" c
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else error "invalid literal"
+  in
+  let add_utf8 b code =
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        (if !pos >= n then error "unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 't' -> Buffer.add_char b '\t'
+         | 'u' ->
+             if !pos + 4 > n then error "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             let code =
+               try int_of_string ("0x" ^ hex)
+               with Failure _ -> error "invalid \\u escape %S" hex
+             in
+             add_utf8 b code
+         | e -> error "invalid escape '\\%c'" e);
+        go ()
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_float = ref false in
+    let rec digits () =
+      match peek () with
+      | Some ('0' .. '9') ->
+          advance ();
+          digits ()
+      | Some ('.' | 'e' | 'E' | '+' | '-') ->
+          is_float := true;
+          advance ();
+          digits ()
+      | _ -> ()
+    in
+    digits ();
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error "invalid number %S" text
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          (* Integer syntax overflowing the OCaml int range. *)
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> error "invalid number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> error "expected ',' or ']' in array"
+          in
+          items []
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let field () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (key, v)
+          in
+          let rec fields acc =
+            let f = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields (f :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev (f :: acc))
+            | _ -> error "expected ',' or '}' in object"
+          in
+          fields []
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error "unexpected character '%c'" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing garbage after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error m -> Error m
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
 let rec pp ppf = function
   | (Null | Bool _ | Int _ | Float _ | String _) as v ->
       Format.pp_print_string ppf (to_string v)

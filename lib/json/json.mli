@@ -1,6 +1,6 @@
-(** Minimal JSON emission (no parsing).
+(** Minimal JSON emission and parsing.
 
-    Enough for the CLI and benchmark harness to produce
+    Enough for the CLI and benchmark harness to produce and read back
     machine-consumable output without an external dependency.  Strings
     are escaped per RFC 8259; floats print with round-trip precision
     ([%.17g] trimmed), and non-finite floats are emitted as [null]. *)
@@ -23,3 +23,12 @@ val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
 (** Indented rendering (2-space). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (RFC 8259 subset: [\u] escapes decode
+    to UTF-8, integers overflowing the OCaml [int] range fall back to
+    [Float]).  [Error] carries a message with the failing offset.  Used
+    by [bench/report --check] to read committed baselines back. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] ([None] for other constructors or missing keys). *)

@@ -69,11 +69,21 @@ let fold_descendants t tag ~root f acc =
 let descendants t tag ~root =
   List.rev (fold_descendants t tag ~root (fun acc i -> i :: acc) [])
 
+(* Walk the document's first-child/next-sibling structure (a child's
+   subtree end is its next sibling's id) and keep the tagged ones:
+   O(children of parent) instead of filtering the parent's entire
+   subtree slice. *)
 let children t tag ~parent =
-  List.rev
-    (fold_descendants t tag ~root:parent
-       (fun acc i -> if Doc.is_parent t.doc ~parent ~child:i then i :: acc else acc)
-       [])
+  let doc = t.doc in
+  let wild = String.equal tag wildcard in
+  let stop = Doc.subtree_end doc parent in
+  let rec go i acc =
+    if i >= stop then List.rev acc
+    else
+      go (Doc.subtree_end doc i)
+        (if wild || String.equal (Doc.tag doc i) tag then i :: acc else acc)
+  in
+  go (parent + 1) []
 
 let count_descendants t tag ~root =
   let lo, hi = subtree_slice t tag ~root in

@@ -39,7 +39,9 @@ val fold_descendants :
 val descendants : t -> string -> root:Doc.node_id -> Doc.node_id list
 
 val children : t -> string -> parent:Doc.node_id -> Doc.node_id list
-(** The children of [parent] bearing [tag] (a filtered subtree slice). *)
+(** The children of [parent] bearing [tag], in document order — a walk
+    of the document's actual child list (first-child/next-sibling via
+    subtree extents), O(number of children) rather than O(subtree). *)
 
 val count_descendants : t -> string -> root:Doc.node_id -> int
 (** Cardinality of {!subtree_slice}, in O(log n). *)

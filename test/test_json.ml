@@ -55,6 +55,56 @@ let test_pp_is_reparseable_shape () =
   Alcotest.(check string) "same tokens" (strip (to_s v))
     (strip (Format.asprintf "%a" Json.pp v))
 
+let test_parse_roundtrip () =
+  let cases =
+    [
+      Json.Null;
+      Json.Bool false;
+      Json.Int (-42);
+      Json.Float 0.125;
+      Json.String "a\"b\\c\nd\x01";
+      Json.List [ Json.Int 1; Json.List []; Json.Obj [] ];
+      Json.Obj
+        [
+          ("wall_ns", Json.Int 123456789);
+          ("cache_hit_rate", Json.Float 0.75);
+          ("nested", Json.Obj [ ("xs", Json.List [ Json.Bool true; Json.Null ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = to_s v in
+      (match Json.of_string s with
+      | Ok v' -> Alcotest.(check bool) ("compact " ^ s) true (v = v')
+      | Error m -> Alcotest.failf "compact %s: %s" s m);
+      match Json.of_string (Format.asprintf "%a" Json.pp v) with
+      | Ok v' -> Alcotest.(check bool) ("pretty " ^ s) true (v = v')
+      | Error m -> Alcotest.failf "pretty %s: %s" s m)
+    cases
+
+let test_parse_details () =
+  Alcotest.(check bool) "unicode escape" true
+    (Json.of_string "\"\\u00e9\\u0041\"" = Ok (Json.String "\xc3\xa9A"));
+  Alcotest.(check bool) "ws tolerated" true
+    (Json.of_string " { \"a\" : [ 1 , 2 ] } "
+    = Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ]));
+  Alcotest.(check bool) "big integer falls back to float" true
+    (Json.of_string "123456789012345678901234567890"
+    = Ok (Json.Float 1.2345678901234568e+29));
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid input %S" bad)
+    [ ""; "tru"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+let test_member () =
+  let v = Json.Obj [ ("a", Json.Int 1) ] in
+  Alcotest.(check bool) "present" true (Json.member "a" v = Some (Json.Int 1));
+  Alcotest.(check bool) "absent" true (Json.member "b" v = None);
+  Alcotest.(check bool) "non-object" true (Json.member "a" Json.Null = None)
+
 let test_answer_json () =
   let plan =
     Whirlpool.Run.compile ~normalization:Wp_score.Score_table.Raw
@@ -78,5 +128,8 @@ let suite =
     Alcotest.test_case "string escaping" `Quick test_string_escaping;
     Alcotest.test_case "compound" `Quick test_compound;
     Alcotest.test_case "pp shape" `Quick test_pp_is_reparseable_shape;
+    Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "parse details" `Quick test_parse_details;
+    Alcotest.test_case "member" `Quick test_member;
     Alcotest.test_case "answer json" `Quick test_answer_json;
   ]
