@@ -2,23 +2,46 @@
 
    Subcommands:
      generate   write an XMark-style document to a file
-     query      run a top-k query against an XML file
+     query      run a top-k query against an XML file, or against a
+                running server (--connect)
      explain    print the compiled plan and score table for a query
      relax      enumerate the relaxations of a query
      lint       statically analyze a query (and its plan) for defects
      race       explore Whirlpool-M schedules deterministically, checking
                 lock order, data races and shutdown
+     serve      run the top-k query service on a Unix-domain socket
+     ctl        ping/metrics/stop a running server
+     loadgen    benchmark a server, writing BENCH_serve.json
+
+   Exit codes are uniform across subcommands:
+     0  success
+     1  findings (lint/race diagnostics, shed requests)
+     2  usage errors, unparsable input or I/O failure
 
    Examples:
      wp_cli generate -o /tmp/site.xml --size 1000000 --seed 7
      wp_cli query /tmp/site.xml -q "//item[./description/parlist]" -k 10
-     wp_cli explain /tmp/site.xml -q "//item[./name]"
-     wp_cli relax -q "/book[./title and ./info/publisher]"
-     wp_cli lint -q "//item[./name]" /tmp/site.xml
-     wp_cli race -q "//item[./name]" /tmp/site.xml --schedules 200
+     wp_cli serve /tmp/corpus --socket /tmp/wp.sock --workers 4
+     wp_cli query --connect /tmp/wp.sock -q "//item[./name]" -k 5
+     wp_cli loadgen /tmp/corpus -q "//item[./name]" --duration 2
 *)
 
 open Cmdliner
+
+let version = "1.1.0"
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:"on findings: lint or race diagnostics, a shed (overloaded) \
+            request.";
+    Cmd.Exit.info 2
+      ~doc:"on usage errors, unparsable queries or documents, and I/O \
+            failures (including unreachable servers).";
+  ]
+
+let cmd_info name ~doc ?man () = Cmd.info name ~version ~exits ~doc ?man
 
 let query_arg =
   Arg.(
@@ -34,44 +57,20 @@ let parse_query q =
       exit 2
 
 (* Documents load from XML or from a binary snapshot (.wpdoc), detected
-   by content. *)
+   by content — via the catalog's loader, so CLI and server read
+   documents identically. *)
 let load_index path =
   let t0 = Whirlpool.Clock.now () in
-  let is_snapshot =
-    match open_in_bin path with
-    | ic ->
-        let probe =
-          try really_input_string ic (String.length Wp_xml.Doc_io.magic)
-          with End_of_file -> ""
-        in
-        close_in_noerr ic;
-        String.equal probe Wp_xml.Doc_io.magic
-    | exception Sys_error m ->
-        prerr_endline m;
-        exit 1
-  in
-  let doc =
-    if is_snapshot then
-      try Wp_xml.Doc_io.load path with
-      | Failure m ->
-          Printf.eprintf "%s: %s\n" path m;
-          exit 1
-    else
-      try Wp_xml.Doc.of_tree (Wp_xml.Parser.parse_file path) with
-      | Wp_xml.Parser.Error { position; message } ->
-          Printf.eprintf "%s: parse error at byte %d: %s\n" path position
-            message;
-          exit 1
-      | Sys_error m ->
-          prerr_endline m;
-          exit 1
-  in
-  let idx = Wp_xml.Index.build doc in
-  Printf.printf "Loaded %s%s: %d nodes in %.2fs\n" path
-    (if is_snapshot then " (snapshot)" else "")
-    (Wp_xml.Doc.size doc)
-    (Whirlpool.Clock.now () -. t0);
-  idx
+  match Wp_serve.Catalog.read_index path with
+  | Error m ->
+      prerr_endline m;
+      exit 2
+  | Ok (idx, is_snapshot) ->
+      Printf.printf "Loaded %s%s: %d nodes in %.2fs\n" path
+        (if is_snapshot then " (snapshot)" else "")
+        (Wp_xml.Doc.size (Wp_xml.Index.doc idx))
+        (Whirlpool.Clock.now () -. t0);
+      idx
 
 (* --- generate --- *)
 
@@ -98,12 +97,68 @@ let generate_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
   Cmd.v
-    (Cmd.info "generate" ~doc:"generate an XMark-style benchmark document")
+    (cmd_info "generate" ~doc:"generate an XMark-style benchmark document" ())
     Term.(const generate $ out $ size $ seed)
 
 (* --- query --- *)
 
-let query_run path q k threshold algo routing exact explain json =
+(* Remote mode: ship the query to a running server and print its
+   reply.  Parsing, planning and deadline enforcement all happen
+   server-side. *)
+let remote_query socket q k deadline_ms algo routing doc json =
+  let client =
+    match Wp_serve.Wire.connect socket with
+    | Ok c -> c
+    | Error e ->
+        prerr_endline e;
+        exit 2
+  in
+  let req =
+    Wp_serve.Protocol.Query
+      {
+        id = 1;
+        query = q;
+        doc;
+        k = Some k;
+        deadline_ms;
+        algo = Some algo;
+        routing = Some routing;
+      }
+  in
+  let reply = Wp_serve.Wire.call client req in
+  Wp_serve.Wire.close client;
+  match reply with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok r -> (
+      if json then
+        Format.printf "%a@." Wp_json.Json.pp
+          (Wp_serve.Protocol.response_to_json r);
+      match r.status with
+      | Wp_serve.Protocol.Error ->
+          if not json then
+            Printf.eprintf "error: %s\n"
+              (Option.value r.error ~default:"unknown server error");
+          exit 2
+      | Wp_serve.Protocol.Overloaded ->
+          if not json then prerr_endline "overloaded: request was shed";
+          exit 1
+      | Wp_serve.Protocol.Ok | Wp_serve.Protocol.Partial ->
+          if not json then begin
+            Printf.printf "Top-%d for %s%s:\n" k q
+              (if r.status = Wp_serve.Protocol.Partial then
+                 " (partial: deadline hit)"
+               else "");
+            List.iteri
+              (fun i (a : Wp_serve.Protocol.answer) ->
+                Printf.printf "%3d. %-20s %-16s score %.4f\n" (i + 1) a.doc
+                  a.dewey a.score)
+              r.answers;
+            Printf.printf "\nserver elapsed %.2f ms\n" r.elapsed_ms
+          end)
+
+let local_query path q k threshold algo routing exact explain json =
   let idx = load_index path in
   let pattern = parse_query q in
   let algo =
@@ -152,14 +207,61 @@ let query_run path q k threshold algo routing exact explain json =
     Printf.printf "\n%s\n" (Format.asprintf "%a" Whirlpool.Stats.pp r.stats)
   end
 
+let query_run connect path q k threshold deadline_ms algo routing doc exact
+    explain json =
+  match connect with
+  | Some socket ->
+      if threshold <> None || exact || explain then begin
+        prerr_endline
+          "--threshold, --exact and --explain do not apply with --connect";
+        exit 2
+      end;
+      remote_query socket q k deadline_ms algo routing doc json
+  | None ->
+      let path =
+        match path with
+        | Some p -> p
+        | None ->
+            prerr_endline "a document FILE is required without --connect";
+            exit 2
+      in
+      local_query path q k threshold algo routing exact explain json
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:"Send the query to the server on this Unix-domain socket \
+              instead of running it locally.")
+
 let query_cmd =
   let path =
     Arg.(
-      required
-      & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"XML document.")
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"XML document (required unless --connect is given).")
   in
   let k = Arg.(value & opt int 10 & info [ "k" ] ~doc:"Answers to return.") in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "With --connect: per-request deadline; an expired run \
+             returns its current top-k flagged partial.")
+  in
+  let doc_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "doc" ] ~docv:"NAME"
+          ~doc:
+            "With --connect: catalog document to query; omitted, the \
+             top-k is merged across the whole corpus.")
+  in
   let algo =
     Arg.(
       value & opt string "whirlpool-s"
@@ -194,10 +296,14 @@ let query_cmd =
       & info [ "json" ] ~doc:"Emit the answers and statistics as JSON.")
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"run a top-k query against an XML file or snapshot")
+    (cmd_info "query"
+       ~doc:
+         "run a top-k query against an XML file or snapshot, or against \
+          a running server (--connect)"
+       ())
     Term.(
-      const query_run $ path $ query_arg $ k $ threshold $ algo $ routing
-      $ exact $ explain $ json)
+      const query_run $ connect_arg $ path $ query_arg $ k $ threshold
+      $ deadline_ms $ algo $ routing $ doc_name $ exact $ explain $ json)
 
 (* --- snapshot --- *)
 
@@ -222,8 +328,8 @@ let snapshot_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Snapshot file.")
   in
   Cmd.v
-    (Cmd.info "snapshot"
-       ~doc:"freeze an XML file into a binary snapshot for fast loading")
+    (cmd_info "snapshot"
+       ~doc:"freeze an XML file into a binary snapshot for fast loading" ())
     Term.(const snapshot $ path $ out)
 
 (* --- explain --- *)
@@ -244,7 +350,7 @@ let explain_cmd =
       & info [] ~docv:"FILE" ~doc:"XML document.")
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"print the compiled plan for a query")
+    (cmd_info "explain" ~doc:"print the compiled plan for a query" ())
     Term.(const explain $ path $ query_arg)
 
 (* --- relax --- *)
@@ -267,7 +373,7 @@ let relax_cmd =
       & info [ "limit" ] ~doc:"Abort beyond this many relaxations.")
   in
   Cmd.v
-    (Cmd.info "relax" ~doc:"enumerate the relaxations of a query")
+    (cmd_info "relax" ~doc:"enumerate the relaxations of a query" ())
     Term.(const relax $ query_arg $ limit)
 
 (* --- lint --- *)
@@ -345,7 +451,7 @@ let lint_cmd =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
   in
   Cmd.v
-    (Cmd.info "lint"
+    (cmd_info "lint"
        ~doc:"statically analyze a query and its relaxation plan"
        ~man:
          [
@@ -357,7 +463,8 @@ let lint_cmd =
               document) vocabulary and satisfiability checks.  Exits 1 \
               when any error-severity finding is reported — the same \
               findings make the engines refuse the plan.";
-         ])
+         ]
+       ())
     Term.(const lint $ query_arg $ path $ exact $ max_lattice $ json)
 
 (* --- race --- *)
@@ -458,7 +565,7 @@ let race_cmd =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
   Cmd.v
-    (Cmd.info "race"
+    (cmd_info "race"
        ~doc:"explore Whirlpool-M schedules and check concurrency invariants"
        ~man:
          [
@@ -472,17 +579,398 @@ let race_cmd =
               and lock-nesting edges accumulate into a lock-order graph \
               checked for cycles and hierarchy violations.  Exits 1 when \
               any schedule produces a finding.";
-         ])
+         ]
+       ())
     Term.(
       const race $ query_arg $ path $ k $ schedules $ seed
       $ threads_per_server $ routing $ exact $ inject $ json)
 
+(* --- serve --- *)
+
+let load_corpus catalog paths =
+  List.iter
+    (fun path ->
+      let r =
+        if Sys.is_directory path then
+          Result.map ignore (Wp_serve.Catalog.load_dir catalog path)
+        else Result.map ignore (Wp_serve.Catalog.load_file catalog path)
+      in
+      match r with
+      | Ok () -> ()
+      | Error m ->
+          prerr_endline m;
+          exit 2)
+    paths;
+  match Wp_serve.Catalog.docs catalog with
+  | [] ->
+      prerr_endline "empty corpus: no documents loaded";
+      exit 2
+  | docs ->
+      Printf.printf "Corpus: %d document(s), %d nodes\n" (List.length docs)
+        (List.fold_left
+           (fun a (d : Wp_serve.Catalog.doc) -> a + d.nodes)
+           0 docs)
+
+let serve_run corpus socket workers queue_depth default_k deadline_ms
+    plan_cache =
+  let catalog = Wp_serve.Catalog.create ~plan_cache () in
+  load_corpus catalog corpus;
+  let service =
+    Wp_serve.Service.create ~default_k ?default_deadline_ms:deadline_ms
+      ~catalog ()
+  in
+  let on_ready server =
+    let stop _ = Wp_serve.Wire.request_stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Printf.printf "Listening on %s\n%!" socket
+  in
+  match
+    Wp_serve.Wire.serve ?workers ~queue_depth ~on_ready ~socket ~service ()
+  with
+  | Ok () -> print_endline "Server stopped."
+  | Error m ->
+      prerr_endline m;
+      exit 2
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/wp_serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let corpus =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"CORPUS"
+          ~doc:
+            "Documents to serve: XML files, .wpdoc snapshots, or \
+             directories of them.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains (default: cores - 1).")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound: at most N queries wait; beyond \
+             it requests are shed with an overloaded reply.")
+  in
+  let default_k =
+    Arg.(
+      value & opt int 10
+      & info [ "default-k" ] ~doc:"k when a request omits it.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline (none if omitted).")
+  in
+  let plan_cache =
+    Arg.(
+      value & opt int 128
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:"Compiled-plan LRU capacity.")
+  in
+  Cmd.v
+    (cmd_info "serve"
+       ~doc:"serve top-k queries over a Unix-domain socket"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Loads the corpus once, keeps every document's index warm \
+              and memoizes compiled plans, then answers length-prefixed \
+              JSON queries concurrently on a bounded worker pool.  Each \
+              request may carry a deadline: an expired run stops at the \
+              next iteration boundary and returns its current top-k \
+              flagged partial.  When the queue is full new queries are \
+              shed with an overloaded reply rather than queued \
+              unboundedly.  SIGINT/SIGTERM (or a stop request) shut \
+              down gracefully, draining accepted work.";
+         ]
+       ())
+    Term.(
+      const serve_run $ corpus $ socket_arg $ workers $ queue_depth
+      $ default_k $ deadline_ms $ plan_cache)
+
+(* --- ctl --- *)
+
+let ctl_run socket op json =
+  let req =
+    match op with
+    | "ping" -> Wp_serve.Protocol.Ping { id = 1 }
+    | "metrics" -> Wp_serve.Protocol.Metrics { id = 1 }
+    | "stop" -> Wp_serve.Protocol.Stop { id = 1 }
+    | other ->
+        Printf.eprintf "unknown operation %S (known: ping, metrics, stop)\n"
+          other;
+        exit 2
+  in
+  let client =
+    match Wp_serve.Wire.connect socket with
+    | Ok c -> c
+    | Error e ->
+        prerr_endline e;
+        exit 2
+  in
+  let reply = Wp_serve.Wire.call client req in
+  Wp_serve.Wire.close client;
+  match reply with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok r -> (
+      match r.metrics with
+      | Some m when op = "metrics" ->
+          Format.printf "%a@." Wp_json.Json.pp m
+      | _ ->
+          if json then
+            Format.printf "%a@." Wp_json.Json.pp
+              (Wp_serve.Protocol.response_to_json r)
+          else
+            Printf.printf "%s: %s\n" op
+              (Wp_serve.Protocol.status_to_string r.status))
+
+let ctl_cmd =
+  let op =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP" ~doc:"ping, metrics or stop.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the raw reply as JSON.")
+  in
+  Cmd.v
+    (cmd_info "ctl" ~doc:"control a running server (ping, metrics, stop)" ())
+    Term.(const ctl_run $ socket_arg $ op $ json)
+
+(* --- loadgen --- *)
+
+(* Run [Wire.serve] on a background thread and hand back the server
+   once the socket is listening (or the bind error). *)
+let spawn_server ~socket ~service ~workers ~queue_depth =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let state = ref `Pending in
+  let set s =
+    Mutex.lock m;
+    state := s;
+    Condition.signal c;
+    Mutex.unlock m
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        match
+          Wp_serve.Wire.serve ~workers ~queue_depth
+            ~on_ready:(fun server -> set (`Ready server))
+            ~socket ~service ()
+        with
+        | Ok () -> ()
+        | Error e -> set (`Failed e))
+      ()
+  in
+  Mutex.lock m;
+  while !state = `Pending do
+    Condition.wait c m
+  done;
+  let outcome = !state in
+  Mutex.unlock m;
+  match outcome with
+  | `Ready server -> Ok (server, thread)
+  | `Failed e ->
+      Thread.join thread;
+      Error e
+  | `Pending -> assert false
+
+let obj_fields = function Wp_json.Json.Obj fields -> fields | j -> [ ("value", j) ]
+
+let loadgen_run connect corpus queries clients duration workers_list
+    queue_depths out =
+  if queries = [] then begin
+    prerr_endline "at least one -q query is required";
+    exit 2
+  end;
+  let points =
+    match connect with
+    | Some socket -> (
+        (* External server: one point, its pool shape is whatever the
+           server was started with. *)
+        match
+          Wp_serve.Loadgen.report ~socket ~queries ~client_counts:[ clients ]
+            ~duration_s:duration
+        with
+        | Ok report -> [ obj_fields report ]
+        | Error e ->
+            prerr_endline e;
+            exit 2)
+    | None ->
+        if corpus = [] then begin
+          prerr_endline "a CORPUS is required without --connect";
+          exit 2
+        end;
+        let catalog = Wp_serve.Catalog.create () in
+        load_corpus catalog corpus;
+        let socket =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "wp-loadgen-%d.sock" (Unix.getpid ()))
+        in
+        (* One point per (workers x queue-depth): fresh service so the
+           metrics snapshot is the point's own, same warm catalog. *)
+        List.concat_map
+          (fun workers ->
+            List.map
+              (fun queue_depth ->
+                let service = Wp_serve.Service.create ~catalog () in
+                match spawn_server ~socket ~service ~workers ~queue_depth with
+                | Error e ->
+                    prerr_endline e;
+                    exit 2
+                | Ok (server, thread) -> (
+                    let r =
+                      Wp_serve.Loadgen.run ~socket ~queries ~clients
+                        ~duration_s:duration
+                    in
+                    Wp_serve.Wire.request_stop server;
+                    Thread.join thread;
+                    match r with
+                    | Error e ->
+                        prerr_endline e;
+                        exit 2
+                    | Ok point ->
+                        Printf.printf
+                          "workers=%d queue_depth=%d: %.0f req/s  p50 %.2fms \
+                           p95 %.2fms p99 %.2fms  (%d ok, %d partial, %d \
+                           shed, %d errors)\n\
+                           %!"
+                          workers queue_depth point.throughput point.p50_ms
+                          point.p95_ms point.p99_ms point.ok point.partial
+                          point.overloaded point.errors;
+                        ( "workers", Wp_json.Json.Int workers )
+                        :: ( "queue_depth", Wp_json.Json.Int queue_depth )
+                        :: obj_fields (Wp_serve.Loadgen.point_to_json point)
+                        @ [
+                            ( "server_metrics",
+                              Wp_serve.Service.metrics_json service );
+                          ]))
+              queue_depths)
+          workers_list
+  in
+  let report =
+    Wp_json.Json.Obj
+      [
+        ("benchmark", Wp_json.Json.String "whirlpool-serve");
+        ("queries", Wp_json.Json.List
+           (List.map (fun q -> Wp_json.Json.String q) queries));
+        ("clients", Wp_json.Json.Int clients);
+        ("duration_s_per_point", Wp_json.Json.Float duration);
+        ("points", Wp_json.Json.List
+           (List.map (fun f -> Wp_json.Json.Obj f) points));
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Wp_json.Json.to_string report);
+      output_char oc '\n');
+  Printf.printf "Wrote %s (%d point(s))\n" out (List.length points)
+
+let loadgen_cmd =
+  let corpus =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CORPUS"
+          ~doc:"Documents to serve (spawn mode, without --connect).")
+  in
+  let queries =
+    Arg.(
+      value
+      & opt_all string [ "//item[./name]" ]
+      & info [ "q"; "query" ] ~docv:"XPATH"
+          ~doc:"Query to issue (repeatable; clients round-robin).")
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent closed-loop clients.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 2.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Seconds per point.")
+  in
+  let workers_list =
+    Arg.(
+      value
+      & opt_all int [ 2 ]
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Pool size to sweep (repeatable; spawn mode).")
+  in
+  let queue_depths =
+    Arg.(
+      value
+      & opt_all int [ 64 ]
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Admission bound to sweep (repeatable; spawn mode).")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_serve.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Report file.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SOCKET"
+          ~doc:"Benchmark an already running server instead of \
+                spawning one per point.")
+  in
+  Cmd.v
+    (cmd_info "loadgen"
+       ~doc:"benchmark the server, writing BENCH_serve.json"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Closed-loop load generator: each client holds one \
+              connection and issues queries back-to-back.  Without \
+              --connect it serves CORPUS itself and sweeps the \
+              (workers x queue-depth) grid, one point per \
+              combination, reporting throughput and client-side \
+              p50/p95/p99 latency per point.";
+         ]
+       ())
+    Term.(
+      const loadgen_run $ connect $ corpus $ queries $ clients $ duration
+      $ workers_list $ queue_depths $ out)
+
 let () =
   let doc = "adaptive top-k XPath matching (Whirlpool)" in
+  let code =
+    Cmd.eval
+      (Cmd.group
+         (Cmd.info "wp_cli" ~version ~exits ~doc)
+         [
+           generate_cmd; query_cmd; explain_cmd; relax_cmd; snapshot_cmd;
+           lint_cmd; race_cmd; serve_cmd; ctl_cmd; loadgen_cmd;
+         ])
+  in
+  (* Uniform exit vocabulary: cmdliner reports its own parse and
+     internal errors as 124/125 — fold both into "usage or I/O". *)
   exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "wp_cli" ~version:"1.0.0" ~doc)
-          [
-            generate_cmd; query_cmd; explain_cmd; relax_cmd; snapshot_cmd;
-            lint_cmd; race_cmd;
-          ]))
+    (if code = Cmd.Exit.cli_error || code = Cmd.Exit.internal_error then 2
+     else code)

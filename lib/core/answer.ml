@@ -109,6 +109,7 @@ let result_to_json (plan : Plan.t) (result : Engine.result) =
   let stats = result.stats in
   Obj
     [
+      ("partial", Bool result.partial);
       ( "answers",
         List (List.map (to_json plan) (of_result plan result)) );
       ( "stats",

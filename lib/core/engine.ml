@@ -1,4 +1,10 @@
-type result = { answers : Topk_set.entry list; stats : Stats.t }
+type result = {
+  answers : Topk_set.entry list;
+  stats : Stats.t;
+  partial : bool;
+}
+
+let never_stop () = false
 
 let now_ns = Clock.now_ns
 
@@ -11,7 +17,8 @@ let validate_plan (plan : Plan.t) =
 
 let run ?(routing = Strategy.Min_alive)
     ?(queue_policy = Strategy.Max_final_score) ?(batch = 1)
-    ?(trace = Trace.ignore_tracer) ?(use_cache = true) (plan : Plan.t) ~k =
+    ?(trace = Trace.ignore_tracer) ?(use_cache = true)
+    ?(should_stop = never_stop) (plan : Plan.t) ~k =
   if batch < 1 then invalid_arg "Engine.run: batch >= 1";
   validate_plan plan;
   let cache = if use_cache then Some (Candidate_cache.create ()) else None in
@@ -76,9 +83,15 @@ let run ?(routing = Strategy.Min_alive)
         else enqueue ext)
       extensions
   in
+  let stopped = ref false in
   let rec loop () =
     match Pqueue.pop queue with
     | None -> ()
+    | Some _ when should_stop () ->
+        (* Deadline / cancellation: abandon the popped match and the
+           rest of the queue — the top-k set already holds the best
+           answers known so far, returned flagged [partial]. *)
+        stopped := true
     | Some pm ->
         trace
           (Trace.Popped
@@ -130,12 +143,13 @@ let run ?(routing = Strategy.Min_alive)
   in
   loop ();
   stats.wall_ns <- Int64.sub (now_ns ()) t0;
-  { answers = Topk_set.entries topk; stats }
+  { answers = Topk_set.entries topk; stats; partial = !stopped }
 
 (* Threshold mode: no top-k set — a fixed bar prunes instead, and every
    completed match above the bar is an answer (best score per root). *)
 let run_above ?(routing = Strategy.Min_alive)
-    ?(queue_policy = Strategy.Max_final_score) (plan : Plan.t) ~threshold =
+    ?(queue_policy = Strategy.Max_final_score) ?(should_stop = never_stop)
+    (plan : Plan.t) ~threshold =
   validate_plan plan;
   let cache = Candidate_cache.create () in
   let stats = Stats.create () in
@@ -182,9 +196,11 @@ let run_above ?(routing = Strategy.Min_alive)
         stats.matches_pruned <- stats.matches_pruned + 1
       else enqueue pm)
     (Server.initial_matches plan stats ~next_id);
+  let stopped = ref false in
   let rec loop () =
     match Pqueue.pop queue with
     | None -> ()
+    | Some _ when should_stop () -> stopped := true
     | Some pm ->
         let server = Strategy.choose_next routing plan ~threshold pm in
         stats.routing_decisions <- stats.routing_decisions + 1;
@@ -213,10 +229,11 @@ let run_above ?(routing = Strategy.Min_alive)
         | c -> c)
       (Hashtbl.fold (fun _ e acc -> e :: acc) answers [])
   in
-  { answers = sorted; stats }
+  { answers = sorted; stats; partial = !stopped }
 
 let pp_result ppf r =
   Format.fprintf ppf "@[<v>%a@," Stats.pp r.stats;
+  if r.partial then Format.fprintf ppf "(partial: run stopped early)@,";
   List.iteri
     (fun i (e : Topk_set.entry) ->
       Format.fprintf ppf "%d. root=%d score=%.4f@," (i + 1) e.root e.score)

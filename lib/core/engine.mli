@@ -12,7 +12,18 @@
 type result = {
   answers : Topk_set.entry list;  (** the top-k, best first *)
   stats : Stats.t;
+  partial : bool;
+      (** true when the run was cut short by [should_stop] (deadline
+          expiry, cooperative cancellation): the answers are the best
+          top-k known at the stopping point, not necessarily the final
+          one — graceful degradation in the spirit of the paper's
+          approximate answers *)
 }
+
+val never_stop : unit -> bool
+(** The default [should_stop] hook: always false.  Shared so the other
+    engines can default their hooks without allocating a closure per
+    run. *)
 
 val validate_plan : Plan.t -> unit
 (** Static gate run at every engine entry point: raises
@@ -26,11 +37,20 @@ val run :
   ?batch:int ->
   ?trace:Trace.t ->
   ?use_cache:bool ->
+  ?should_stop:(unit -> bool) ->
   Plan.t ->
   k:int ->
   result
 (** [routing] defaults to [Min_alive], [queue_policy] to
     [Max_final_score].
+
+    [should_stop] (default: never) is a cooperative-cancellation hook
+    checked at every iteration boundary (once per popped match, before
+    it is processed).  When it returns true the engine stops routing,
+    drops the remaining queue and returns the current top-k with
+    [partial = true].  A hook that never fires leaves the run — and its
+    answers — bit-identical to one without the hook.  {!Wp_serve} uses
+    it to enforce per-request deadlines.
 
     [batch] (default 1) implements the paper's bulk-adaptivity extension
     (Section 6.3.3: route tuples "in bulk, by grouping tuples based on
@@ -46,6 +66,7 @@ val run :
 val run_above :
   ?routing:Strategy.routing ->
   ?queue_policy:Strategy.queue_policy ->
+  ?should_stop:(unit -> bool) ->
   Plan.t ->
   threshold:float ->
   result

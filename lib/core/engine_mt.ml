@@ -102,6 +102,8 @@ module Make (S : Sync.S) = struct
     server_queues : Partial_match.t Shared_queue.t array;  (* index 0 unused *)
     pending : S.atomic_int;  (* partial matches alive in queues or in flight *)
     stop : S.atomic_int;
+    partial : S.atomic_int;  (* set when should_stop cut the run short *)
+    should_stop : unit -> bool;
     next_id : S.atomic_int;
     drop_topk_lock : bool;
     retire_early : bool;
@@ -119,6 +121,18 @@ module Make (S : Sync.S) = struct
      the system down. *)
   let retire shared =
     if S.fetch_and_add shared.pending (-1) = 1 then finish shared
+
+  (* Cooperative cancellation (deadline expiry): the first thread that
+     observes the hook firing marks the result partial and raises the
+     global stop flag; every queue then drains without processing, so
+     no thread can hang on a request whose deadline has passed. *)
+  let check_deadline shared =
+    shared.should_stop ()
+    && begin
+         S.set shared.partial 1;
+         finish shared;
+         true
+       end
 
   let router_priority shared ~seq pm =
     Strategy.priority shared.queue_policy shared.plan ~seq ~server:None pm
@@ -145,6 +159,7 @@ module Make (S : Sync.S) = struct
     let rec loop () =
       match Shared_queue.pop shared.router_queue ~stopped:(stopped shared) with
       | None -> ()
+      | Some _ when check_deadline shared -> loop ()
       | Some pm ->
           S.note_write "stats.router";
           let pruned, threshold =
@@ -176,6 +191,7 @@ module Make (S : Sync.S) = struct
           ~stopped:(stopped shared)
       with
       | None -> ()
+      | Some _ when check_deadline shared -> loop ()
       | Some pm ->
           S.note_write stats_loc;
           let pruned =
@@ -238,7 +254,7 @@ module Make (S : Sync.S) = struct
 
   let run ?(faults = []) ?(routing = Strategy.Min_alive)
       ?(queue_policy = Strategy.Max_final_score) ?(threads_per_server = 1)
-      (plan : Plan.t) ~k =
+      ?(should_stop = Engine.never_stop) (plan : Plan.t) ~k =
     if threads_per_server < 1 then
       invalid_arg "Engine_mt.run: threads_per_server >= 1";
     Engine.validate_plan plan;
@@ -265,6 +281,8 @@ module Make (S : Sync.S) = struct
               Shared_queue.create (Printf.sprintf "queue.server.%d" i));
         pending = S.atomic pending_loc 0;
         stop = S.atomic "stop" 0;
+        partial = S.atomic "partial" 0;
+        should_stop;
         next_id = S.atomic "next_id" 1;
         drop_topk_lock = List.mem Fault.Drop_topk_lock faults;
         retire_early = List.mem Fault.Retire_early faults;
@@ -332,10 +350,14 @@ module Make (S : Sync.S) = struct
     Array.iter (Stats.add stats) server_stats;
     stats.wall_ns <- Int64.sub (Clock.now_ns ()) t0;
     S.note_read topk_loc;
-    { Engine.answers = Topk_set.entries shared.topk; stats }
+    {
+      Engine.answers = Topk_set.entries shared.topk;
+      stats;
+      partial = S.get shared.partial <> 0;
+    }
 end
 
 module Default = Make (Sync.Real)
 
-let run ?routing ?queue_policy ?threads_per_server plan ~k =
-  Default.run ?routing ?queue_policy ?threads_per_server plan ~k
+let run ?routing ?queue_policy ?threads_per_server ?should_stop plan ~k =
+  Default.run ?routing ?queue_policy ?threads_per_server ?should_stop plan ~k

@@ -53,6 +53,7 @@ module Make (S : Sync.S) : sig
     ?routing:Strategy.routing ->
     ?queue_policy:Strategy.queue_policy ->
     ?threads_per_server:int ->
+    ?should_stop:(unit -> bool) ->
     Plan.t ->
     k:int ->
     Engine.result
@@ -64,6 +65,7 @@ val run :
   ?routing:Strategy.routing ->
   ?queue_policy:Strategy.queue_policy ->
   ?threads_per_server:int ->
+  ?should_stop:(unit -> bool) ->
   Plan.t ->
   k:int ->
   Engine.result
@@ -74,4 +76,10 @@ val run :
     extension of Section 7 ("increasing the number of threads per server
     for maximal parallelism"): each server's queue is drained by that
     many domains, so a single hot server no longer serializes the
-    system. *)
+    system.
+
+    [should_stop] (default: never) is the cooperative-cancellation hook
+    of {!Engine.run}: router and server threads test it once per popped
+    match; the first thread that observes it raises the global stop
+    flag, every queue drains without further processing, and the result
+    carries the current top-k with [partial = true]. *)

@@ -92,4 +92,4 @@ let run ?order ?(queue_policy = Strategy.Max_final_score) ?(prune = true)
     end
   in
   stats.wall_ns <- Int64.sub (now_ns ()) t0;
-  { Engine.answers; stats }
+  { Engine.answers; stats; partial = false }

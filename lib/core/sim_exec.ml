@@ -168,6 +168,6 @@ let simulate_m ?(routing = Strategy.Min_alive)
   stats.wall_ns <- 0L;
   {
     makespan = !makespan;
-    engine = { Engine.answers = Topk_set.entries topk; stats };
+    engine = { Engine.answers = Topk_set.entries topk; stats; partial = false };
     busy_time = !busy_time;
   }

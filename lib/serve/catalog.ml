@@ -1,0 +1,143 @@
+type doc = {
+  name : string;
+  path : string;
+  index : Wp_xml.Index.t;
+  nodes : int;
+  snapshot : bool;
+}
+
+type t = {
+  mutex : Mutex.t;
+  docs : (string, doc) Hashtbl.t;
+  mutable order : string list;  (* newest first *)
+  plans : (string * string, Whirlpool.Plan.t) Lru.t;  (* (query, doc name) *)
+  config : Wp_relax.Relaxation.config;
+}
+
+type cache_stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  hit_rate : float;
+}
+
+let create ?(plan_cache = 128) ?(config = Wp_relax.Relaxation.all) () =
+  {
+    mutex = Mutex.create ();
+    docs = Hashtbl.create 16;
+    order = [];
+    plans = Lru.create ~capacity:plan_cache;
+    config;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Documents load from XML or from a binary snapshot (.wpdoc), detected
+   by content — the sniffing the CLI's one-shot loader used to inline. *)
+let read_index path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let probe =
+        try really_input_string ic (String.length Wp_xml.Doc_io.magic)
+        with End_of_file -> ""
+      in
+      close_in_noerr ic;
+      let is_snapshot = String.equal probe Wp_xml.Doc_io.magic in
+      let doc =
+        if is_snapshot then
+          match Wp_xml.Doc_io.load path with
+          | d -> Ok d
+          | exception Failure m -> Error (Printf.sprintf "%s: %s" path m)
+        else
+          match Wp_xml.Doc.of_tree (Wp_xml.Parser.parse_file path) with
+          | d -> Ok d
+          | exception Wp_xml.Parser.Error { position; message } ->
+              Error
+                (Printf.sprintf "%s: parse error at byte %d: %s" path position
+                   message)
+          | exception Sys_error m -> Error m
+      in
+      Result.map (fun d -> (Wp_xml.Index.build d, is_snapshot)) doc
+
+let load_file t ?name path =
+  let name = match name with Some n -> n | None -> Filename.basename path in
+  match read_index path with
+  | Error _ as e -> e
+  | Ok (index, snapshot) ->
+      let doc =
+        { name; path; index; nodes = Wp_xml.Doc.size (Wp_xml.Index.doc index);
+          snapshot }
+      in
+      with_lock t (fun () ->
+          if not (Hashtbl.mem t.docs name) then t.order <- name :: t.order;
+          Hashtbl.replace t.docs name doc);
+      Ok doc
+
+let corpus_file f =
+  Filename.check_suffix f ".xml" || Filename.check_suffix f ".wpdoc"
+
+let load_dir t dir =
+  match Sys.readdir dir with
+  | exception Sys_error m -> Error m
+  | entries ->
+      let files =
+        Array.to_list entries |> List.filter corpus_file |> List.sort compare
+      in
+      if files = [] then
+        Error (Printf.sprintf "%s: no .xml or .wpdoc files" dir)
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | f :: rest -> (
+              match load_file t (Filename.concat dir f) with
+              | Ok doc -> go (doc :: acc) rest
+              | Error _ as e -> e)
+        in
+        go [] files
+
+let docs t =
+  with_lock t (fun () ->
+      List.rev_map (fun name -> Hashtbl.find t.docs name) t.order)
+
+let find t name = with_lock t (fun () -> Hashtbl.find_opt t.docs name)
+
+let plan_for t doc query =
+  with_lock t (fun () ->
+      match Lru.find t.plans (query, doc.name) with
+      | Some plan -> Ok plan
+      | None -> (
+          match Wp_pattern.Xpath_parser.parse_opt query with
+          | None -> Error (Printf.sprintf "cannot parse query: %s" query)
+          | Some pattern -> (
+              match
+                Whirlpool.Plan.compile doc.index t.config pattern
+              with
+              | plan ->
+                  (* The engines re-lint at entry; reject here so a bad
+                     plan never occupies a cache slot. *)
+                  (match Whirlpool.Engine.validate_plan plan with
+                  | () ->
+                      Lru.add t.plans (query, doc.name) plan;
+                      Ok plan
+                  | exception Wp_analysis.Lint.Rejected diags ->
+                      Error
+                        (Format.asprintf "query rejected by lint:@ %a"
+                           Wp_analysis.Diagnostic.pp_list diags))
+              | exception Invalid_argument m ->
+                  Error (Printf.sprintf "cannot compile query: %s" m))))
+
+let plan_cache_stats t =
+  with_lock t (fun () ->
+      {
+        size = Lru.length t.plans;
+        capacity = Lru.capacity t.plans;
+        hits = Lru.hits t.plans;
+        misses = Lru.misses t.plans;
+        evictions = Lru.evictions t.plans;
+        hit_rate = Lru.hit_rate t.plans;
+      })

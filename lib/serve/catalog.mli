@@ -1,0 +1,68 @@
+(** The corpus catalog — documents loaded once, plans compiled once.
+
+    A long-lived query service amortizes the two expensive per-query
+    steps of the one-shot CLI: parsing/indexing the document, and
+    compiling the (query, document) plan with its sampled routing
+    estimates.  The catalog keeps every document's {!Wp_xml.Index}
+    warm for the life of the process and memoizes compiled plans in a
+    bounded {!Lru} cache keyed by (query text, document name).
+
+    All operations are thread-safe: worker domains resolve documents
+    and plans concurrently under the catalog's internal mutex
+    (compilation is serialized, which keeps a thundering herd on a cold
+    plan from compiling it once per worker). *)
+
+type doc = {
+  name : string;  (** corpus-unique name clients address (file basename) *)
+  path : string;
+  index : Wp_xml.Index.t;
+  nodes : int;
+  snapshot : bool;  (** loaded from a [.wpdoc] binary snapshot *)
+}
+
+type t
+
+val create :
+  ?plan_cache:int ->
+  ?config:Wp_relax.Relaxation.config ->
+  unit ->
+  t
+(** [plan_cache] (default 128) bounds the compiled-plan LRU; [config]
+    (default all relaxations) applies to every compiled plan. *)
+
+val read_index : string -> (Wp_xml.Index.t * bool, string) result
+(** Load and index a document from an XML file or a binary snapshot
+    (detected by content); the flag is true for a snapshot.  The
+    catalog-independent loader the CLI also uses; [Error] carries a
+    printable message. *)
+
+val load_file : t -> ?name:string -> string -> (doc, string) result
+(** Load one document into the corpus.  [name] defaults to the file's
+    basename; reloading an existing name replaces the document. *)
+
+val load_dir : t -> string -> (doc list, string) result
+(** Load every [*.xml] and [*.wpdoc] file of a directory, in name
+    order.  [Error] on an unreadable directory or if any file fails to
+    load; on success the list of loaded documents. *)
+
+val docs : t -> doc list
+(** Loaded documents, in load order. *)
+
+val find : t -> string -> doc option
+
+val plan_for : t -> doc -> string -> (Whirlpool.Plan.t, string) result
+(** Compiled plan for a query string against a document, served from
+    the plan cache when warm.  [Error] on an unparsable query or a plan
+    the static analyzer rejects ({!Wp_analysis.Lint.Rejected}); rejected
+    plans are not cached. *)
+
+type cache_stats = {
+  size : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  hit_rate : float;  (** in [0, 1]; [0.] before the first lookup *)
+}
+
+val plan_cache_stats : t -> cache_stats

@@ -1,0 +1,43 @@
+(** Closed-loop load generator for the service.
+
+    [clients] threads each hold one connection and issue queries
+    back-to-back (round-robin over the query list) for [duration_s]
+    seconds, then the per-status counts and client-side latency
+    samples are merged into one {!point}.  {!sweep} runs one point
+    against an already-listening server and returns the JSON report
+    the CLI writes to [BENCH_serve.json]. *)
+
+type point = {
+  clients : int;
+  requests : int;  (** replies received, shed included *)
+  ok : int;
+  partial : int;
+  overloaded : int;
+  errors : int;  (** error-status replies and transport failures *)
+  duration_s : float;
+  throughput : float;  (** replies per second *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val run :
+  socket:string ->
+  queries:string list ->
+  clients:int ->
+  duration_s:float ->
+  (point, string) result
+(** [Error] when no client can connect or [queries] is empty. *)
+
+val point_to_json : point -> Wp_json.Json.t
+
+val report :
+  socket:string ->
+  queries:string list ->
+  client_counts:int list ->
+  duration_s:float ->
+  (Wp_json.Json.t, string) result
+(** Run one {!point} per entry of [client_counts] sequentially and
+    wrap them with the sweep parameters, plus the server's own metrics
+    snapshot fetched after the last point. *)

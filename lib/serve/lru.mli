@@ -1,0 +1,40 @@
+(** A small bounded LRU cache.
+
+    Backs the catalog's compiled-plan cache: at most [capacity] entries,
+    the least-recently-used one evicted on overflow.  Lookups and
+    insertions are O(1) (hash table plus an intrusive doubly-linked
+    recency list).  Not thread-safe — callers serialize access
+    ({!Catalog} holds its own mutex). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** [capacity >= 1], else [Invalid_argument]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Counts a hit or a miss, and refreshes the entry's recency. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Recency- and counter-neutral membership probe. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace, evicting the least-recently-used entry when the
+    cache is full.  The new entry becomes most-recent. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> compute:('k -> 'v) -> 'v
+(** {!find}, or on a miss [compute], insert and return.  If [compute]
+    raises, nothing is inserted. *)
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+val evictions : ('k, 'v) t -> int
+
+val hit_rate : ('k, 'v) t -> float
+(** Hits over lookups, in [0, 1]; [0.] before the first lookup (never
+    [nan]). *)
+
+val keys : ('k, 'v) t -> 'k list
+(** Most-recently-used first. *)

@@ -1,0 +1,98 @@
+type t = {
+  mutex : Mutex.t;
+  started_ns : int64;
+  mutable ok : int;
+  mutable partial : int;
+  mutable errors : int;
+  mutable shed : int;
+  ring : float array;  (* latency samples, ms *)
+  mutable ring_len : int;  (* samples stored, <= window *)
+  mutable ring_pos : int;  (* next write position *)
+}
+
+let window = 8192
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    started_ns = Whirlpool.Clock.now_ns ();
+    ok = 0;
+    partial = 0;
+    errors = 0;
+    shed = 0;
+    ring = Array.make window 0.0;
+    ring_len = 0;
+    ring_pos = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record t ~status ~latency_ms =
+  with_lock t (fun () ->
+      (match status with
+      | `Ok -> t.ok <- t.ok + 1
+      | `Partial -> t.partial <- t.partial + 1
+      | `Error -> t.errors <- t.errors + 1);
+      t.ring.(t.ring_pos) <- latency_ms;
+      t.ring_pos <- (t.ring_pos + 1) mod window;
+      if t.ring_len < window then t.ring_len <- t.ring_len + 1)
+
+let record_shed t = with_lock t (fun () -> t.shed <- t.shed + 1)
+
+(* Nearest-rank percentile: the ceil(q*n)-th smallest sample. *)
+let percentile samples q =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+      let arr = Array.of_list samples in
+      Array.sort Float.compare arr;
+      let n = Array.length arr in
+      let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+      arr.(max 0 (min (n - 1) (rank - 1)))
+
+let snapshot t ~extra =
+  let open Wp_json.Json in
+  let ok, partial, errors, shed, samples =
+    with_lock t (fun () ->
+        ( t.ok,
+          t.partial,
+          t.errors,
+          t.shed,
+          Array.to_list (Array.sub t.ring 0 t.ring_len) ))
+  in
+  let requests = ok + partial + errors in
+  let uptime_s =
+    Int64.to_float (Int64.sub (Whirlpool.Clock.now_ns ()) t.started_ns) /. 1e9
+  in
+  let qps = if uptime_s > 0.0 then float_of_int requests /. uptime_s else 0.0 in
+  let mean =
+    match samples with
+    | [] -> 0.0
+    | _ ->
+        List.fold_left ( +. ) 0.0 samples
+        /. float_of_int (List.length samples)
+  in
+  let max_ms = List.fold_left Float.max 0.0 samples in
+  Obj
+    ([
+       ("uptime_s", Float uptime_s);
+       ("requests", Int requests);
+       ("ok", Int ok);
+       ("partial", Int partial);
+       ("errors", Int errors);
+       ("shed", Int shed);
+       ("qps", Float qps);
+       ( "latency_ms",
+         Obj
+           [
+             ("samples", Int (List.length samples));
+             ("p50", Float (percentile samples 0.50));
+             ("p95", Float (percentile samples 0.95));
+             ("p99", Float (percentile samples 0.99));
+             ("max", Float max_ms);
+             ("mean", Float mean);
+           ] );
+     ]
+    @ extra)

@@ -1,0 +1,35 @@
+(** Service-level metrics: request counters, latency percentiles, shed
+    count.
+
+    One instance per service, updated concurrently by worker domains
+    and connection threads under an internal mutex.  Latencies are kept
+    in a bounded ring of the most recent {!window} samples, so the
+    percentile snapshot reflects recent behaviour and memory stays
+    constant under sustained load.  Every derived figure (qps, rates,
+    percentiles) is guarded against empty denominators — a snapshot of
+    a fresh instance contains only finite numbers, never [nan]/[inf]. *)
+
+type t
+
+val window : int
+(** Ring capacity for latency samples (8192). *)
+
+val create : unit -> t
+
+val record :
+  t -> status:[ `Ok | `Partial | `Error ] -> latency_ms:float -> unit
+(** Account one completed request. *)
+
+val record_shed : t -> unit
+(** Account one request refused at admission. *)
+
+val percentile : float list -> float -> float
+(** [percentile samples q] with [q] in [0, 1] — nearest-rank percentile
+    of the samples; [0.] on an empty list.  Exposed for the snapshot
+    tests. *)
+
+val snapshot : t -> extra:(string * Wp_json.Json.t) list -> Wp_json.Json.t
+(** JSON object: uptime, request counters by status, shed count, qps,
+    and p50/p95/p99/max/mean latency (milliseconds) over the sample
+    window, followed by the [extra] fields (cache and pool figures the
+    service contributes). *)

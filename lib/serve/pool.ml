@@ -1,0 +1,147 @@
+type stats = { submitted : int; shed : int; executed : int; failed : int }
+
+let mutex_name = "serve.pool.mutex"
+let state_loc = "serve.pool.state"
+
+(* Serving-layer extension of the engine's declared lock hierarchy: the
+   pool mutex ranks above everything the engine takes, because pool code
+   never holds it while running a job (and hence while the engine locks
+   its queues or the top-k set). *)
+let lock_rank name =
+  if String.equal name mutex_name then Some 2
+  else Whirlpool.Race.lock_rank name
+
+module Make (S : Whirlpool.Sync.S) = struct
+  type t = {
+    queue_depth : int;
+    jobs : (unit -> unit) Queue.t;
+    mutex : S.mutex;
+    work : S.condition;  (* signalled on submit and on shutdown *)
+    drained : S.condition;  (* signalled when the winner finished joining *)
+    mutable stopping : bool;
+    mutable joined : bool;
+    mutable submitted : int;
+    mutable shed : int;
+    mutable executed : int;
+    mutable failed : int;
+    mutable workers : S.handle list;
+  }
+
+  let with_lock t f =
+    S.lock t.mutex;
+    Fun.protect ~finally:(fun () -> S.unlock t.mutex) f
+
+  (* Workers drain the queue; on shutdown they finish every accepted
+     job before exiting (drain-then-join), so an accepted request is
+     never silently dropped. *)
+  let worker_loop t =
+    let rec loop () =
+      let job =
+        with_lock t (fun () ->
+            let rec next () =
+              S.note_write state_loc;
+              match Queue.take_opt t.jobs with
+              | Some job -> Some job
+              | None ->
+                  if t.stopping then None
+                  else begin
+                    S.wait t.work t.mutex;
+                    next ()
+                  end
+            in
+            next ())
+      in
+      match job with
+      | None -> ()
+      | Some job ->
+          let ok =
+            match job () with () -> true | exception _ -> false
+          in
+          with_lock t (fun () ->
+              S.note_write state_loc;
+              if ok then t.executed <- t.executed + 1
+              else t.failed <- t.failed + 1);
+          loop ()
+    in
+    loop ()
+
+  let create ~workers ~queue_depth () =
+    if workers < 1 then invalid_arg "Pool.create: workers >= 1";
+    if queue_depth < 1 then invalid_arg "Pool.create: queue_depth >= 1";
+    let t =
+      {
+        queue_depth;
+        jobs = Queue.create ();
+        mutex = S.mutex mutex_name;
+        work = S.condition "serve.pool.work";
+        drained = S.condition "serve.pool.drained";
+        stopping = false;
+        joined = false;
+        submitted = 0;
+        shed = 0;
+        executed = 0;
+        failed = 0;
+        workers = [];
+      }
+    in
+    t.workers <-
+      List.init workers (fun i ->
+          S.spawn (Printf.sprintf "serve.worker.%d" i) (fun () ->
+              worker_loop t));
+    t
+
+  let submit t job =
+    with_lock t (fun () ->
+        S.note_write state_loc;
+        if t.stopping || Queue.length t.jobs >= t.queue_depth then begin
+          t.shed <- t.shed + 1;
+          false
+        end
+        else begin
+          Queue.push job t.jobs;
+          t.submitted <- t.submitted + 1;
+          S.signal t.work;
+          true
+        end)
+
+  let shutdown t =
+    let winner =
+      with_lock t (fun () ->
+          S.note_write state_loc;
+          if t.stopping then false
+          else begin
+            t.stopping <- true;
+            S.broadcast t.work;
+            true
+          end)
+    in
+    if winner then begin
+      List.iter S.join t.workers;
+      with_lock t (fun () ->
+          S.note_write state_loc;
+          t.joined <- true;
+          S.broadcast t.drained)
+    end
+    else
+      with_lock t (fun () ->
+          let rec wait () =
+            S.note_write state_loc;
+            if not t.joined then begin
+              S.wait t.drained t.mutex;
+              wait ()
+            end
+          in
+          wait ())
+
+  let stats t =
+    with_lock t (fun () ->
+        S.note_read state_loc;
+        {
+          submitted = t.submitted;
+          shed = t.shed;
+          executed = t.executed;
+          failed = t.failed;
+        })
+end
+
+module Real = Make (Whirlpool.Sync.Real)

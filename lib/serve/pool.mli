@@ -1,0 +1,67 @@
+(** A bounded worker pool with admission control.
+
+    The serving layer's scheduler: [workers] threads drain a FIFO job
+    queue of at most [queue_depth] waiting jobs.  {!submit} never
+    blocks — when the queue is full (or the pool is shutting down) the
+    job is {e shed} and [submit] returns [false], so under overload the
+    service degrades by refusing work with a typed [Overloaded] reply
+    instead of queueing unboundedly (and unboundedly inflating tail
+    latency).
+
+    Like {!Whirlpool.Engine_mt}, the pool is a functor over
+    {!Whirlpool.Sync.S}: {!Real} runs on OCaml 5 domains, while the
+    Raceway tests instantiate it with the deterministic instrumented
+    scheduler ({!Whirlpool.Sched}) to explore seeded interleavings of
+    submit / drain / shutdown and check the traces for data races,
+    lock-hierarchy violations and lost shutdowns. *)
+
+type stats = {
+  submitted : int;  (** accepted jobs *)
+  shed : int;  (** refused at admission (queue full or stopping) *)
+  executed : int;  (** jobs that ran to completion *)
+  failed : int;  (** jobs whose closure raised (exception swallowed) *)
+}
+
+val mutex_name : string
+(** Lock name of the pool's queue mutex (["serve.pool.mutex"]). *)
+
+val state_loc : string
+(** Shared-location name for the queue + stop-flag state
+    (["serve.pool.state"]). *)
+
+val lock_rank : string -> int option
+(** The serving layer's declared lock hierarchy: extends
+    {!Whirlpool.Race.lock_rank} (engine queue and cache mutexes rank 0,
+    top-k rank 1) with [serve.pool.mutex] at rank 2 — pool code must
+    never hold its mutex while entering the engine, and a worker
+    acquiring an engine lock under the pool mutex is flagged. *)
+
+module Make (S : Whirlpool.Sync.S) : sig
+  type t
+
+  val create : workers:int -> queue_depth:int -> unit -> t
+  (** Spawn [workers] (>= 1) threads over a queue admitting at most
+      [queue_depth] (>= 1) waiting jobs. *)
+
+  val submit : t -> (unit -> unit) -> bool
+  (** Enqueue a job; [false] when it was shed.  Never blocks. *)
+
+  val shutdown : t -> unit
+  (** Refuse new submissions, let the workers drain every already
+      accepted job, and join them.  Idempotent; afterwards
+      [stats.submitted = stats.executed + stats.failed]. *)
+
+  val stats : t -> stats
+  (** A consistent snapshot (taken under the pool mutex). *)
+end
+
+module Real : sig
+  type t
+
+  val create : workers:int -> queue_depth:int -> unit -> t
+  val submit : t -> (unit -> unit) -> bool
+  val shutdown : t -> unit
+  val stats : t -> stats
+end
+(** {!Make} over {!Whirlpool.Sync.Real} — domains and stdlib
+    primitives. *)

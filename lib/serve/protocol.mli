@@ -1,0 +1,80 @@
+(** The service's wire vocabulary — JSON requests and replies.
+
+    Every frame on the wire ({!Wire}) carries one JSON object.
+    Requests select an operation with ["op"]; replies echo the
+    request's ["id"] and carry a {!status}:
+
+    {v
+    -> {"op":"query","id":1,"query":"//item[./name]","doc":"a.xml",
+        "k":10,"deadline_ms":250}
+    <- {"id":1,"status":"ok","elapsed_ms":3.1,
+        "answers":[{"doc":"a.xml","root":17,"dewey":"0.3.1",
+                    "score":0.91,"progress":2}, ...],
+        "stats":{...}}
+    v}
+
+    Omitting ["doc"] asks for the top-k merged across the whole corpus.
+    [Overloaded] is the admission-control reply — the request was shed,
+    not queued; [Partial] flags a top-k cut short by its deadline. *)
+
+type query = {
+  id : int;
+  query : string;  (** XPath tree-pattern text *)
+  doc : string option;  (** catalog name; [None] = merged corpus *)
+  k : int option;  (** [None] = service default *)
+  deadline_ms : float option;  (** [None] = service default *)
+  algo : string option;  (** "whirlpool-s" (default) or "whirlpool-m" *)
+  routing : string option;  (** as {!Whirlpool.Strategy.routing_of_string} *)
+}
+
+type request =
+  | Query of query
+  | Metrics of { id : int }  (** service-level metrics snapshot *)
+  | Ping of { id : int }
+  | Stop of { id : int }  (** graceful shutdown *)
+
+type status = Ok | Partial | Overloaded | Error
+
+val status_to_string : status -> string
+val status_of_string : string -> status option
+
+type answer = {
+  doc : string;  (** catalog name of the document it came from *)
+  root : int;
+  dewey : string;
+  score : float;
+  progress : int;  (** servers the winning match had visited *)
+}
+
+type response = {
+  id : int;
+  status : status;
+  error : string option;  (** set when [status = Error] *)
+  answers : answer list;
+  stats : Wp_json.Json.t option;  (** engine statistics, for queries *)
+  metrics : Wp_json.Json.t option;  (** for [Metrics] requests *)
+  elapsed_ms : float;  (** server-side handling time *)
+}
+
+val ok_response :
+  ?answers:answer list ->
+  ?stats:Wp_json.Json.t ->
+  ?metrics:Wp_json.Json.t ->
+  ?partial:bool ->
+  id:int ->
+  elapsed_ms:float ->
+  unit ->
+  response
+
+val error_response : id:int -> ?elapsed_ms:float -> string -> response
+val overloaded_response : id:int -> response
+
+val request_to_json : request -> Wp_json.Json.t
+val request_of_json : Wp_json.Json.t -> (request, string) result
+val response_to_json : response -> Wp_json.Json.t
+val response_of_json : Wp_json.Json.t -> (response, string) result
+
+val parse_request : string -> (request, string) result
+(** [Wp_json.Json.of_string] composed with {!request_of_json}. *)
+
+val parse_response : string -> (response, string) result

@@ -1,0 +1,242 @@
+module Json = Wp_json.Json
+
+type t = {
+  catalog : Catalog.t;
+  metrics : Metrics.t;
+  default_k : int;
+  default_deadline_ms : float option;
+  max_k : int;
+  (* candidate-cache totals aggregated across every served request *)
+  cache_mutex : Mutex.t;
+  mutable engine_cache_hits : int;
+  mutable engine_cache_misses : int;
+}
+
+let create ?(default_k = 10) ?default_deadline_ms ?(max_k = 1000) ~catalog () =
+  {
+    catalog;
+    metrics = Metrics.create ();
+    default_k;
+    default_deadline_ms;
+    max_k;
+    cache_mutex = Mutex.create ();
+    engine_cache_hits = 0;
+    engine_cache_misses = 0;
+  }
+
+let catalog t = t.catalog
+let metrics t = t.metrics
+let record_shed t = Metrics.record_shed t.metrics
+
+let now_ns = Whirlpool.Clock.now_ns
+
+let elapsed_ms_since t0 =
+  Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6
+
+let stats_to_json (s : Whirlpool.Stats.t) =
+  let open Json in
+  Obj
+    [
+      ("server_ops", Int s.server_ops);
+      ("comparisons", Int s.comparisons);
+      ("matches_created", Int s.matches_created);
+      ("matches_pruned", Int s.matches_pruned);
+      ("matches_died", Int s.matches_died);
+      ("routing_decisions", Int s.routing_decisions);
+      ("completed", Int s.completed);
+      ("cache_hits", Int s.cache_hits);
+      ("cache_misses", Int s.cache_misses);
+      ("cache_hit_rate", Float (Whirlpool.Stats.cache_hit_rate s));
+      ("wall_seconds", Float (Whirlpool.Stats.wall_seconds s));
+    ]
+
+let ( let* ) = Result.bind
+
+let resolve_docs t (q : Protocol.query) =
+  match q.doc with
+  | Some name -> (
+      match Catalog.find t.catalog name with
+      | Some d -> Result.Ok [ d ]
+      | None -> Result.Error (Printf.sprintf "unknown document: %s" name))
+  | None -> (
+      match Catalog.docs t.catalog with
+      | [] -> Result.Error "the corpus is empty"
+      | ds -> Result.Ok ds)
+
+let resolve_k t (q : Protocol.query) =
+  let k = Option.value q.k ~default:t.default_k in
+  if k < 1 then Result.Error (Printf.sprintf "k must be >= 1 (got %d)" k)
+  else Result.Ok (min k t.max_k)
+
+let resolve_algo (q : Protocol.query) =
+  match Option.value q.algo ~default:"whirlpool-s" with
+  | "whirlpool-s" | "ws" -> Result.Ok `S
+  | "whirlpool-m" | "wm" -> Result.Ok `M
+  | other ->
+      Result.Error
+        (Printf.sprintf
+           "unknown algo %S (serveable: whirlpool-s, whirlpool-m)" other)
+
+let resolve_routing (q : Protocol.query) =
+  match q.routing with
+  | None -> Result.Ok None
+  | Some s -> (
+      match Whirlpool.Strategy.routing_of_string s with
+      | Some r -> Result.Ok (Some r)
+      | None -> Result.Error (Printf.sprintf "unknown routing %S" s))
+
+(* The per-request deadline, as the engines' cooperative-cancellation
+   hook: checked at iteration boundaries, so expiry yields the current
+   top-k flagged partial instead of an unbounded run. *)
+let deadline_hook t (q : Protocol.query) ~t0 =
+  match
+    match q.deadline_ms with
+    | Some ms -> Some ms
+    | None -> t.default_deadline_ms
+  with
+  | None -> Whirlpool.Engine.never_stop
+  | Some ms ->
+      let deadline = Int64.add t0 (Int64.of_float (ms *. 1e6)) in
+      fun () -> Int64.compare (now_ns ()) deadline >= 0
+
+let note_engine_cache t (stats : Whirlpool.Stats.t) =
+  Mutex.lock t.cache_mutex;
+  t.engine_cache_hits <- t.engine_cache_hits + stats.cache_hits;
+  t.engine_cache_misses <- t.engine_cache_misses + stats.cache_misses;
+  Mutex.unlock t.cache_mutex
+
+let run_query t (q : Protocol.query) ~t0 =
+  let* docs = resolve_docs t q in
+  let* k = resolve_k t q in
+  let* algo = resolve_algo q in
+  let* routing = resolve_routing q in
+  let should_stop = deadline_hook t q ~t0 in
+  let stats = Whirlpool.Stats.create () in
+  let partial = ref false in
+  let* tagged =
+    List.fold_left
+      (fun acc (doc : Catalog.doc) ->
+        let* acc = acc in
+        (* Between documents of a merged query the deadline also
+           applies: skip the remaining documents once it has passed. *)
+        if should_stop () then begin
+          partial := true;
+          Result.Ok acc
+        end
+        else
+          let* plan = Catalog.plan_for t.catalog doc q.query in
+          let result =
+            match algo with
+            | `S -> Whirlpool.Engine.run ?routing ~should_stop plan ~k
+            | `M -> Whirlpool.Engine_mt.run ?routing ~should_stop plan ~k
+          in
+          if result.partial then partial := true;
+          Whirlpool.Stats.add stats result.stats;
+          note_engine_cache t result.stats;
+          Result.Ok
+            (List.rev_append
+               (List.map (fun e -> (doc, e)) result.answers)
+               acc))
+      (Result.Ok []) docs
+  in
+  (* Merge across documents: best scores first, ties by document name
+     then root id for a deterministic order. *)
+  let merged =
+    List.sort
+      (fun ((d1 : Catalog.doc), (e1 : Whirlpool.Topk_set.entry))
+           (d2, (e2 : Whirlpool.Topk_set.entry)) ->
+        match Float.compare e2.score e1.score with
+        | 0 -> (
+            match String.compare d1.name d2.name with
+            | 0 -> Int.compare e1.root e2.root
+            | c -> c)
+        | c -> c)
+      tagged
+  in
+  let top = List.filteri (fun i _ -> i < k) merged in
+  let answers =
+    List.map
+      (fun ((doc : Catalog.doc), (e : Whirlpool.Topk_set.entry)) ->
+        let d = Wp_xml.Index.doc doc.index in
+        {
+          Protocol.doc = doc.name;
+          root = e.root;
+          dewey = Wp_xml.Dewey.to_string (Wp_xml.Doc.dewey d e.root);
+          score = e.score;
+          progress = e.progress;
+        })
+      top
+  in
+  Result.Ok (answers, stats, !partial)
+
+let handle_query t (q : Protocol.query) =
+  let t0 = now_ns () in
+  let outcome =
+    match run_query t q ~t0 with
+    | r -> r
+    | exception exn ->
+        Result.Error
+          (Printf.sprintf "internal error: %s" (Printexc.to_string exn))
+  in
+  let elapsed_ms = elapsed_ms_since t0 in
+  match outcome with
+  | Result.Ok (answers, stats, partial) ->
+      Metrics.record t.metrics
+        ~status:(if partial then `Partial else `Ok)
+        ~latency_ms:elapsed_ms;
+      Protocol.ok_response ~answers ~stats:(stats_to_json stats) ~partial
+        ~id:q.id ~elapsed_ms ()
+  | Result.Error msg ->
+      Metrics.record t.metrics ~status:`Error ~latency_ms:elapsed_ms;
+      Protocol.error_response ~id:q.id ~elapsed_ms msg
+
+let metrics_json t =
+  let open Json in
+  let docs = Catalog.docs t.catalog in
+  let nodes = List.fold_left (fun a (d : Catalog.doc) -> a + d.nodes) 0 docs in
+  let pc = Catalog.plan_cache_stats t.catalog in
+  let ech, ecm =
+    Mutex.lock t.cache_mutex;
+    let v = (t.engine_cache_hits, t.engine_cache_misses) in
+    Mutex.unlock t.cache_mutex;
+    v
+  in
+  let cache_rate hits misses =
+    let total = hits + misses in
+    if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+  in
+  Metrics.snapshot t.metrics
+    ~extra:
+      [
+        ( "corpus",
+          Obj [ ("documents", Int (List.length docs)); ("nodes", Int nodes) ]
+        );
+        ( "plan_cache",
+          Obj
+            [
+              ("size", Int pc.size);
+              ("capacity", Int pc.capacity);
+              ("hits", Int pc.hits);
+              ("misses", Int pc.misses);
+              ("evictions", Int pc.evictions);
+              ("hit_rate", Float pc.hit_rate);
+            ] );
+        ( "engine_cache",
+          Obj
+            [
+              ("hits", Int ech);
+              ("misses", Int ecm);
+              ("hit_rate", Float (cache_rate ech ecm));
+            ] );
+      ]
+
+let handle t (req : Protocol.request) =
+  match req with
+  | Protocol.Query q -> `Reply (handle_query t q)
+  | Protocol.Metrics { id } ->
+      `Reply
+        (Protocol.ok_response ~metrics:(metrics_json t) ~id ~elapsed_ms:0.0 ())
+  | Protocol.Ping { id } ->
+      `Reply (Protocol.ok_response ~id ~elapsed_ms:0.0 ())
+  | Protocol.Stop { id } ->
+      `Stop (Protocol.ok_response ~id ~elapsed_ms:0.0 ())

@@ -1,0 +1,46 @@
+(** Request handling — catalog + engines + metrics, transport-agnostic.
+
+    One {!t} serves one corpus.  {!handle_query} is what the worker
+    pool runs per request: resolve the document(s), fetch the compiled
+    plan from the catalog cache, run the engine under the request's
+    deadline, and merge per-document top-k lists when the query spans
+    the corpus.  Deadline semantics: the engine's [should_stop] hook
+    fires once the request's deadline passes, the run stops at the next
+    iteration boundary and the reply carries the current top-k flagged
+    [Partial] — a served query never hangs, it degrades.  A request
+    whose hook never fires returns answers entry-identical to a direct
+    {!Whirlpool.Engine.run} on the same (document, plan, k). *)
+
+type t
+
+val create :
+  ?default_k:int ->
+  ?default_deadline_ms:float ->
+  ?max_k:int ->
+  catalog:Catalog.t ->
+  unit ->
+  t
+(** [default_k] (10) and [default_deadline_ms] (none — no deadline)
+    apply when a query omits the fields; [max_k] (1000) caps any
+    requested [k]. *)
+
+val catalog : t -> Catalog.t
+val metrics : t -> Metrics.t
+
+val record_shed : t -> unit
+(** Called by the transport when admission control sheds a request. *)
+
+val handle_query : t -> Protocol.query -> Protocol.response
+(** Run one query end to end; accounts latency and status in
+    {!metrics}.  Never raises: engine and catalog failures become
+    [Error]-status replies. *)
+
+val metrics_json : t -> Wp_json.Json.t
+(** Service-level snapshot: request counters and latency percentiles
+    ({!Metrics.snapshot}) plus corpus size, plan-cache and
+    candidate-cache hit rates. *)
+
+val handle :
+  t -> Protocol.request -> [ `Reply of Protocol.response | `Stop of Protocol.response ]
+(** Dispatch any request.  [`Stop] tells the transport to reply and
+    then begin a graceful shutdown. *)

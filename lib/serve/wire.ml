@@ -1,0 +1,270 @@
+module Json = Wp_json.Json
+
+let max_frame = 16 * 1024 * 1024
+
+(* --- framing --- *)
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n = Unix.write fd buf pos len in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let rec read_all fd buf pos len =
+  if len = 0 then true
+  else
+    match Unix.read fd buf pos len with
+    | 0 -> false
+    | n -> read_all fd buf (pos + n) (len - n)
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame then
+    Result.Error (Printf.sprintf "frame too large (%d bytes)" n)
+  else begin
+    let buf = Bytes.create (4 + n) in
+    Bytes.set buf 0 (Char.chr ((n lsr 24) land 0xff));
+    Bytes.set buf 1 (Char.chr ((n lsr 16) land 0xff));
+    Bytes.set buf 2 (Char.chr ((n lsr 8) land 0xff));
+    Bytes.set buf 3 (Char.chr (n land 0xff));
+    Bytes.blit_string payload 0 buf 4 n;
+    match write_all fd buf 0 (4 + n) with
+    | () -> Result.Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Result.Error (Unix.error_message e)
+  end
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match read_all fd hdr 0 4 with
+  | false -> Result.Error "connection closed"
+  | true ->
+      let b i = Char.code (Bytes.get hdr i) in
+      let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      if n > max_frame then
+        Result.Error (Printf.sprintf "frame too large (%d bytes)" n)
+      else begin
+        let payload = Bytes.create n in
+        match read_all fd payload 0 n with
+        | true -> Result.Ok (Bytes.unsafe_to_string payload)
+        | false -> Result.Error "connection closed mid-frame"
+        | exception Unix.Unix_error (e, _, _) ->
+            Result.Error (Unix.error_message e)
+      end
+  | exception Unix.Unix_error (e, _, _) -> Result.Error (Unix.error_message e)
+
+(* --- server --- *)
+
+type server = {
+  socket : string;
+  listener : Unix.file_descr;
+  service : Service.t;
+  pool : Pool.Real.t;
+  mutex : Mutex.t;
+  mutable stopping : bool;
+  mutable conns : Unix.file_descr list;
+}
+
+let request_stop server =
+  let first =
+    Mutex.lock server.mutex;
+    let f = not server.stopping in
+    server.stopping <- true;
+    Mutex.unlock server.mutex;
+    f
+  in
+  if first then begin
+    (* Wake the accept loop: a throwaway self-connection is the
+       portable way to unblock a thread parked in [accept]. *)
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | fd ->
+        (try Unix.connect fd (Unix.ADDR_UNIX server.socket)
+         with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  end
+
+let pool_stats server = Pool.Real.stats server.pool
+
+let track_conn server fd =
+  Mutex.lock server.mutex;
+  server.conns <- fd :: server.conns;
+  Mutex.unlock server.mutex
+
+let untrack_conn server fd =
+  Mutex.lock server.mutex;
+  server.conns <- List.filter (fun c -> c != fd) server.conns;
+  Mutex.unlock server.mutex
+
+let handle_conn server fd =
+  let wm = Mutex.create () in
+  let drained = Condition.create () in
+  let inflight = ref 0 in
+  let send resp =
+    let payload = Json.to_string (Protocol.response_to_json resp) in
+    Mutex.lock wm;
+    let r = write_frame fd payload in
+    Mutex.unlock wm;
+    ignore (r : (unit, string) result)
+  in
+  let job_done () =
+    Mutex.lock wm;
+    decr inflight;
+    Condition.signal drained;
+    Mutex.unlock wm
+  in
+  let rec loop () =
+    match read_frame fd with
+    | Result.Error _ -> ()
+    | Result.Ok payload -> (
+        match Protocol.parse_request payload with
+        | Result.Error msg ->
+            send (Protocol.error_response ~id:0 ("bad request: " ^ msg));
+            loop ()
+        | Result.Ok (Protocol.Query q as req) ->
+            (* Queries go through the pool: this is where admission
+               control applies.  The reader thread never runs one. *)
+            Mutex.lock wm;
+            incr inflight;
+            Mutex.unlock wm;
+            let accepted =
+              Pool.Real.submit server.pool (fun () ->
+                  let reply =
+                    match Service.handle server.service req with
+                    | `Reply r | `Stop r -> r
+                  in
+                  send reply;
+                  job_done ())
+            in
+            if not accepted then begin
+              job_done ();
+              Service.record_shed server.service;
+              send (Protocol.overloaded_response ~id:q.id)
+            end;
+            loop ()
+        | Result.Ok req -> (
+            match Service.handle server.service req with
+            | `Reply r ->
+                send r;
+                loop ()
+            | `Stop r ->
+                send r;
+                request_stop server))
+  in
+  loop ();
+  (* Let in-flight replies finish before the descriptor goes away. *)
+  Mutex.lock wm;
+  while !inflight > 0 do
+    Condition.wait drained wm
+  done;
+  Mutex.unlock wm;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  untrack_conn server fd
+
+let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+let serve ?workers ?(queue_depth = 64) ?on_ready ~socket ~service () =
+  let workers =
+    match workers with Some w -> max 1 w | None -> default_workers ()
+  in
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> () (* no sigpipe on this platform *));
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  match
+    let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind listener (Unix.ADDR_UNIX socket);
+       Unix.listen listener 64
+     with e ->
+       (try Unix.close listener with Unix.Unix_error _ -> ());
+       raise e);
+    listener
+  with
+  | exception Unix.Unix_error (e, _, arg) ->
+      Result.Error
+        (Printf.sprintf "cannot listen on %s: %s%s" socket
+           (Unix.error_message e)
+           (if arg = "" then "" else " (" ^ arg ^ ")"))
+  | listener ->
+      let server =
+        {
+          socket;
+          listener;
+          service;
+          pool = Pool.Real.create ~workers ~queue_depth ();
+          mutex = Mutex.create ();
+          stopping = false;
+          conns = [];
+        }
+      in
+      (match on_ready with None -> () | Some f -> f server);
+      let handlers = ref [] in
+      let stopping () =
+        Mutex.lock server.mutex;
+        let s = server.stopping in
+        Mutex.unlock server.mutex;
+        s
+      in
+      let rec accept_loop () =
+        match Unix.accept server.listener with
+        | fd, _ ->
+            if stopping () then (
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            else begin
+              track_conn server fd;
+              handlers :=
+                Thread.create (fun () -> handle_conn server fd) ()
+                :: !handlers;
+              accept_loop ()
+            end
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | exception Unix.Unix_error _ -> if not (stopping ()) then accept_loop ()
+      in
+      accept_loop ();
+      (* Drain accepted work first so queued queries still get their
+         replies, then unblock any reader parked on a quiet
+         connection. *)
+      Pool.Real.shutdown server.pool;
+      let conns =
+        Mutex.lock server.mutex;
+        let c = server.conns in
+        Mutex.unlock server.mutex;
+        c
+      in
+      List.iter
+        (fun fd ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ())
+        conns;
+      List.iter Thread.join !handlers;
+      (try Unix.close server.listener with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket with Unix.Unix_error _ -> ());
+      Result.Ok ()
+
+(* --- client --- *)
+
+type client = { fd : Unix.file_descr }
+
+let connect path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Result.Error (Unix.error_message e)
+  | fd -> (
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> Result.Ok { fd }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Result.Error
+            (Printf.sprintf "cannot connect to %s: %s" path
+               (Unix.error_message e)))
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let ( let* ) = Result.bind
+
+let call c req =
+  let payload = Json.to_string (Protocol.request_to_json req) in
+  let* () = write_frame c.fd payload in
+  let* reply = read_frame c.fd in
+  Protocol.parse_response reply

@@ -121,6 +121,49 @@ let test_answer_json () =
   Alcotest.(check bool) "mentions stats" true
     (Test_stats.contains ~needle:"\"server_ops\":" s)
 
+(* Any byte string — control characters, quotes, backslashes, raw
+   high bytes — must survive escape + reparse unchanged. *)
+let string_roundtrip_prop =
+  QCheck2.Test.make ~name:"string escape/parse round-trip" ~count:1000
+    QCheck2.Gen.(string_size ~gen:char (0 -- 60))
+    (fun s ->
+      match Json.of_string (to_s (Json.String s)) with
+      | Ok (Json.String s') -> String.equal s s'
+      | Ok _ | Error _ -> false)
+
+let test_string_roundtrip_corners () =
+  List.iter
+    (fun s ->
+      match Json.of_string (to_s (Json.String s)) with
+      | Ok (Json.String s') ->
+          Alcotest.(check string) (String.escaped s) s s'
+      | Ok _ -> Alcotest.failf "%S reparsed as a non-string" s
+      | Error m -> Alcotest.failf "%S does not reparse: %s" s m)
+    [
+      "";
+      "\x00\x01\x1f";
+      "quote\"back\\slash";
+      "tab\tnl\ncr\r";
+      "\xc3\xa9";  (* é, already UTF-8 *)
+      String.init 32 Char.chr;
+    ]
+
+let test_reject_trailing_garbage () =
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted trailing garbage %S" bad)
+    [ "1 x"; "{} {}"; "[1] 2"; "\"a\" \"b\""; "null,"; "true false" ]
+
+let test_reject_truncated_escapes () =
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted truncated escape %S" bad)
+    [ "\"\\"; "\"\\u\""; "\"\\u00\""; "\"\\u12g4\""; "\"\\x41\""; "\"\\" ]
+
 let suite =
   [
     Alcotest.test_case "scalars" `Quick test_scalars;
@@ -132,4 +175,11 @@ let suite =
     Alcotest.test_case "parse details" `Quick test_parse_details;
     Alcotest.test_case "member" `Quick test_member;
     Alcotest.test_case "answer json" `Quick test_answer_json;
+    QCheck_alcotest.to_alcotest string_roundtrip_prop;
+    Alcotest.test_case "string roundtrip corners" `Quick
+      test_string_roundtrip_corners;
+    Alcotest.test_case "reject trailing garbage" `Quick
+      test_reject_trailing_garbage;
+    Alcotest.test_case "reject truncated escapes" `Quick
+      test_reject_truncated_escapes;
   ]

@@ -1,0 +1,613 @@
+(* The serving layer: LRU, protocol round-trips, catalog, metrics,
+   deadline semantics, admission control and the socket transport. *)
+
+open Wp_serve
+module Json = Wp_json.Json
+
+(* --- Lru --- *)
+
+let test_lru_basics () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Lru.capacity c);
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  (* "a" was just refreshed, so "b" is now least-recent. *)
+  Lru.add c "c" 3;
+  Alcotest.(check bool) "b evicted" false (Lru.mem c "b");
+  Alcotest.(check bool) "a kept" true (Lru.mem c "a");
+  Alcotest.(check bool) "c kept" true (Lru.mem c "c");
+  Alcotest.(check int) "length" 2 (Lru.length c);
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c);
+  Alcotest.(check (list string)) "mru order" [ "c"; "a" ] (Lru.keys c)
+
+let test_lru_find_or_add () =
+  let c = Lru.create ~capacity:4 in
+  let computed = ref 0 in
+  let compute _ = incr computed; !computed in
+  Alcotest.(check int) "computes" 1 (Lru.find_or_add c "k" ~compute);
+  Alcotest.(check int) "cached" 1 (Lru.find_or_add c "k" ~compute);
+  Alcotest.(check int) "computed once" 1 !computed;
+  (match Lru.find_or_add c "boom" ~compute:(fun _ -> failwith "no") with
+  | _ -> Alcotest.fail "compute exception swallowed"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "failed compute not inserted" false (Lru.mem c "boom")
+
+let test_lru_hit_rate () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check (float 0.0)) "no lookups" 0.0 (Lru.hit_rate c);
+  Alcotest.(check bool) "finite" true (Float.is_finite (Lru.hit_rate c));
+  Lru.add c 1 "x";
+  ignore (Lru.find c 1);
+  ignore (Lru.find c 2);
+  Alcotest.(check (float 1e-9)) "1/2" 0.5 (Lru.hit_rate c);
+  (match Lru.create ~capacity:0 with
+  | _ -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ())
+
+(* --- Protocol --- *)
+
+let roundtrip_request req =
+  match Protocol.parse_request (Json.to_string (Protocol.request_to_json req)) with
+  | Ok req' -> Alcotest.(check bool) "request round-trip" true (req = req')
+  | Error m -> Alcotest.failf "request does not reparse: %s" m
+
+let test_protocol_request_roundtrip () =
+  roundtrip_request
+    (Protocol.Query
+       {
+         id = 7;
+         query = "//item[./name]";
+         doc = Some "a.xml";
+         k = Some 5;
+         deadline_ms = Some 12.5;
+         algo = Some "whirlpool-m";
+         routing = Some "max_score";
+       });
+  roundtrip_request
+    (Protocol.Query
+       {
+         id = 1;
+         query = "/book";
+         doc = None;
+         k = None;
+         deadline_ms = None;
+         algo = None;
+         routing = None;
+       });
+  roundtrip_request (Protocol.Metrics { id = 2 });
+  roundtrip_request (Protocol.Ping { id = 3 });
+  roundtrip_request (Protocol.Stop { id = 4 })
+
+let roundtrip_response r =
+  match
+    Protocol.parse_response (Json.to_string (Protocol.response_to_json r))
+  with
+  | Ok r' -> Alcotest.(check bool) "response round-trip" true (r = r')
+  | Error m -> Alcotest.failf "response does not reparse: %s" m
+
+let test_protocol_response_roundtrip () =
+  roundtrip_response
+    (Protocol.ok_response
+       ~answers:
+         [
+           {
+             Protocol.doc = "a.xml";
+             root = 17;
+             dewey = "0.3.1";
+             score = 0.91;
+             progress = 2;
+           };
+         ]
+       ~partial:true ~id:7 ~elapsed_ms:3.5 ());
+  roundtrip_response (Protocol.error_response ~id:9 "bad things");
+  roundtrip_response (Protocol.overloaded_response ~id:3)
+
+let test_protocol_rejects () =
+  List.iter
+    (fun bad ->
+      match Protocol.parse_request bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" bad)
+    [
+      "{}";
+      "{\"op\":\"query\",\"id\":1}";  (* no query text *)
+      "{\"op\":\"warp\",\"id\":1}";  (* unknown op *)
+      "{\"op\":\"ping\"}";  (* no id *)
+      "{\"op\":\"query\",\"id\":\"x\",\"query\":\"/a\"}";  (* id not int *)
+      "not json at all";
+    ]
+
+(* --- corpus fixture on disk --- *)
+
+let write_tree path tree =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Wp_xml.Printer.to_channel oc tree)
+
+let with_corpus_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wp-serve-test-%d-%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Unix.mkdir dir 0o700;
+  let a = Wp_xml.Tree.el "bib" [ Fixtures.book_a; Fixtures.book_b ] in
+  let b = Wp_xml.Tree.el "bib" [ Fixtures.book_c ] in
+  write_tree (Filename.concat dir "a.xml") a;
+  write_tree (Filename.concat dir "b.xml") b;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let loaded_catalog dir =
+  let catalog = Catalog.create () in
+  (match Catalog.load_dir catalog dir with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "load_dir: %s" m);
+  catalog
+
+(* --- Catalog --- *)
+
+let test_catalog_load_dir () =
+  with_corpus_dir (fun dir ->
+      let catalog = loaded_catalog dir in
+      let names =
+        List.map (fun (d : Catalog.doc) -> d.name) (Catalog.docs catalog)
+      in
+      Alcotest.(check (list string)) "name order" [ "a.xml"; "b.xml" ] names;
+      Alcotest.(check bool) "find" true (Catalog.find catalog "a.xml" <> None);
+      Alcotest.(check bool) "find missing" true
+        (Catalog.find catalog "zzz.xml" = None);
+      List.iter
+        (fun (d : Catalog.doc) ->
+          Alcotest.(check bool) (d.name ^ " nonempty") true (d.nodes > 0))
+        (Catalog.docs catalog))
+
+let test_catalog_load_errors () =
+  let catalog = Catalog.create () in
+  (match Catalog.load_dir catalog "/nonexistent-dir-xyzzy" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a nonexistent directory");
+  with_corpus_dir (fun dir ->
+      (* A directory with no corpus files is an error, not an empty Ok. *)
+      let empty = Filename.concat dir "empty" in
+      Unix.mkdir empty 0o700;
+      (match Catalog.load_dir catalog empty with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "loaded an empty directory");
+      Unix.rmdir empty)
+
+let test_catalog_plan_cache () =
+  with_corpus_dir (fun dir ->
+      let catalog = loaded_catalog dir in
+      let doc = Option.get (Catalog.find catalog "a.xml") in
+      let q = "/book[./title]" in
+      (match Catalog.plan_for catalog doc q with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "plan_for: %s" m);
+      (match Catalog.plan_for catalog doc q with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "plan_for (warm): %s" m);
+      let s = Catalog.plan_cache_stats catalog in
+      Alcotest.(check int) "one miss" 1 s.misses;
+      Alcotest.(check int) "one hit" 1 s.hits;
+      Alcotest.(check int) "one plan cached" 1 s.size;
+      (* An unparsable query is an error and occupies no cache slot. *)
+      (match Catalog.plan_for catalog doc "][broken" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "compiled garbage");
+      Alcotest.(check int) "still one plan"
+        1 (Catalog.plan_cache_stats catalog).size)
+
+(* --- Metrics --- *)
+
+let test_percentile () =
+  let samples = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.0)) "p50" 50.0 (Metrics.percentile samples 0.50);
+  Alcotest.(check (float 0.0)) "p95" 95.0 (Metrics.percentile samples 0.95);
+  Alcotest.(check (float 0.0)) "p99" 99.0 (Metrics.percentile samples 0.99);
+  Alcotest.(check (float 0.0)) "p100" 100.0 (Metrics.percentile samples 1.0);
+  Alcotest.(check (float 0.0)) "singleton" 7.0 (Metrics.percentile [ 7.0 ] 0.99);
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Metrics.percentile [] 0.5)
+
+let member_exn name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.failf "snapshot lacks %S" name
+
+let test_metrics_zero_requests_finite () =
+  (* A snapshot before any request must be all finite numbers — the
+     qps and percentile divisions have zero denominators here. *)
+  let m = Metrics.create () in
+  let snap = Metrics.snapshot m ~extra:[] in
+  let s = Json.to_string snap in
+  Alcotest.(check bool) "no nan" false (Test_stats.contains ~needle:"nan" s);
+  (match Json.of_string s with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "snapshot does not reparse: %s" e);
+  Alcotest.(check bool) "zero requests" true
+    (member_exn "requests" snap = Json.Int 0);
+  let lat = member_exn "latency_ms" snap in
+  Alcotest.(check bool) "zero samples" true
+    (member_exn "samples" lat = Json.Int 0);
+  Alcotest.(check bool) "p50 = 0" true (member_exn "p50" lat = Json.Float 0.0)
+
+let test_metrics_counts () =
+  let m = Metrics.create () in
+  Metrics.record m ~status:`Ok ~latency_ms:1.0;
+  Metrics.record m ~status:`Partial ~latency_ms:2.0;
+  Metrics.record m ~status:`Error ~latency_ms:3.0;
+  Metrics.record_shed m;
+  let snap = Metrics.snapshot m ~extra:[ ("tag", Json.Bool true) ] in
+  Alcotest.(check bool) "requests" true
+    (member_exn "requests" snap = Json.Int 3);
+  Alcotest.(check bool) "ok" true (member_exn "ok" snap = Json.Int 1);
+  Alcotest.(check bool) "partial" true (member_exn "partial" snap = Json.Int 1);
+  Alcotest.(check bool) "errors" true (member_exn "errors" snap = Json.Int 1);
+  Alcotest.(check bool) "shed" true (member_exn "shed" snap = Json.Int 1);
+  Alcotest.(check bool) "extra passthrough" true
+    (member_exn "tag" snap = Json.Bool true)
+
+(* --- engine deadline hook --- *)
+
+let books_plan q =
+  Whirlpool.Run.compile Fixtures.books_index (Fixtures.parse q)
+
+let test_engine_should_stop () =
+  let plan = books_plan Fixtures.q2a in
+  let baseline = Whirlpool.Engine.run plan ~k:3 in
+  Alcotest.(check bool) "baseline complete" false baseline.partial;
+  (* A hook that never fires leaves the run identical. *)
+  let unfired =
+    Whirlpool.Engine.run ~should_stop:Whirlpool.Engine.never_stop plan ~k:3
+  in
+  Alcotest.(check bool) "never_stop identical" true
+    (List.map
+       (fun (e : Whirlpool.Topk_set.entry) -> (e.root, e.score))
+       baseline.answers
+    = List.map
+        (fun (e : Whirlpool.Topk_set.entry) -> (e.root, e.score))
+        unfired.answers);
+  (* A hook that fires immediately stops the run at the first
+     iteration boundary, flagged partial, with no answers hung. *)
+  let stopped = Whirlpool.Engine.run ~should_stop:(fun () -> true) plan ~k:3 in
+  Alcotest.(check bool) "flagged partial" true stopped.partial;
+  Alcotest.(check bool) "no more answers than baseline" true
+    (List.length stopped.answers <= List.length baseline.answers)
+
+let test_engine_mt_should_stop () =
+  let plan = books_plan Fixtures.q2a in
+  let stopped =
+    Whirlpool.Engine_mt.run ~should_stop:(fun () -> true) plan ~k:3
+  in
+  Alcotest.(check bool) "mt flagged partial" true stopped.partial;
+  let complete = Whirlpool.Engine_mt.run plan ~k:3 in
+  Alcotest.(check bool) "mt default complete" false complete.partial
+
+(* --- Service --- *)
+
+let query id ?doc ?k ?deadline_ms ?algo q =
+  {
+    Protocol.id;
+    query = q;
+    doc;
+    k;
+    deadline_ms;
+    algo;
+    routing = None;
+  }
+
+let test_service_matches_engine () =
+  (* The acceptance property: a request without a deadline returns
+     answers entry-identical to a direct Engine.run on the same
+     (document, plan, k). *)
+  with_corpus_dir (fun dir ->
+      let catalog = loaded_catalog dir in
+      let service = Service.create ~catalog () in
+      List.iter
+        (fun q ->
+          List.iter
+            (fun (doc : Catalog.doc) ->
+              let plan =
+                match Catalog.plan_for catalog doc q with
+                | Ok p -> p
+                | Error m -> Alcotest.failf "plan %s: %s" q m
+              in
+              let direct = Whirlpool.Engine.run plan ~k:3 in
+              let r =
+                Service.handle_query service (query 1 ~doc:doc.name ~k:3 q)
+              in
+              Alcotest.(check bool) (q ^ " status ok") true
+                (r.status = Protocol.Ok);
+              Alcotest.(check bool)
+                (q ^ " on " ^ doc.name ^ " entry-identical")
+                true
+                (List.map
+                   (fun (a : Protocol.answer) -> (a.root, a.score, a.progress))
+                   r.answers
+                = List.map
+                    (fun (e : Whirlpool.Topk_set.entry) ->
+                      (e.root, e.score, e.progress))
+                    direct.answers))
+            (Catalog.docs catalog))
+        [ "/book[./title]"; Fixtures.q2d; "/book[./price and ./isbn]" ])
+
+let test_service_expired_deadline_partial () =
+  with_corpus_dir (fun dir ->
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      (* An already expired deadline: the reply must come back (no
+         hang) flagged partial, never an error. *)
+      let r =
+        Service.handle_query service (query 1 ~deadline_ms:0.0 Fixtures.q2d)
+      in
+      Alcotest.(check bool) "partial" true (r.status = Protocol.Partial);
+      Alcotest.(check bool) "no error" true (r.error = None))
+
+let test_service_merged_corpus () =
+  with_corpus_dir (fun dir ->
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      let r = Service.handle_query service (query 1 ~k:10 "/book[./isbn]") in
+      Alcotest.(check bool) "ok" true (r.status = Protocol.Ok);
+      let docs =
+        List.sort_uniq compare
+          (List.map (fun (a : Protocol.answer) -> a.doc) r.answers)
+      in
+      (* book_a, book_b live in a.xml; book_c in b.xml — all have isbn,
+         so the merged top-k spans both documents. *)
+      Alcotest.(check (list string)) "both docs" [ "a.xml"; "b.xml" ] docs;
+      let scores = List.map (fun (a : Protocol.answer) -> a.score) r.answers in
+      Alcotest.(check bool) "sorted desc" true
+        (List.sort (fun a b -> Float.compare b a) scores = scores))
+
+let test_service_errors () =
+  with_corpus_dir (fun dir ->
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      let err q =
+        let r = Service.handle_query service q in
+        Alcotest.(check bool) "error status" true (r.status = Protocol.Error);
+        Alcotest.(check bool) "has message" true (r.error <> None)
+      in
+      err (query 1 ~doc:"missing.xml" "/book");
+      err (query 2 "][garbage");
+      err (query 3 ~k:0 "/book");
+      err { (query 4 "/book") with algo = Some "quicksort" };
+      err { (query 5 "/book") with routing = Some "psychic" };
+      (* And an empty corpus is a typed error, not a crash. *)
+      let empty = Service.create ~catalog:(Catalog.create ()) () in
+      let r = Service.handle_query empty (query 6 "/book") in
+      Alcotest.(check bool) "empty corpus error" true
+        (r.status = Protocol.Error))
+
+let test_service_metrics_json () =
+  with_corpus_dir (fun dir ->
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      ignore (Service.handle_query service (query 1 ~k:2 "/book[./title]"));
+      Service.record_shed service;
+      let snap = Service.metrics_json service in
+      Alcotest.(check bool) "requests counted" true
+        (member_exn "requests" snap = Json.Int 1);
+      Alcotest.(check bool) "shed counted" true
+        (member_exn "shed" snap = Json.Int 1);
+      let corpus = member_exn "corpus" snap in
+      Alcotest.(check bool) "two documents" true
+        (member_exn "documents" corpus = Json.Int 2);
+      (* The merged query compiled one plan per document. *)
+      let pc = member_exn "plan_cache" snap in
+      Alcotest.(check bool) "plan cache misses" true
+        (member_exn "misses" pc = Json.Int 2);
+      let s = Json.to_string snap in
+      Alcotest.(check bool) "snapshot finite" false
+        (Test_stats.contains ~needle:"nan" s))
+
+(* --- Pool admission control --- *)
+
+let test_pool_sheds_when_full () =
+  (* One worker parked on a gate, queue of 2: of 4 concurrent
+     submissions at most 3 can be accepted (1 running + 2 queued), so
+     at least one MUST be shed — the queue provably never grows past
+     its bound. *)
+  let pool = Pool.Real.create ~workers:1 ~queue_depth:2 () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let job () =
+    Mutex.lock gate;
+    Mutex.unlock gate
+  in
+  let accepted = ref 0 and shed = ref 0 in
+  for _ = 1 to 4 do
+    if Pool.Real.submit pool job then incr accepted else incr shed
+  done;
+  Alcotest.(check bool) "at least one shed" true (!shed >= 1);
+  Alcotest.(check bool) "bounded accepts" true (!accepted <= 3);
+  Mutex.unlock gate;
+  Pool.Real.shutdown pool;
+  let s = Pool.Real.stats pool in
+  Alcotest.(check int) "submitted" !accepted s.submitted;
+  Alcotest.(check int) "shed" !shed s.shed;
+  Alcotest.(check int) "drained before join"
+    s.submitted (s.executed + s.failed);
+  (* After shutdown everything is shed. *)
+  Alcotest.(check bool) "post-shutdown shed" false (Pool.Real.submit pool job)
+
+let test_pool_runs_jobs () =
+  let pool = Pool.Real.create ~workers:3 ~queue_depth:64 () in
+  let counter = Atomic.make 0 in
+  let accepted = ref 0 in
+  for _ = 1 to 50 do
+    if Pool.Real.submit pool (fun () -> Atomic.incr counter) then
+      incr accepted
+  done;
+  Pool.Real.shutdown pool;
+  Alcotest.(check int) "all accepted jobs ran" !accepted (Atomic.get counter);
+  let s = Pool.Real.stats pool in
+  Alcotest.(check int) "accounting" s.submitted (s.executed + s.failed);
+  Alcotest.(check int) "no failures" 0 s.failed
+
+(* --- Wire: sockets end to end --- *)
+
+let temp_socket () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "wp-test-%d-%d.sock" (Unix.getpid ()) (Random.int 100000))
+
+let start_server ~socket ~service =
+  let m = Mutex.create () and c = Condition.create () in
+  let state = ref `Pending in
+  let set s =
+    Mutex.lock m;
+    state := s;
+    Condition.signal c;
+    Mutex.unlock m
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        match
+          Wire.serve ~workers:2 ~queue_depth:8
+            ~on_ready:(fun server -> set (`Ready server))
+            ~socket ~service ()
+        with
+        | Ok () -> ()
+        | Error e -> set (`Failed e))
+      ()
+  in
+  Mutex.lock m;
+  while !state = `Pending do
+    Condition.wait c m
+  done;
+  let outcome = !state in
+  Mutex.unlock m;
+  match outcome with
+  | `Ready _ -> thread
+  | `Failed e ->
+      Thread.join thread;
+      Alcotest.failf "server failed to start: %s" e
+  | `Pending -> assert false
+
+let test_wire_end_to_end () =
+  with_corpus_dir (fun dir ->
+      let socket = temp_socket () in
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      let thread = start_server ~socket ~service in
+      let client =
+        match Wire.connect socket with
+        | Ok c -> c
+        | Error e -> Alcotest.failf "connect: %s" e
+      in
+      (match Wire.call client (Protocol.Ping { id = 1 }) with
+      | Ok r -> Alcotest.(check bool) "ping ok" true (r.status = Protocol.Ok)
+      | Error e -> Alcotest.failf "ping: %s" e);
+      (match Wire.call client (Protocol.Query (query 2 ~k:3 "/book[./title]")) with
+      | Ok r ->
+          Alcotest.(check bool) "query ok" true (r.status = Protocol.Ok);
+          Alcotest.(check bool) "has answers" true (r.answers <> []);
+          Alcotest.(check bool) "has stats" true (r.stats <> None)
+      | Error e -> Alcotest.failf "query: %s" e);
+      (* A malformed frame payload gets an error reply on its own
+         connection; the server survives. *)
+      (let raw = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       Fun.protect
+         ~finally:(fun () ->
+           try Unix.close raw with Unix.Unix_error _ -> ())
+         (fun () ->
+           Unix.connect raw (Unix.ADDR_UNIX socket);
+           (match Wire.write_frame raw "this is not json" with
+           | Ok () -> ()
+           | Error e -> Alcotest.failf "raw write: %s" e);
+           match Wire.read_frame raw with
+           | Ok reply -> (
+               match Protocol.parse_response reply with
+               | Ok r ->
+                   Alcotest.(check bool) "bad frame -> error reply" true
+                     (r.status = Protocol.Error)
+               | Error e -> Alcotest.failf "error reply unparsable: %s" e)
+           | Error e -> Alcotest.failf "raw read: %s" e));
+      (match Wire.call client (Protocol.Metrics { id = 3 }) with
+      | Ok r -> Alcotest.(check bool) "metrics" true (r.metrics <> None)
+      | Error e -> Alcotest.failf "metrics: %s" e);
+      (match Wire.call client (Protocol.Stop { id = 4 }) with
+      | Ok r -> Alcotest.(check bool) "stop acked" true (r.status = Protocol.Ok)
+      | Error e -> Alcotest.failf "stop: %s" e);
+      Wire.close client;
+      Thread.join thread;
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists socket))
+
+let test_wire_deadline_over_socket () =
+  with_corpus_dir (fun dir ->
+      let socket = temp_socket () in
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      let thread = start_server ~socket ~service in
+      let client =
+        match Wire.connect socket with
+        | Ok c -> c
+        | Error e -> Alcotest.failf "connect: %s" e
+      in
+      (match
+         Wire.call client
+           (Protocol.Query (query 1 ~deadline_ms:0.0 "/book[./title]"))
+       with
+      | Ok r ->
+          Alcotest.(check bool) "partial over the wire" true
+            (r.status = Protocol.Partial)
+      | Error e -> Alcotest.failf "deadline query: %s" e);
+      ignore (Wire.call client (Protocol.Stop { id = 2 }));
+      Wire.close client;
+      Thread.join thread)
+
+let test_wire_frame_roundtrip () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      let payload = "{\"x\":\"\xc3\xa9\"}" in
+      (match Wire.write_frame w payload with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" e);
+      match Wire.read_frame r with
+      | Ok p -> Alcotest.(check string) "frame payload" payload p
+      | Error e -> Alcotest.failf "read: %s" e)
+
+let suite =
+  [
+    Alcotest.test_case "lru basics" `Quick test_lru_basics;
+    Alcotest.test_case "lru find_or_add" `Quick test_lru_find_or_add;
+    Alcotest.test_case "lru hit rate" `Quick test_lru_hit_rate;
+    Alcotest.test_case "protocol request roundtrip" `Quick
+      test_protocol_request_roundtrip;
+    Alcotest.test_case "protocol response roundtrip" `Quick
+      test_protocol_response_roundtrip;
+    Alcotest.test_case "protocol rejects" `Quick test_protocol_rejects;
+    Alcotest.test_case "catalog load dir" `Quick test_catalog_load_dir;
+    Alcotest.test_case "catalog load errors" `Quick test_catalog_load_errors;
+    Alcotest.test_case "catalog plan cache" `Quick test_catalog_plan_cache;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "metrics zero requests finite" `Quick
+      test_metrics_zero_requests_finite;
+    Alcotest.test_case "metrics counts" `Quick test_metrics_counts;
+    Alcotest.test_case "engine should_stop" `Quick test_engine_should_stop;
+    Alcotest.test_case "engine-mt should_stop" `Quick
+      test_engine_mt_should_stop;
+    Alcotest.test_case "service matches engine" `Quick
+      test_service_matches_engine;
+    Alcotest.test_case "service expired deadline partial" `Quick
+      test_service_expired_deadline_partial;
+    Alcotest.test_case "service merged corpus" `Quick
+      test_service_merged_corpus;
+    Alcotest.test_case "service errors" `Quick test_service_errors;
+    Alcotest.test_case "service metrics json" `Quick
+      test_service_metrics_json;
+    Alcotest.test_case "pool sheds when full" `Quick test_pool_sheds_when_full;
+    Alcotest.test_case "pool runs jobs" `Quick test_pool_runs_jobs;
+    Alcotest.test_case "wire frame roundtrip" `Quick test_wire_frame_roundtrip;
+    Alcotest.test_case "wire end to end" `Quick test_wire_end_to_end;
+    Alcotest.test_case "wire deadline over socket" `Quick
+      test_wire_deadline_over_socket;
+  ]

@@ -41,10 +41,43 @@ let test_pp () =
   let str = Format.asprintf "%a" Stats.pp s in
   Alcotest.(check bool) "mentions ops" true (contains ~needle:"ops=2" str)
 
+(* Regression: with zero cache lookups the hit rate must be a finite
+   0.0 — not nan (0/0) — both from the accessor and through every JSON
+   emitter that reports it. *)
+let test_zero_lookup_hit_rate () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.0)) "0/0 lookups" 0.0 (Stats.cache_hit_rate s);
+  Alcotest.(check bool) "finite" true
+    (Float.is_finite (Stats.cache_hit_rate s));
+  let json = Wp_json.Json.to_string (Wp_json.Json.Float (Stats.cache_hit_rate s)) in
+  Alcotest.(check string) "serializes as a number" "0.0" json;
+  s.cache_hits <- 3;
+  s.cache_misses <- 1;
+  Alcotest.(check (float 1e-9)) "3/4" 0.75 (Stats.cache_hit_rate s)
+
+let test_result_json_finite_hit_rate () =
+  (* An engine result whose run never touched the candidate cache must
+     still emit a JSON document with a parsable, finite hit rate. *)
+  let plan =
+    Whirlpool.Run.compile Fixtures.books_index (Fixtures.parse Fixtures.q2d)
+  in
+  let r = Engine.run plan ~k:1 in
+  let s = Wp_json.Json.to_string (Answer.result_to_json plan r) in
+  Alcotest.(check bool) "mentions the rate" true
+    (contains ~needle:"\"cache_hit_rate\":" s);
+  Alcotest.(check bool) "no nan leaks" false (contains ~needle:"nan" s);
+  Alcotest.(check bool) "no inf leaks" false (contains ~needle:"inf" s);
+  match Wp_json.Json.of_string s with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "emitted JSON does not reparse: %s" m
+
 let suite =
   [
     Alcotest.test_case "create and reset" `Quick test_create_and_reset;
     Alcotest.test_case "add" `Quick test_add;
     Alcotest.test_case "wall seconds" `Quick test_wall_seconds;
     Alcotest.test_case "pp" `Quick test_pp;
+    Alcotest.test_case "zero-lookup hit rate" `Quick test_zero_lookup_hit_rate;
+    Alcotest.test_case "result json finite hit rate" `Quick
+      test_result_json_finite_hit_rate;
   ]
