@@ -18,7 +18,10 @@ let batching (scale : Common.scale) =
   List.iter
     (fun batch ->
       let (r : Whirlpool.Engine.result), dt =
-        Common.timed_runs (fun () -> Whirlpool.Engine.run ~batch plan ~k)
+        Common.timed_runs (fun () ->
+            Whirlpool.Engine.run
+              ~config:Whirlpool.Engine.Config.(default |> with_batch batch)
+              plan ~k)
       in
       Common.print_row widths
         [
@@ -42,7 +45,11 @@ let threads (scale : Common.scale) =
     (fun threads_per_server ->
       let (r : Whirlpool.Engine.result), dt =
         Common.timed_runs (fun () ->
-            Whirlpool.Engine_mt.run ~threads_per_server plan ~k)
+            Whirlpool.Engine_mt.run
+              ~config:
+                Whirlpool.Engine.Config.(
+                  default |> with_threads_per_server threads_per_server)
+              plan ~k)
       in
       Common.print_row widths
         [

@@ -30,8 +30,16 @@ let run (scale : Common.scale) =
               Common.fint r.stats.matches_created;
             ])
         [
-          ("Whirlpool-S", fun routing -> Whirlpool.Engine.run ~routing plan ~k);
-          ("Whirlpool-M", fun routing -> Whirlpool.Engine_mt.run ~routing plan ~k);
+          ( "Whirlpool-S",
+            fun routing ->
+              Whirlpool.Engine.run
+                ~config:Whirlpool.Engine.Config.(default |> with_routing routing)
+                plan ~k );
+          ( "Whirlpool-M",
+            fun routing ->
+              Whirlpool.Engine_mt.run
+                ~config:Whirlpool.Engine.Config.(default |> with_routing routing)
+                plan ~k );
         ])
     routings;
   Printf.printf

@@ -6,6 +6,9 @@
    6) and number of server operations (Figure 7); for the Whirlpool
    engines we additionally run the adaptive (min_alive) strategy. *)
 
+let cfg routing =
+  Whirlpool.Engine.Config.(default |> with_routing routing)
+
 type sample = { dt : float; ops : int }
 
 let summarize samples =
@@ -43,17 +46,21 @@ let run (scale : Common.scale) =
         None );
       ( "Whirlpool-S",
         (fun order ->
-          Whirlpool.Engine.run ~routing:(Whirlpool.Strategy.Static order) plan
-            ~k),
-        Some (fun () -> Whirlpool.Engine.run ~routing:Whirlpool.Strategy.Min_alive plan ~k) );
-      ( "Whirlpool-M",
-        (fun order ->
-          Whirlpool.Engine_mt.run ~routing:(Whirlpool.Strategy.Static order)
+          Whirlpool.Engine.run ~config:(cfg (Whirlpool.Strategy.Static order))
             plan ~k),
         Some
           (fun () ->
-            Whirlpool.Engine_mt.run ~routing:Whirlpool.Strategy.Min_alive plan
-              ~k) );
+            Whirlpool.Engine.run ~config:(cfg Whirlpool.Strategy.Min_alive)
+              plan ~k) );
+      ( "Whirlpool-M",
+        (fun order ->
+          Whirlpool.Engine_mt.run
+            ~config:(cfg (Whirlpool.Strategy.Static order))
+            plan ~k),
+        Some
+          (fun () ->
+            Whirlpool.Engine_mt.run ~config:(cfg Whirlpool.Strategy.Min_alive)
+              plan ~k) );
     ]
   in
   let results =

@@ -14,6 +14,9 @@
    operation cost — we therefore extend the sweep downward to make the
    overhead regime visible, and report the crossover point explicitly. *)
 
+let cfg routing =
+  Whirlpool.Engine.Config.(default |> with_routing routing)
+
 let run (scale : Common.scale) =
   Common.header "Figure 8: adaptivity overhead vs server operation cost (Q2)";
   let plan = Common.plan_for ~size:scale.default_size Common.q2 in
@@ -28,8 +31,9 @@ let run (scale : Common.scale) =
     List.fold_left
       (fun (best, border) order ->
         let r =
-          Whirlpool.Engine.run ~routing:(Whirlpool.Strategy.Static order) plan
-            ~k
+          Whirlpool.Engine.run
+            ~config:(cfg (Whirlpool.Strategy.Static order))
+            plan ~k
         in
         if r.stats.server_ops < best then (r.stats.server_ops, order)
         else (best, border))
@@ -49,11 +53,13 @@ let run (scale : Common.scale) =
   in
   let a_ops, a_dec =
     counts (fun () ->
-        Whirlpool.Engine.run ~routing:Whirlpool.Strategy.Min_alive plan ~k)
+        Whirlpool.Engine.run ~config:(cfg Whirlpool.Strategy.Min_alive) plan
+          ~k)
   in
   let s_ops, s_dec =
     counts (fun () ->
-        Whirlpool.Engine.run ~routing:(Whirlpool.Strategy.Static ws_best_order)
+        Whirlpool.Engine.run
+          ~config:(cfg (Whirlpool.Strategy.Static ws_best_order))
           plan ~k)
   in
   let l_ops, l_dec = counts (fun () -> Whirlpool.Lockstep.run plan ~k) in

@@ -12,7 +12,12 @@ let run (scale : Common.scale) =
   List.iter
     (fun queue_policy ->
       let (r : Whirlpool.Engine.result), dt =
-        Common.timed_runs (fun () -> Whirlpool.Engine.run ~queue_policy plan ~k)
+        Common.timed_runs (fun () ->
+            Whirlpool.Engine.run
+              ~config:
+                Whirlpool.Engine.Config.(
+                  default |> with_queue_policy queue_policy)
+              plan ~k)
       in
       Common.print_row widths
         [

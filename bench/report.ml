@@ -47,15 +47,26 @@ let measure ~runs f =
 
 type exhibit = { name : string; cached : measurement; uncached : measurement }
 
-let run_workload ~runs ~routing plan ~k =
+let run_workload ~runs ~trace ~routing plan ~k =
   let go use_cache () =
-    (Whirlpool.Engine.run ~routing ~use_cache plan ~k).Whirlpool.Engine.stats
+    let config =
+      Whirlpool.Engine.Config.(
+        default |> with_routing routing |> with_use_cache use_cache)
+    in
+    let config =
+      (* --trace: a fresh enabled observability context per run — the
+         gate then also proves tracing leaves every counter unchanged. *)
+      if trace then
+        Whirlpool.Engine.Config.with_obs (Wp_obs.Obs.create ()) config
+      else config
+    in
+    (Whirlpool.Engine.run ~config plan ~k).Whirlpool.Engine.stats
   in
   let cached = measure ~runs (go true) in
   let uncached = measure ~runs (go false) in
   (cached, uncached)
 
-let exhibits (scale : Common.scale) ~runs =
+let exhibits (scale : Common.scale) ~runs ~trace =
   let k = scale.default_k in
   let out = ref [] in
   let add name (cached, uncached) =
@@ -75,7 +86,7 @@ let exhibits (scale : Common.scale) ~runs =
       let plan = Common.plan_for ~size:scale.default_size q in
       add
         (Printf.sprintf "fig6/%s" qname)
-        (run_workload ~runs ~routing:Whirlpool.Strategy.Min_alive plan ~k))
+        (run_workload ~runs ~trace ~routing:Whirlpool.Strategy.Min_alive plan ~k))
     Common.queries;
   (* fig8-style: adaptivity overhead — the same workload under the
      default static order. *)
@@ -86,7 +97,7 @@ let exhibits (scale : Common.scale) ~runs =
       let order = Whirlpool.Strategy.default_static_order plan in
       add
         (Printf.sprintf "fig8/static/%s" qname)
-        (run_workload ~runs ~routing:(Whirlpool.Strategy.Static order) plan ~k))
+        (run_workload ~runs ~trace ~routing:(Whirlpool.Strategy.Static order) plan ~k))
     Common.queries;
   (* cache exhibit: k x document size x routing strategy over Q2. *)
   Printf.printf "cache sweep (Q2, k x size x routing)\n%!";
@@ -107,7 +118,7 @@ let exhibits (scale : Common.scale) ~runs =
             (fun (rname, routing) ->
               add
                 (Printf.sprintf "cache/Q2/k=%d/%s/%s" k size_label rname)
-                (run_workload ~runs ~routing plan ~k))
+                (run_workload ~runs ~trace ~routing plan ~k))
             routings)
         scale.ks)
     scale.sizes;
@@ -215,11 +226,11 @@ let check ~warn_wall ~wall_tolerance baseline exhibits =
     fail "no exhibit matched the baseline (quick vs full scale mismatch?)";
   { failures = List.rev !failures; warnings = List.rev !warnings }
 
-let main quick runs output baseline_path warn_wall wall_tolerance =
+let main quick runs trace output baseline_path warn_wall wall_tolerance =
   let scale = if quick then Common.quick_scale else Common.full_scale in
   Printf.printf "Whirlpool perf report — %s scale, %d run(s) per point\n%!"
     scale.Common.label runs;
-  let exhibits = exhibits scale ~runs in
+  let exhibits = exhibits scale ~runs ~trace in
   let json = to_json ~quick exhibits in
   let oc = open_out output in
   output_string oc (Format.asprintf "%a@." Json.pp json);
@@ -261,6 +272,15 @@ let runs =
     & info [ "runs" ] ~docv:"N"
         ~doc:"Runs per measurement point; the median wall time is kept.")
 
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Run every exhibit under an enabled observability context \
+           (span tracing + per-server profile); the counters checked \
+           against the baseline must come out identical.")
+
 let output =
   Arg.(
     value
@@ -297,7 +317,7 @@ let cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"machine-readable perf report + regression gate")
     Term.(
-      const main $ quick $ runs $ output $ check_path $ warn_wall
+      const main $ quick $ runs $ trace $ output $ check_path $ warn_wall
       $ wall_tolerance)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,8 +9,10 @@
      lint       statically analyze a query (and its plan) for defects
      race       explore Whirlpool-M schedules deterministically, checking
                 lock order, data races and shutdown
+     profile    run a query under tracing, print per-server cost breakdown
      serve      run the top-k query service on a Unix-domain socket
-     ctl        ping/metrics/stop a running server
+     ctl        ping/metrics/stop a running server (metrics as JSON or
+                Prometheus text exposition via --format)
      loadgen    benchmark a server, writing BENCH_serve.json
 
    Exit codes are uniform across subcommands:
@@ -28,7 +30,7 @@
 
 open Cmdliner
 
-let version = "1.1.0"
+let version = "1.2.0"
 
 let exits =
   [
@@ -123,6 +125,8 @@ let remote_query socket q k deadline_ms algo routing doc json =
         deadline_ms;
         algo = Some algo;
         routing = Some routing;
+        batch = None;
+        use_cache = None;
       }
   in
   let reply = Wp_serve.Wire.call client req in
@@ -179,15 +183,16 @@ let local_query path q k threshold algo routing exact explain json =
     if exact then Wp_relax.Relaxation.exact else Wp_relax.Relaxation.all
   in
   let plan = Whirlpool.Run.compile ~config idx pattern in
+  let engine_config = Whirlpool.Engine.Config.(default |> with_routing routing) in
   let r =
     match threshold with
     | Some threshold ->
         Printf.printf "All answers above %.3f for %s:\n" threshold
           (Wp_pattern.Pattern.to_string pattern);
-        Whirlpool.Engine.run_above ~routing plan ~threshold
+        Whirlpool.Engine.run_above ~config:engine_config plan ~threshold
     | None ->
         Printf.printf "Top-%d for %s:\n" k (Wp_pattern.Pattern.to_string pattern);
-        Whirlpool.Run.run ~routing algo plan ~k
+        Whirlpool.Run.run ~config:engine_config algo plan ~k
   in
   let doc = Wp_xml.Index.doc idx in
   if json then
@@ -612,12 +617,12 @@ let load_corpus catalog paths =
            0 docs)
 
 let serve_run corpus socket workers queue_depth default_k deadline_ms
-    plan_cache =
+    plan_cache slow_query_ms =
   let catalog = Wp_serve.Catalog.create ~plan_cache () in
   load_corpus catalog corpus;
   let service =
     Wp_serve.Service.create ~default_k ?default_deadline_ms:deadline_ms
-      ~catalog ()
+      ?slow_query_ms ~catalog ()
   in
   let on_ready server =
     let stop _ = Wp_serve.Wire.request_stop server in
@@ -681,6 +686,15 @@ let serve_cmd =
       & info [ "plan-cache" ] ~docv:"N"
           ~doc:"Compiled-plan LRU capacity.")
   in
+  let slow_query_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-query-ms" ] ~docv:"MS"
+          ~doc:
+            "Arm the slow-query log: requests at or above this latency \
+             record their full span tree and per-server cost profile.")
+  in
   Cmd.v
     (cmd_info "serve"
        ~doc:"serve top-k queries over a Unix-domain socket"
@@ -701,15 +715,23 @@ let serve_cmd =
        ())
     Term.(
       const serve_run $ corpus $ socket_arg $ workers $ queue_depth
-      $ default_k $ deadline_ms $ plan_cache)
+      $ default_k $ deadline_ms $ plan_cache $ slow_query_ms)
 
 (* --- ctl --- *)
 
-let ctl_run socket op json =
+let ctl_run socket op format json =
+  let format =
+    match Wp_serve.Protocol.metrics_format_of_string format with
+    | Some f -> f
+    | None ->
+        Printf.eprintf "unknown metrics format %S (known: json, prometheus)\n"
+          format;
+        exit 2
+  in
   let req =
     match op with
     | "ping" -> Wp_serve.Protocol.Ping { id = 1 }
-    | "metrics" -> Wp_serve.Protocol.Metrics { id = 1 }
+    | "metrics" -> Wp_serve.Protocol.Metrics { id = 1; format }
     | "stop" -> Wp_serve.Protocol.Stop { id = 1 }
     | other ->
         Printf.eprintf "unknown operation %S (known: ping, metrics, stop)\n"
@@ -730,8 +752,11 @@ let ctl_run socket op json =
       prerr_endline e;
       exit 2
   | Ok r -> (
-      match r.metrics with
-      | Some m when op = "metrics" ->
+      match (r.metrics_text, r.metrics) with
+      | Some text, _ when op = "metrics" ->
+          (* Prometheus exposition text: print raw, ready to scrape. *)
+          print_string text
+      | _, Some m when op = "metrics" ->
           Format.printf "%a@." Wp_json.Json.pp m
       | _ ->
           if json then
@@ -748,12 +773,175 @@ let ctl_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"OP" ~doc:"ping, metrics or stop.")
   in
+  let format =
+    Arg.(
+      value & opt string "json"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Metrics encoding: json (structured snapshot) or prometheus \
+             (text exposition, printed raw).")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the raw reply as JSON.")
   in
   Cmd.v
     (cmd_info "ctl" ~doc:"control a running server (ping, metrics, stop)" ())
-    Term.(const ctl_run $ socket_arg $ op $ json)
+    Term.(const ctl_run $ socket_arg $ op $ format $ json)
+
+(* --- profile --- *)
+
+(* Local run under an enabled observability context: exact per-server
+   cost attribution plus the query's span tree. *)
+let profile_run path q k algo routing batch threads use_cache exact
+    show_spans json =
+  let idx = load_index path in
+  let pattern = parse_query q in
+  let algo =
+    match Whirlpool.Run.algorithm_of_string algo with
+    | Some (Whirlpool.Run.Whirlpool_s as a) | Some (Whirlpool.Run.Whirlpool_m as a)
+      ->
+        a
+    | Some _ ->
+        prerr_endline "profile supports whirlpool-s and whirlpool-m";
+        exit 2
+    | None ->
+        prerr_endline ("unknown algorithm: " ^ algo);
+        exit 2
+  in
+  let routing =
+    match Whirlpool.Strategy.routing_of_string routing with
+    | Some r -> r
+    | None ->
+        prerr_endline ("unknown routing: " ^ routing);
+        exit 2
+  in
+  let relax =
+    if exact then Wp_relax.Relaxation.exact else Wp_relax.Relaxation.all
+  in
+  let plan = Whirlpool.Run.compile ~config:relax idx pattern in
+  let obs = Wp_obs.Obs.create () in
+  let config =
+    Whirlpool.Engine.Config.(
+      default |> with_routing routing |> with_batch batch
+      |> with_threads_per_server threads |> with_use_cache use_cache
+      |> with_obs obs)
+  in
+  let r = Whirlpool.Run.run ~config algo plan ~k in
+  if json then
+    Format.printf "%a@." Wp_json.Json.pp
+      (Wp_json.Json.Obj
+         [
+           ("query", Wp_json.Json.String (Wp_pattern.Pattern.to_string pattern));
+           ("algorithm", Wp_json.Json.String
+              (Format.asprintf "%a" Whirlpool.Run.pp_algorithm algo));
+           ("answers", Wp_json.Json.Int (List.length r.answers));
+           ("stats", Whirlpool.Stats.to_json r.stats);
+           ("profile", Wp_obs.Obs.profile_json obs);
+           ("spans", Wp_obs.Obs.span_tree_json obs);
+         ])
+  else begin
+    Printf.printf "Top-%d for %s (%s):\n" k
+      (Wp_pattern.Pattern.to_string pattern)
+      (Format.asprintf "%a" Whirlpool.Run.pp_algorithm algo);
+    List.iteri
+      (fun i (e : Whirlpool.Topk_set.entry) ->
+        Printf.printf "%3d. node %-10d score %.4f\n" (i + 1) e.root e.score)
+      r.answers;
+    Printf.printf "\nper-server cost breakdown:\n";
+    Printf.printf "  %-6s %-14s %10s %12s %10s %8s %10s\n" "server" "tag"
+      "visits" "comparisons" "hit rate" "time ms" "ms/visit";
+    List.iter
+      (fun (server, (c : Wp_obs.Obs.server_cost)) ->
+        let tag =
+          if server >= 0 && server < Array.length plan.Whirlpool.Plan.specs
+          then plan.Whirlpool.Plan.specs.(server).Wp_relax.Server_spec.tag
+          else "?"
+        in
+        let lookups = c.cache_hits + c.cache_misses in
+        let hit_rate =
+          if lookups = 0 then 0.0
+          else float_of_int c.cache_hits /. float_of_int lookups
+        in
+        let ms = Int64.to_float c.time_ns /. 1e6 in
+        let per_visit = if c.visits = 0 then 0.0 else ms /. float_of_int c.visits in
+        Printf.printf "  %-6d %-14s %10d %12d %9.1f%% %8.2f %10.4f\n" server
+          tag c.visits c.comparisons (100.0 *. hit_rate) ms per_visit)
+      (Wp_obs.Obs.per_server obs);
+    Printf.printf "\n%s\n" (Format.asprintf "%a" Whirlpool.Stats.pp r.stats);
+    if show_spans then begin
+      Printf.printf "\nspan tree:\n";
+      Format.printf "%a@." Wp_json.Json.pp (Wp_obs.Obs.span_tree_json obs)
+    end
+  end
+
+let profile_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"XML document or snapshot.")
+  in
+  let k = Arg.(value & opt int 10 & info [ "k" ] ~doc:"Answers to return.") in
+  let algo =
+    Arg.(
+      value & opt string "whirlpool-s"
+      & info [ "algo" ] ~doc:"whirlpool-s or whirlpool-m.")
+  in
+  let routing =
+    Arg.(
+      value & opt string "min_alive"
+      & info [ "routing" ] ~doc:"min_alive, max_score or min_score.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"Partial matches routed per iteration (whirlpool-s).")
+  in
+  let threads =
+    Arg.(
+      value & opt int 1
+      & info [ "threads-per-server" ] ~docv:"T"
+          ~doc:"Worker threads per server (whirlpool-m).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the candidate cache.")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Disable relaxations.")
+  in
+  let spans =
+    Arg.(
+      value & flag
+      & info [ "spans" ] ~doc:"Also print the query's span tree.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit stats, per-server profile and span tree as JSON.")
+  in
+  Cmd.v
+    (cmd_info "profile"
+       ~doc:"run a query under tracing and print its per-server cost profile"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the query locally with an enabled observability \
+              context: every server visit is timed and attributed, and \
+              the run's span tree (query, iteration batches, server \
+              visits with their trace events) is collected.  The \
+              breakdown shows, per server, the visits, comparisons, \
+              candidate-cache hit rate and wall time — where the \
+              query's cost actually went.";
+         ]
+       ())
+    Term.(
+      const profile_run $ path $ query_arg $ k $ algo $ routing $ batch
+      $ threads $ Term.app (const not) no_cache $ exact $ spans $ json)
 
 (* --- loadgen --- *)
 
@@ -966,7 +1154,7 @@ let () =
          (Cmd.info "wp_cli" ~version ~exits ~doc)
          [
            generate_cmd; query_cmd; explain_cmd; relax_cmd; snapshot_cmd;
-           lint_cmd; race_cmd; serve_cmd; ctl_cmd; loadgen_cmd;
+           lint_cmd; race_cmd; profile_cmd; serve_cmd; ctl_cmd; loadgen_cmd;
          ])
   in
   (* Uniform exit vocabulary: cmdliner reports its own parse and

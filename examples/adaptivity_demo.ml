@@ -54,14 +54,22 @@ let () =
     List.map
       (fun order ->
         let r =
-          Whirlpool.Engine.run ~routing:(Whirlpool.Strategy.Static order) plan
+          Whirlpool.Engine.run
+            ~config:
+              Whirlpool.Engine.Config.(
+                default |> with_routing (Whirlpool.Strategy.Static order))
+            plan
             ~k:15
         in
         r.stats.server_ops)
       (Whirlpool.Strategy.static_permutations plan)
   in
   let adaptive =
-    (Whirlpool.Engine.run ~routing:Whirlpool.Strategy.Min_alive plan ~k:15)
+    (Whirlpool.Engine.run
+       ~config:
+         Whirlpool.Engine.Config.(
+           default |> with_routing Whirlpool.Strategy.Min_alive)
+       plan ~k:15)
       .stats
       .server_ops
   in

@@ -42,7 +42,11 @@ let run size seed query k algo routing normalization exact verbose =
   in
   let plan = Whirlpool.Run.compile ~config ~normalization idx pattern in
   if verbose then Format.printf "%a@." Whirlpool.Plan.pp plan;
-  let result = Whirlpool.Run.run ~routing algo plan ~k in
+  let result =
+    Whirlpool.Run.run
+      ~config:Whirlpool.Engine.Config.(default |> with_routing routing)
+      algo plan ~k
+  in
   Printf.printf "\nTop-%d answers for %s\n  (%s, %s routing, %s scores%s):\n" k
     (Wp_pattern.Pattern.to_string pattern)
     (Format.asprintf "%a" Whirlpool.Run.pp_algorithm algo)

@@ -1,3 +1,5 @@
+module Obs = Wp_obs.Obs
+
 type result = {
   answers : Topk_set.entry list;
   stats : Stats.t;
@@ -8,6 +10,40 @@ let never_stop () = false
 
 let now_ns = Clock.now_ns
 
+module Config = struct
+  type t = {
+    routing : Strategy.routing;
+    queue_policy : Strategy.queue_policy;
+    batch : int;
+    use_cache : bool;
+    threads_per_server : int;
+    should_stop : unit -> bool;
+    trace : Trace.t;
+    obs : Obs.t;
+  }
+
+  let default =
+    {
+      routing = Strategy.Min_alive;
+      queue_policy = Strategy.Max_final_score;
+      batch = 1;
+      use_cache = true;
+      threads_per_server = 1;
+      should_stop = never_stop;
+      trace = Trace.ignore_tracer;
+      obs = Obs.disabled;
+    }
+
+  let with_routing routing t = { t with routing }
+  let with_queue_policy queue_policy t = { t with queue_policy }
+  let with_batch batch t = { t with batch }
+  let with_use_cache use_cache t = { t with use_cache }
+  let with_threads_per_server threads_per_server t = { t with threads_per_server }
+  let with_should_stop should_stop t = { t with should_stop }
+  let with_trace trace t = { t with trace }
+  let with_obs obs t = { t with obs }
+end
+
 (* Static gate: a plan whose pattern or predicate sequences carry
    error-severity lint findings would silently return wrong answers;
    refuse to run it (raises {!Wp_analysis.Lint.Rejected}). *)
@@ -15,15 +51,32 @@ let validate_plan (plan : Plan.t) =
   Wp_analysis.Lint.validate_exn ~config:plan.config ~specs:plan.specs
     plan.pattern
 
-let run ?(routing = Strategy.Min_alive)
-    ?(queue_policy = Strategy.Max_final_score) ?(batch = 1)
-    ?(trace = Trace.ignore_tracer) ?(use_cache = true)
-    ?(should_stop = never_stop) (plan : Plan.t) ~k =
+let run ?(config = Config.default) (plan : Plan.t) ~k =
+  let { Config.routing; queue_policy; batch; use_cache; should_stop; obs; _ } =
+    config
+  in
   if batch < 1 then invalid_arg "Engine.run: batch >= 1";
   validate_plan plan;
   let cache = if use_cache then Some (Candidate_cache.create ()) else None in
   let stats = Stats.create () in
   let t0 = now_ns () in
+  (* Observability: a root span for the run, a child per iteration
+     batch, a grandchild per server visit; trace events attach to the
+     innermost open span.  All of it reads the counters without writing
+     them, so a disabled (or unsampled) context leaves the run
+     bit-identical. *)
+  let obs_on = Obs.enabled obs in
+  let qspan = if obs_on then Obs.root obs "query" else None in
+  Obs.attr obs qspan "k" (float_of_int k);
+  Obs.attr obs qspan "servers" (float_of_int plan.n_servers);
+  let cur_span = ref qspan in
+  let trace =
+    if obs_on then (fun e ->
+      config.trace e;
+      Obs.event obs !cur_span (fun () ->
+          Format.asprintf "%a" Trace.pp_event e))
+    else config.trace
+  in
   let topk = Topk_set.create ~k ~admit_partial:(Plan.admits_partial_answers plan) in
   let queue : Partial_match.t Pqueue.t = Pqueue.create () in
   let seq = ref 0 in
@@ -50,7 +103,7 @@ let run ?(routing = Strategy.Min_alive)
         stats.matches_pruned <- stats.matches_pruned + 1
       else enqueue pm)
     (Server.initial_matches plan stats ~next_id);
-  let process_at (pm : Partial_match.t) server =
+  let process_here (pm : Partial_match.t) server =
     let { Server.extensions; died } =
       Server.process ?cache plan stats ~next_id pm ~server
     in
@@ -83,6 +136,27 @@ let run ?(routing = Strategy.Min_alive)
         else enqueue ext)
       extensions
   in
+  let process_at (pm : Partial_match.t) server =
+    if not obs_on then process_here pm server
+    else begin
+      let vspan = Obs.child obs ~parent:!cur_span "visit" in
+      let saved = !cur_span in
+      if vspan <> None then cur_span := vspan;
+      let v0 = now_ns () in
+      let c0 = stats.comparisons
+      and h0 = stats.cache_hits
+      and m0 = stats.cache_misses in
+      process_here pm server;
+      Obs.visit obs ~server
+        ~comparisons:(stats.comparisons - c0)
+        ~cache_hits:(stats.cache_hits - h0)
+        ~cache_misses:(stats.cache_misses - m0)
+        ~ns:(Int64.sub (now_ns ()) v0);
+      Obs.attr obs vspan "server" (float_of_int server);
+      Obs.finish obs vspan;
+      cur_span := saved
+    end
+  in
   let stopped = ref false in
   let rec loop () =
     match Pqueue.pop queue with
@@ -107,6 +181,15 @@ let run ?(routing = Strategy.Min_alive)
           in
           stats.routing_decisions <- stats.routing_decisions + 1;
           trace (Trace.Routed { id = pm.id; server });
+          let bspan =
+            if obs_on then begin
+              let b = Obs.child obs ~parent:qspan "batch" in
+              Obs.attr obs b "server" (float_of_int server);
+              if b <> None then cur_span := b;
+              b
+            end
+            else None
+          in
           process_at pm server;
           (* Bulk adaptivity: reuse the decision for queue heads that
              have visited the same servers (and therefore admit the same
@@ -137,21 +220,31 @@ let run ?(routing = Strategy.Min_alive)
                   | None -> ())
               | Some _ | None -> ()
           in
-          drain_batch (batch - 1)
+          drain_batch (batch - 1);
+          if obs_on then begin
+            Obs.finish obs bspan;
+            cur_span := qspan
+          end
         end;
         loop ()
   in
   loop ();
   stats.wall_ns <- Int64.sub (now_ns ()) t0;
-  { answers = Topk_set.entries topk; stats; partial = !stopped }
+  let answers = Topk_set.entries topk in
+  if obs_on then begin
+    Obs.attr obs qspan "answers" (float_of_int (List.length answers));
+    Obs.attr obs qspan "server_ops" (float_of_int stats.server_ops);
+    if !stopped then Obs.attr obs qspan "partial" 1.0;
+    Obs.finish obs qspan
+  end;
+  { answers; stats; partial = !stopped }
 
 (* Threshold mode: no top-k set — a fixed bar prunes instead, and every
    completed match above the bar is an answer (best score per root). *)
-let run_above ?(routing = Strategy.Min_alive)
-    ?(queue_policy = Strategy.Max_final_score) ?(should_stop = never_stop)
-    (plan : Plan.t) ~threshold =
+let run_above ?(config = Config.default) (plan : Plan.t) ~threshold =
+  let { Config.routing; queue_policy; use_cache; should_stop; _ } = config in
   validate_plan plan;
-  let cache = Candidate_cache.create () in
+  let cache = if use_cache then Some (Candidate_cache.create ()) else None in
   let stats = Stats.create () in
   let t0 = now_ns () in
   let queue : Partial_match.t Pqueue.t = Pqueue.create () in
@@ -205,7 +298,7 @@ let run_above ?(routing = Strategy.Min_alive)
         let server = Strategy.choose_next routing plan ~threshold pm in
         stats.routing_decisions <- stats.routing_decisions + 1;
         let { Server.extensions; died = _ } =
-          Server.process ~cache plan stats ~next_id pm ~server
+          Server.process ?cache plan stats ~next_id pm ~server
         in
         if checking then
           List.iter (Invariants.check_extension plan ~parent:pm) extensions;
@@ -230,6 +323,34 @@ let run_above ?(routing = Strategy.Min_alive)
       (Hashtbl.fold (fun _ e acc -> e :: acc) answers [])
   in
   { answers = sorted; stats; partial = !stopped }
+
+(* Pre-redesign entry points, kept one release as thin wrappers; the
+   argument → Config field mapping is documented in DESIGN.md §8. *)
+
+let config_of_args ?routing ?queue_policy ?batch ?trace ?use_cache ?should_stop
+    () =
+  let d = Config.default in
+  {
+    d with
+    Config.routing = Option.value routing ~default:d.Config.routing;
+    queue_policy = Option.value queue_policy ~default:d.Config.queue_policy;
+    batch = Option.value batch ~default:d.Config.batch;
+    trace = Option.value trace ~default:d.Config.trace;
+    use_cache = Option.value use_cache ~default:d.Config.use_cache;
+    should_stop = Option.value should_stop ~default:d.Config.should_stop;
+  }
+
+let run_args ?routing ?queue_policy ?batch ?trace ?use_cache ?should_stop plan
+    ~k =
+  let config =
+    config_of_args ?routing ?queue_policy ?batch ?trace ?use_cache ?should_stop
+      ()
+  in
+  run ~config plan ~k
+
+let run_above_args ?routing ?queue_policy ?should_stop plan ~threshold =
+  let config = config_of_args ?routing ?queue_policy ?should_stop () in
+  run_above ~config plan ~threshold
 
 let pp_result ppf r =
   Format.fprintf ppf "@[<v>%a@," Stats.pp r.stats;

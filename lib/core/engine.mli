@@ -25,13 +25,98 @@ val never_stop : unit -> bool
     engines can default their hooks without allocating a closure per
     run. *)
 
+(** Every engine knob in one record — the single seam through which the
+    CLI, the benches and {!Wp_serve} configure a run, replacing the
+    optional-argument signatures that used to drift between
+    [Engine.run], [Engine.run_above] and [Engine_mt.run].
+
+    [default] reproduces the historical defaults bit-for-bit; the
+    [with_*] setters build variations without naming the other fields,
+    so adding a knob never touches a call site:
+
+    {[
+      let config =
+        Engine.Config.(
+          default |> with_routing Strategy.Max_score |> with_batch 16)
+      in
+      Engine.run ~config plan ~k:10
+    ]} *)
+module Config : sig
+  type t = {
+    routing : Strategy.routing;  (** default [Min_alive] *)
+    queue_policy : Strategy.queue_policy;  (** default [Max_final_score] *)
+    batch : int;
+        (** bulk-adaptivity width, default 1 (paper Section 6.3.3) *)
+    use_cache : bool;
+        (** per-(server, root) candidate memoization, default true *)
+    threads_per_server : int;
+        (** Whirlpool-M only, default 1 (paper Section 7); ignored by
+            the single-threaded engine *)
+    should_stop : unit -> bool;
+        (** cooperative-cancellation hook, default {!never_stop} *)
+    trace : Trace.t;  (** default {!Trace.ignore_tracer} *)
+    obs : Wp_obs.Obs.t;
+        (** observability context (spans + per-server cost profile),
+            default {!Wp_obs.Obs.disabled}; a disabled context leaves
+            the run's counters and answers bit-identical *)
+  }
+
+  val default : t
+
+  val with_routing : Strategy.routing -> t -> t
+  val with_queue_policy : Strategy.queue_policy -> t -> t
+  val with_batch : int -> t -> t
+  val with_use_cache : bool -> t -> t
+  val with_threads_per_server : int -> t -> t
+  val with_should_stop : (unit -> bool) -> t -> t
+  val with_trace : Trace.t -> t -> t
+  val with_obs : Wp_obs.Obs.t -> t -> t
+end
+
 val validate_plan : Plan.t -> unit
 (** Static gate run at every engine entry point: raises
     {!Wp_analysis.Lint.Rejected} when the quick lint pass (structural
     well-formedness plus plan consistency — no lattice enumeration)
     reports an error-severity diagnostic for the plan. *)
 
-val run :
+val run : ?config:Config.t -> Plan.t -> k:int -> result
+(** Run the adaptive top-k engine under [config] (default
+    {!Config.default}).
+
+    [config.should_stop] is checked at every iteration boundary (once
+    per popped match, before it is processed).  When it returns true
+    the engine stops routing, drops the remaining queue and returns the
+    current top-k with [partial = true].  A hook that never fires
+    leaves the run — and its answers — bit-identical to one without the
+    hook.  {!Wp_serve} uses it to enforce per-request deadlines.
+
+    [config.batch] implements the paper's bulk-adaptivity extension
+    (Section 6.3.3: route tuples "in bulk, by grouping tuples based on
+    similarity"): one routing decision is reused for up to [batch]
+    consecutive queue heads that have visited the same set of servers,
+    amortizing the decision overhead when server operations are cheap.
+
+    [config.use_cache] memoizes per-(server, root) candidate derivation
+    through a run-local {!Candidate_cache}; disabling it recomputes
+    candidates on every server operation — the reference behaviour
+    [bench/report] measures the cache against.
+
+    [config.obs], when enabled, collects a span tree (a root span for
+    the run, a child per iteration batch, a grandchild per server
+    visit, trace events attached to the enclosing span) and an exact
+    per-server cost profile; the run's counters and answers are never
+    affected. *)
+
+val run_above : ?config:Config.t -> Plan.t -> threshold:float -> result
+(** Threshold variant (the mode of the paper's predecessor system,
+    Amer-Yahia et al. EDBT 2002): return {e every} answer whose score
+    strictly exceeds [threshold], best first, pruning partial matches
+    whose maximum possible final score cannot beat it.  The cardinality
+    of the answer set is data-dependent rather than fixed at [k].
+    Honors [config]'s routing, queue policy, cache and stop hook;
+    [batch], [trace] and [obs] do not apply to this mode. *)
+
+val run_args :
   ?routing:Strategy.routing ->
   ?queue_policy:Strategy.queue_policy ->
   ?batch:int ->
@@ -41,39 +126,18 @@ val run :
   Plan.t ->
   k:int ->
   result
-(** [routing] defaults to [Min_alive], [queue_policy] to
-    [Max_final_score].
+[@@deprecated "use Engine.run ?config with Engine.Config.t"]
+(** Pre-redesign entry point, kept one release as a thin wrapper over
+    {!run}; DESIGN.md §8 documents the argument → {!Config.t} field
+    mapping. *)
 
-    [should_stop] (default: never) is a cooperative-cancellation hook
-    checked at every iteration boundary (once per popped match, before
-    it is processed).  When it returns true the engine stops routing,
-    drops the remaining queue and returns the current top-k with
-    [partial = true].  A hook that never fires leaves the run — and its
-    answers — bit-identical to one without the hook.  {!Wp_serve} uses
-    it to enforce per-request deadlines.
-
-    [batch] (default 1) implements the paper's bulk-adaptivity extension
-    (Section 6.3.3: route tuples "in bulk, by grouping tuples based on
-    similarity"): one routing decision is reused for up to [batch]
-    consecutive queue heads that have visited the same set of servers,
-    amortizing the decision overhead when server operations are cheap.
-
-    [use_cache] (default true) memoizes per-(server, root) candidate
-    derivation through a run-local {!Candidate_cache}; disabling it
-    recomputes candidates on every server operation — the reference
-    behaviour [bench/report] measures the cache against. *)
-
-val run_above :
+val run_above_args :
   ?routing:Strategy.routing ->
   ?queue_policy:Strategy.queue_policy ->
   ?should_stop:(unit -> bool) ->
   Plan.t ->
   threshold:float ->
   result
-(** Threshold variant (the mode of the paper's predecessor system,
-    Amer-Yahia et al. EDBT 2002): return {e every} answer whose score
-    strictly exceeds [threshold], best first, pruning partial matches
-    whose maximum possible final score cannot beat it.  The cardinality
-    of the answer set is data-dependent rather than fixed at [k]. *)
+[@@deprecated "use Engine.run_above ?config with Engine.Config.t"]
 
 val pp_result : Format.formatter -> result -> unit

@@ -7,12 +7,18 @@
    (rank 0) below topk.mutex (rank 1); in fact no thread ever holds two
    locks at once — the candidate-cache mutex in particular is leaf-only,
    taken and released inside Candidate_cache.find with no other lock
-   held.
+   held.  The trace wrapper and the observability context use real
+   [Mutex.t] values (never S.mutex): they are leaf-only, taken with no
+   S-operation inside the critical section, so they cannot participate
+   in a Sched-visible deadlock and stay invisible to schedule
+   exploration.
    Shutdown protocol: [pending] counts partial matches alive in queues
    or in flight; workers increment it for every surviving extension
    *before* retiring the consumed match, so the count reaches zero
    exactly when no work remains; the thread that decrements it to zero
    raises the stop flag and broadcasts all queues awake. *)
+
+module Obs = Wp_obs.Obs
 
 module Fault = struct
   type t = Drop_topk_lock | Retire_early | Skip_pending_incr
@@ -105,6 +111,11 @@ module Make (S : Sync.S) = struct
     partial : S.atomic_int;  (* set when should_stop cut the run short *)
     should_stop : unit -> bool;
     next_id : S.atomic_int;
+    trace : Trace.t;  (* already serialized; see [run] *)
+    tracing : bool;  (* false iff [trace] is the no-op tracer *)
+    obs : Obs.t;
+    obs_on : bool;
+    qspan : Obs.span option;  (* the run's root span, parent of visits *)
     drop_topk_lock : bool;
     retire_early : bool;
     skip_pending_incr : bool;
@@ -162,11 +173,21 @@ module Make (S : Sync.S) = struct
       | Some _ when check_deadline shared -> loop ()
       | Some pm ->
           S.note_write "stats.router";
+          if shared.tracing then
+            shared.trace
+              (Trace.Popped
+                 {
+                   id = pm.Partial_match.id;
+                   score = pm.score;
+                   max_possible = pm.max_possible;
+                 });
           let pruned, threshold =
             with_topk shared (fun topk ->
                 (Topk_set.should_prune topk pm, Topk_set.threshold topk))
           in
           if pruned then begin
+            if shared.tracing then
+              shared.trace (Trace.Pruned { id = pm.Partial_match.id });
             stats.matches_pruned <- stats.matches_pruned + 1;
             retire shared
           end
@@ -175,6 +196,9 @@ module Make (S : Sync.S) = struct
               Strategy.choose_next shared.routing shared.plan ~threshold pm
             in
             stats.routing_decisions <- stats.routing_decisions + 1;
+            if shared.tracing then
+              shared.trace
+                (Trace.Routed { id = pm.Partial_match.id; server });
             Shared_queue.push shared.server_queues.(server)
               ~tie:pm.Partial_match.score
               ~priority_of:(server_priority shared server) pm
@@ -198,19 +222,43 @@ module Make (S : Sync.S) = struct
             with_topk shared (fun topk -> Topk_set.should_prune topk pm)
           in
           if pruned then begin
+            if shared.tracing then
+              shared.trace (Trace.Pruned { id = pm.Partial_match.id });
             stats.matches_pruned <- stats.matches_pruned + 1;
             retire shared
           end
           else begin
+            let vspan =
+              if shared.obs_on then
+                Obs.child shared.obs ~parent:shared.qspan "visit"
+              else None
+            in
+            let v0 = if shared.obs_on then Clock.now_ns () else 0L in
+            let c0 = stats.comparisons
+            and h0 = stats.cache_hits
+            and m0 = stats.cache_misses in
             let { Server.extensions; died } =
               Server.process ~cache:shared.cache shared.plan stats ~next_id pm
                 ~server
             in
+            if shared.obs_on then begin
+              Obs.visit shared.obs ~server
+                ~comparisons:(stats.comparisons - c0)
+                ~cache_hits:(stats.cache_hits - h0)
+                ~cache_misses:(stats.cache_misses - m0)
+                ~ns:(Int64.sub (Clock.now_ns ()) v0);
+              Obs.attr shared.obs vspan "server" (float_of_int server);
+              Obs.finish shared.obs vspan
+            end;
             if Invariants.enabled () then
               List.iter
                 (Invariants.check_extension shared.plan ~parent:pm)
                 extensions;
-            if died then with_topk shared (fun topk -> Topk_set.retract topk pm);
+            if died then begin
+              if shared.tracing then
+                shared.trace (Trace.Died { id = pm.Partial_match.id; server });
+              with_topk shared (fun topk -> Topk_set.retract topk pm)
+            end;
             let alive =
               List.filter_map
                 (fun ext ->
@@ -218,17 +266,32 @@ module Make (S : Sync.S) = struct
                     Partial_match.is_complete ext
                       ~full_mask:shared.plan.full_mask
                   in
+                  if shared.tracing then
+                    shared.trace
+                      (Trace.Extended
+                         {
+                           parent = pm.Partial_match.id;
+                           id = ext.Partial_match.id;
+                           server;
+                           bound = Partial_match.bound ext server <> None;
+                         });
                   let keep =
                     with_topk shared (fun topk ->
                         Topk_set.consider topk ~complete ext;
                         (not complete) && not (Topk_set.should_prune topk ext))
                   in
                   if complete then begin
+                    if shared.tracing then
+                      shared.trace
+                        (Trace.Completed
+                           { id = ext.Partial_match.id; score = ext.score });
                     stats.completed <- stats.completed + 1;
                     None
                   end
                   else if keep then Some ext
                   else begin
+                    if shared.tracing then
+                      shared.trace (Trace.Pruned { id = ext.Partial_match.id });
                     stats.matches_pruned <- stats.matches_pruned + 1;
                     None
                   end)
@@ -252,13 +315,47 @@ module Make (S : Sync.S) = struct
     in
     loop ()
 
-  let run ?(faults = []) ?(routing = Strategy.Min_alive)
-      ?(queue_policy = Strategy.Max_final_score) ?(threads_per_server = 1)
-      ?(should_stop = Engine.never_stop) (plan : Plan.t) ~k =
+  let run ?(faults = []) ?(config = Engine.Config.default) (plan : Plan.t) ~k =
+    let {
+      Engine.Config.routing;
+      queue_policy;
+      threads_per_server;
+      should_stop;
+      obs;
+      _;
+    } =
+      config
+    in
     if threads_per_server < 1 then
       invalid_arg "Engine_mt.run: threads_per_server >= 1";
     Engine.validate_plan plan;
     let t0 = Clock.now_ns () in
+    let obs_on = Obs.enabled obs in
+    let qspan = if obs_on then Obs.root obs "query" else None in
+    Obs.attr obs qspan "k" (float_of_int k);
+    Obs.attr obs qspan "servers" (float_of_int plan.n_servers);
+    (* Serialize the user tracer once here: every domain shares it, and
+       a tracer built on a plain ref (Trace.collector predates the
+       mutex) must still see a consistent stream.  Events also land on
+       the run's root span.  The no-op tracer stays the no-op tracer —
+       nothing is paid when tracing is off. *)
+    let trace =
+      if config.trace == Trace.ignore_tracer && not obs_on then
+        Trace.ignore_tracer
+      else begin
+        let m = Mutex.create () in
+        let inner = config.Engine.Config.trace in
+        fun e ->
+          Mutex.lock m;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock m)
+            (fun () ->
+              inner e;
+              Obs.event obs qspan (fun () ->
+                  Format.asprintf "%a" Trace.pp_event e))
+      end
+    in
+    let tracing = not (trace == Trace.ignore_tracer) in
     let main_stats = Stats.create () in
     let cache_mutex = S.mutex Candidate_cache.mutex_name in
     let shared =
@@ -284,6 +381,11 @@ module Make (S : Sync.S) = struct
         partial = S.atomic "partial" 0;
         should_stop;
         next_id = S.atomic "next_id" 1;
+        trace;
+        tracing;
+        obs;
+        obs_on;
+        qspan;
         drop_topk_lock = List.mem Fault.Drop_topk_lock faults;
         retire_early = List.mem Fault.Retire_early faults;
         skip_pending_incr = List.mem Fault.Skip_pending_incr faults;
@@ -350,14 +452,35 @@ module Make (S : Sync.S) = struct
     Array.iter (Stats.add stats) server_stats;
     stats.wall_ns <- Int64.sub (Clock.now_ns ()) t0;
     S.note_read topk_loc;
-    {
-      Engine.answers = Topk_set.entries shared.topk;
-      stats;
-      partial = S.get shared.partial <> 0;
-    }
+    let answers = Topk_set.entries shared.topk in
+    if obs_on then begin
+      Obs.attr obs qspan "answers" (float_of_int (List.length answers));
+      Obs.attr obs qspan "server_ops" (float_of_int stats.server_ops);
+      if S.get shared.partial <> 0 then Obs.attr obs qspan "partial" 1.0;
+      Obs.finish obs qspan
+    end;
+    { Engine.answers; stats; partial = S.get shared.partial <> 0 }
+
+  let run_args ?faults ?routing ?queue_policy ?threads_per_server ?should_stop
+      plan ~k =
+    let d = Engine.Config.default in
+    let config =
+      {
+        d with
+        Engine.Config.routing = Option.value routing ~default:d.routing;
+        queue_policy = Option.value queue_policy ~default:d.queue_policy;
+        threads_per_server =
+          Option.value threads_per_server ~default:d.threads_per_server;
+        should_stop = Option.value should_stop ~default:d.should_stop;
+      }
+    in
+    run ?faults ~config plan ~k
 end
 
 module Default = Make (Sync.Real)
 
-let run ?routing ?queue_policy ?threads_per_server ?should_stop plan ~k =
-  Default.run ?routing ?queue_policy ?threads_per_server ?should_stop plan ~k
+let run ?config plan ~k = Default.run ?config plan ~k
+
+let run_args ?routing ?queue_policy ?threads_per_server ?should_stop plan ~k =
+  Default.run_args ?routing ?queue_policy ?threads_per_server ?should_stop plan
+    ~k

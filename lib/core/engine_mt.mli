@@ -50,6 +50,15 @@ val pending_loc : string
 module Make (S : Sync.S) : sig
   val run :
     ?faults:Fault.t list ->
+    ?config:Engine.Config.t ->
+    Plan.t ->
+    k:int ->
+    Engine.result
+  (** As the top-level {!run}; [faults] (default none) injects the
+      given defects for detector validation. *)
+
+  val run_args :
+    ?faults:Fault.t list ->
     ?routing:Strategy.routing ->
     ?queue_policy:Strategy.queue_policy ->
     ?threads_per_server:int ->
@@ -57,11 +66,40 @@ module Make (S : Sync.S) : sig
     Plan.t ->
     k:int ->
     Engine.result
-  (** As the top-level {!run}; [faults] (default none) injects the
-      given defects for detector validation. *)
+  [@@deprecated "use run ?config with Engine.Config.t"]
 end
 
-val run :
+val run : ?config:Engine.Config.t -> Plan.t -> k:int -> Engine.result
+(** Run under [config] (default {!Engine.Config.default}).
+
+    [config.threads_per_server] (default 1) implements the paper's
+    future-work extension of Section 7 ("increasing the number of
+    threads per server for maximal parallelism"): each server's queue
+    is drained by that many domains, so a single hot server no longer
+    serializes the system.
+
+    [config.should_stop] (default: never) is the cooperative-cancellation
+    hook of {!Engine.run}: router and server threads test it once per
+    popped match; the first thread that observes it raises the global
+    stop flag, every queue drains without further processing, and the
+    result carries the current top-k with [partial = true].
+
+    [config.trace] receives the same event vocabulary as the
+    single-threaded engine.  Events from all domains are serialized
+    through one internal mutex and stamped at receipt when collected
+    with {!Trace.timed_collector}, so two multi-threaded runs can be
+    ordered and diffed even though per-domain emission order is
+    nondeterministic.
+
+    [config.obs], when enabled, collects a root span with a child span
+    per server visit plus the exact per-server cost profile; as in the
+    single-threaded engine it never affects counters or answers.
+
+    [config.batch] and [config.use_cache] do not apply: the
+    multi-threaded engine always shares one candidate cache and routes
+    match-at-a-time. *)
+
+val run_args :
   ?routing:Strategy.routing ->
   ?queue_policy:Strategy.queue_policy ->
   ?threads_per_server:int ->
@@ -69,17 +107,7 @@ val run :
   Plan.t ->
   k:int ->
   Engine.result
-(** Defaults as in {!Engine.run}: [Min_alive] routing, server and router
-    queues on maximum possible final score.
-
-    [threads_per_server] (default 1) implements the paper's future-work
-    extension of Section 7 ("increasing the number of threads per server
-    for maximal parallelism"): each server's queue is drained by that
-    many domains, so a single hot server no longer serializes the
-    system.
-
-    [should_stop] (default: never) is the cooperative-cancellation hook
-    of {!Engine.run}: router and server threads test it once per popped
-    match; the first thread that observes it raises the global stop
-    flag, every queue drains without further processing, and the result
-    carries the current top-k with [partial = true]. *)
+[@@deprecated "use Engine_mt.run ?config with Engine.Config.t"]
+(** Pre-redesign entry point, kept one release as a thin wrapper over
+    {!run}; DESIGN.md §8 documents the argument → {!Engine.Config.t}
+    field mapping. *)

@@ -7,6 +7,14 @@ let lock_rank name =
   if String.starts_with ~prefix:"queue." name then Some 0
   else if String.equal name Candidate_cache.mutex_name then Some 0
     (* leaf-only: never held together with a queue mutex *)
+  else if
+    (* leaf-only observability locks: span/profile recording and
+       registry snapshots never take another lock while held (they are
+       real mutexes, invisible to Sched, ranked here so the declared
+       hierarchy stays complete) *)
+    String.equal name Wp_obs.Obs.mutex_name
+    || String.equal name Wp_obs.Registry.mutex_name
+  then Some 0
   else if String.equal name "topk.mutex" then Some 1
   else None
 
@@ -22,7 +30,12 @@ let check ?(schedules = 200) ?(seed = 0) ?(threads_per_server = 1)
     ?(routing = Strategy.Min_alive)
     ?(queue_policy = Strategy.Max_final_score) ?(faults = [])
     ?(max_steps = 1_000_000) (plan : Plan.t) ~k =
-  let oracle = Engine.run ~routing ~queue_policy plan ~k in
+  let config =
+    Engine.Config.(
+      default |> with_routing routing |> with_queue_policy queue_policy
+      |> with_threads_per_server threads_per_server)
+  in
+  let oracle = Engine.run ~config plan ~k in
   let expected = sorted_scores oracle.Engine.answers in
   let graph = C.Lock_graph.create () in
   (* Dedup across schedules: the same finding recurs in most of them;
@@ -52,7 +65,7 @@ let check ?(schedules = 200) ?(seed = 0) ?(threads_per_server = 1)
         (fun sync ->
           let module S = (val sync : Sync.S) in
           let module E = Engine_mt.Make (S) in
-          E.run ~faults ~routing ~queue_policy ~threads_per_server plan ~k)
+          E.run ~faults ~config plan ~k)
     in
     steps_total := !steps_total + r.Sched.steps;
     C.Lock_graph.add_trace graph r.Sched.trace;

@@ -16,19 +16,32 @@ let algorithm_of_string = function
 let compile ?(config = Wp_relax.Relaxation.all) ?normalization idx pattern =
   Plan.compile ?normalization idx config pattern
 
-let run ?routing ?queue_policy ?order algorithm plan ~k =
+let run ?(config = Engine.Config.default) ?order algorithm plan ~k =
   match algorithm with
-  | Whirlpool_s -> Engine.run ?routing ?queue_policy plan ~k
-  | Whirlpool_m -> Engine_mt.run ?routing ?queue_policy plan ~k
-  | Lockstep -> Lockstep.run ?order ?queue_policy ~prune:true plan ~k
-  | Lockstep_noprun -> Lockstep.run ?order ?queue_policy ~prune:false plan ~k
+  | Whirlpool_s -> Engine.run ~config plan ~k
+  | Whirlpool_m -> Engine_mt.run ~config plan ~k
+  | Lockstep ->
+      Lockstep.run ?order ~queue_policy:config.Engine.Config.queue_policy
+        ~prune:true plan ~k
+  | Lockstep_noprun ->
+      Lockstep.run ?order ~queue_policy:config.Engine.Config.queue_policy
+        ~prune:false plan ~k
+
+let engine_config routing =
+  match routing with
+  | None -> Engine.Config.default
+  | Some r -> Engine.Config.(default |> with_routing r)
 
 let top_k ?config ?normalization ?routing ?(algorithm = Whirlpool_s) idx
     pattern ~k =
   let plan = compile ?config ?normalization idx pattern in
-  run ?routing algorithm plan ~k
+  run ~config:(engine_config routing) algorithm plan ~k
 
 let top_k_answers ?config ?normalization ?routing ?algorithm idx pattern ~k =
   let plan = compile ?config ?normalization idx pattern in
-  let result = run ?routing (Option.value algorithm ~default:Whirlpool_s) plan ~k in
+  let result =
+    run ~config:(engine_config routing)
+      (Option.value algorithm ~default:Whirlpool_s)
+      plan ~k
+  in
   Answer.of_result plan result

@@ -32,15 +32,16 @@ val compile :
     all relaxations enabled, [normalization] to [Sparse]. *)
 
 val run :
-  ?routing:Strategy.routing ->
-  ?queue_policy:Strategy.queue_policy ->
+  ?config:Engine.Config.t ->
   ?order:int array ->
   algorithm ->
   Plan.t ->
   k:int ->
   Engine.result
-(** Dispatch to the chosen engine.  [order] only applies to the LockStep
-    variants and to [Static] routing default construction. *)
+(** Dispatch to the chosen engine under [config] (default
+    {!Engine.Config.default}).  [order] only applies to the LockStep
+    variants and to [Static] routing default construction; the LockStep
+    variants honor only [config.queue_policy]. *)
 
 val top_k :
   ?config:Wp_relax.Relaxation.config ->

@@ -12,8 +12,8 @@ let priced (engine : Engine.result) ~costs =
   let makespan = (ops *. costs.op_cost) +. (decisions *. costs.route_cost) in
   { makespan; engine; busy_time = makespan }
 
-let simulate_s ?routing ?queue_policy ~costs plan ~k =
-  priced (Engine.run ?routing ?queue_policy plan ~k) ~costs
+let simulate_s ?config ~costs plan ~k =
+  priced (Engine.run ?config plan ~k) ~costs
 
 let simulate_lockstep ?order ?prune ~costs plan ~k =
   (* LockStep routing is positional: we charge its stage bookkeeping at

@@ -29,12 +29,7 @@ type result = {
 }
 
 val simulate_s :
-  ?routing:Strategy.routing ->
-  ?queue_policy:Strategy.queue_policy ->
-  costs:costs ->
-  Plan.t ->
-  k:int ->
-  result
+  ?config:Engine.Config.t -> costs:costs -> Plan.t -> k:int -> result
 (** Sequential Whirlpool-S under the cost model (runs {!Engine.run} and
     prices its operation counts). *)
 

@@ -63,3 +63,46 @@ let pp ppf t =
     t.matches_died t.routing_decisions t.completed t.cache_hits
     (t.cache_hits + t.cache_misses)
     (wall_seconds t)
+
+let to_json t =
+  let open Wp_json.Json in
+  Obj
+    [
+      ("server_ops", Int t.server_ops);
+      ("comparisons", Int t.comparisons);
+      ("matches_created", Int t.matches_created);
+      ("matches_pruned", Int t.matches_pruned);
+      ("matches_died", Int t.matches_died);
+      ("routing_decisions", Int t.routing_decisions);
+      ("completed", Int t.completed);
+      ("cache_hits", Int t.cache_hits);
+      ("cache_misses", Int t.cache_misses);
+      ("cache_hit_rate", Float (cache_hit_rate t));
+      ("wall_seconds", Float (wall_seconds t));
+    ]
+
+(* Pull-style registration: the registry reads the accumulator at
+   snapshot time, so the engine hot path never touches the registry.
+   Reading a mutable int field without the owner's lock is sound in
+   OCaml (single-word loads never tear); a snapshot racing an update
+   may be one increment stale, which Prometheus scraping tolerates. *)
+let register ?(prefix = "wp_engine_") t reg =
+  let c name help read =
+    Wp_obs.Registry.pull_counter reg ~help (prefix ^ name) (fun () ->
+        float_of_int (read ()))
+  in
+  c "server_ops_total" "partial matches processed by servers" (fun () ->
+      t.server_ops);
+  c "comparisons_total" "candidate nodes examined" (fun () -> t.comparisons);
+  c "matches_created_total" "partial matches spawned" (fun () ->
+      t.matches_created);
+  c "matches_pruned_total" "matches dropped by top-k score pruning"
+    (fun () -> t.matches_pruned);
+  c "matches_died_total" "matches dropped for invalidity" (fun () ->
+      t.matches_died);
+  c "routing_decisions_total" "adaptive/static router choices" (fun () ->
+      t.routing_decisions);
+  c "completed_total" "matches that visited every server" (fun () ->
+      t.completed);
+  c "cache_hits_total" "candidate-cache hits" (fun () -> t.cache_hits);
+  c "cache_misses_total" "candidate-cache misses" (fun () -> t.cache_misses)

@@ -34,3 +34,13 @@ val cache_hit_rate : t -> float
     [0, 1]; [0.] when no lookup happened (e.g. the uncached engines). *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Wp_json.Json.t
+(** Every counter plus the derived cache-hit rate and wall seconds —
+    the object {!Wp_serve} attaches to query replies. *)
+
+val register : ?prefix:string -> t -> Wp_obs.Registry.t -> unit
+(** Register each counter as a pull-style Prometheus counter named
+    [prefix ^ field ^ "_total"] ([prefix] defaults to ["wp_engine_"]).
+    The registry reads the accumulator at snapshot time; the engine hot
+    path is untouched. *)

@@ -10,10 +10,50 @@ type t = event -> unit
 
 let ignore_tracer (_ : event) = ()
 
+type timed = { ts_ns : int64; seq : int; event : event }
+
+(* Both collectors are mutex-guarded: Whirlpool-M hands the same tracer
+   to every domain, and a plain [ref] would lose events under
+   contention.  The single-threaded engine pays one uncontended
+   lock/unlock per event, which tracing runs can afford. *)
 let collector () =
+  let m = Mutex.create () in
   let events = ref [] in
-  let trace e = events := e :: !events in
-  (trace, fun () -> List.rev !events)
+  let trace e =
+    Mutex.lock m;
+    events := e :: !events;
+    Mutex.unlock m
+  in
+  ( trace,
+    fun () ->
+      Mutex.lock m;
+      let es = !events in
+      Mutex.unlock m;
+      List.rev es )
+
+let compare_timed a b =
+  match Int64.compare a.ts_ns b.ts_ns with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let timed_collector () =
+  let m = Mutex.create () in
+  let events = ref [] in
+  let n = ref 0 in
+  let trace event =
+    Mutex.lock m;
+    (* Stamp and sequence under the same lock, so (ts_ns, seq) is a
+       total order consistent with arrival. *)
+    incr n;
+    events := { ts_ns = Clock.now_ns (); seq = !n; event } :: !events;
+    Mutex.unlock m
+  in
+  ( trace,
+    fun () ->
+      Mutex.lock m;
+      let es = !events in
+      Mutex.unlock m;
+      List.sort compare_timed es )
 
 let src = Logs.Src.create "whirlpool" ~doc:"Whirlpool engine tracing"
 

@@ -4,8 +4,8 @@
     decision, extension spawned, pruning, death, completion, top-k
     admission — giving both a debugging lens (via {!val-logs}) and a way
     for tests to assert scheduling invariants (via {!collector}).
-    Tracing is opt-in per run ({!Engine.run}'s [?trace]) and free when
-    absent. *)
+    Tracing is opt-in per run ({!Engine.Config.t}'s [trace] field) and
+    free when absent. *)
 
 type event =
   | Popped of { id : int; score : float; max_possible : float }
@@ -21,7 +21,21 @@ val ignore_tracer : t
 
 val collector : unit -> t * (unit -> event list)
 (** A tracer that records events, and the function that returns them in
-    emission order. *)
+    emission order.  Thread-safe: Whirlpool-M hands one tracer to every
+    domain. *)
+
+type timed = { ts_ns : int64; seq : int; event : event }
+(** An event stamped at receipt with the monotonic {!Clock} and a
+    per-collector sequence number; [(ts_ns, seq)] totally orders events,
+    making traces from different runs — in particular multi-threaded
+    runs, where per-domain emission order is meaningless — comparable
+    and diffable. *)
+
+val timed_collector : unit -> t * (unit -> timed list)
+(** Like {!collector}, returning stamped events sorted by
+    [(ts_ns, seq)]. *)
+
+val compare_timed : timed -> timed -> int
 
 val logs : unit -> t
 (** A tracer that reports every event at debug level on the

@@ -1,0 +1,16 @@
+(** Monotonic wall-clock helper shared by the engines, the benchmark
+    harness, the CLI and the observability layer.
+
+    [Unix.gettimeofday] can step backwards (NTP adjustment, manual
+    clock change), which used to make [Stats.wall_ns] and benchmark
+    timings negative or wildly wrong.  The stdlib exposes no monotonic
+    clock, so this helper clamps: it never returns a value smaller than
+    one it has already returned, from any domain.  Resolution is that
+    of [gettimeofday] (microseconds). *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since the epoch, monotonically non-decreasing across
+    all domains of the process. *)
+
+val now : unit -> float
+(** Seconds, on the same monotonic basis as {!now_ns}. *)

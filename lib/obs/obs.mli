@@ -1,0 +1,110 @@
+(** Observability context — hierarchical span tracing and per-server
+    cost attribution for one (or a few related) engine runs.
+
+    A context is either {!disabled} — a shared, allocation-free no-op
+    every engine accepts by default — or created with {!create}, in
+    which case span constructors return [Some span] (subject to
+    probabilistic {e sampling} and the {e span cap}) and the profile
+    table aggregates exact per-server costs regardless of sampling.
+
+    Span model: one {e root} span per query run, child spans per
+    iteration batch and per server visit.  Spans carry timestamped
+    events (the engine feeds its {!Whirlpool.Trace} stream in) and
+    numeric attributes.  All operations are thread-safe: Whirlpool-M
+    server domains report into one shared context.
+
+    The internal mutex ({!mutex_name}) is leaf-only in the declared
+    lock hierarchy: span and profile calls never take another lock. *)
+
+type t
+(** The context.  Passed to the engines through
+    {!Whirlpool.Engine.Config.t}'s [obs] field. *)
+
+type span
+
+val disabled : t
+(** The no-op context: every span constructor returns [None], every
+    recording operation is a cheap early return, and the engines'
+    counters and answers are bit-identical to a run without it. *)
+
+val create : ?sample:float -> ?seed:int -> ?max_spans:int -> unit -> t
+(** An enabled context.  [sample] (default [1.0]) is the probability
+    that a root span — and therefore its whole subtree — is collected;
+    the decision is made per {!root} call with a deterministic
+    generator seeded by [seed] (default 0), so sampled runs are
+    reproducible.  [max_spans] (default [4096]) caps collected spans;
+    beyond it new spans are dropped (counted by {!dropped_spans}) while
+    the profile table keeps aggregating. *)
+
+val enabled : t -> bool
+
+val mutex_name : string
+(** ["obs.ctx.mutex"], leaf rank in {!Whirlpool.Race.lock_rank}. *)
+
+(** {1 Spans} *)
+
+val root : t -> string -> span option
+(** Open a root span ([None] when disabled, unsampled, or capped). *)
+
+val child : t -> parent:span option -> string -> span option
+(** Open a child span; [None] propagates from an absent parent, so an
+    unsampled subtree costs nothing. *)
+
+val event : t -> span option -> (unit -> string) -> unit
+(** Record a timestamped event on the span; the message thunk is only
+    forced when the span is live. *)
+
+val attr : t -> span option -> string -> float -> unit
+
+val finish : t -> span option -> unit
+(** Close the span (stamps its end time).  Finishing twice keeps the
+    first stamp. *)
+
+(** {1 Per-server cost profile} *)
+
+type server_cost = {
+  visits : int;  (** partial matches processed at the server *)
+  comparisons : int;
+  cache_hits : int;
+  cache_misses : int;
+  time_ns : int64;  (** wall time spent inside the server's joins *)
+}
+
+val visit :
+  t ->
+  server:int ->
+  comparisons:int ->
+  cache_hits:int ->
+  cache_misses:int ->
+  ns:int64 ->
+  unit
+(** Attribute one server operation's cost.  Exact (never sampled);
+    no-op on a disabled context. *)
+
+val per_server : t -> (int * server_cost) list
+(** Aggregated costs, sorted by server id. *)
+
+(** {1 Export} *)
+
+type span_record = {
+  sid : int;
+  parent : int option;
+  name : string;
+  start_ns : int64;
+  end_ns : int64;  (** equals [start_ns] when never finished *)
+  events : (int64 * string) list;  (** in emission order *)
+  attrs : (string * float) list;
+}
+
+val spans : t -> span_record list
+(** Collected spans in creation order. *)
+
+val dropped_spans : t -> int
+
+val span_tree_json : t -> Wp_json.Json.t
+(** The span forest as nested JSON: each node carries [name],
+    [start_ns], [duration_ns], [attrs], [events] and [children]. *)
+
+val profile_json : t -> Wp_json.Json.t
+(** The per-server cost table as JSON (one object per server with
+    visits, comparisons, cache hits/misses/rate and milliseconds). *)

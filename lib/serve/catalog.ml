@@ -106,13 +106,20 @@ let docs t =
 
 let find t name = with_lock t (fun () -> Hashtbl.find_opt t.docs name)
 
+type plan_error =
+  | Bad_query of string
+  | Rejected of string
+
+let plan_error_message = function Bad_query m | Rejected m -> m
+
 let plan_for t doc query =
   with_lock t (fun () ->
       match Lru.find t.plans (query, doc.name) with
       | Some plan -> Ok plan
       | None -> (
           match Wp_pattern.Xpath_parser.parse_opt query with
-          | None -> Error (Printf.sprintf "cannot parse query: %s" query)
+          | None ->
+              Error (Bad_query (Printf.sprintf "cannot parse query: %s" query))
           | Some pattern -> (
               match
                 Whirlpool.Plan.compile doc.index t.config pattern
@@ -126,10 +133,12 @@ let plan_for t doc query =
                       Ok plan
                   | exception Wp_analysis.Lint.Rejected diags ->
                       Error
-                        (Format.asprintf "query rejected by lint:@ %a"
-                           Wp_analysis.Diagnostic.pp_list diags))
+                        (Rejected
+                           (Format.asprintf "query rejected by lint:@ %a"
+                              Wp_analysis.Diagnostic.pp_list diags)))
               | exception Invalid_argument m ->
-                  Error (Printf.sprintf "cannot compile query: %s" m))))
+                  Error
+                    (Bad_query (Printf.sprintf "cannot compile query: %s" m)))))
 
 let plan_cache_stats t =
   with_lock t (fun () ->

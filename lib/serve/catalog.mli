@@ -50,11 +50,20 @@ val docs : t -> doc list
 
 val find : t -> string -> doc option
 
-val plan_for : t -> doc -> string -> (Whirlpool.Plan.t, string) result
+(** Why a query has no plan: [Bad_query] for parse/compile failures
+    (the client's request is malformed), [Rejected] when the static
+    analyzer refused a well-formed query
+    ({!Wp_analysis.Lint.Rejected}) — the service maps them to the
+    [bad_request] / [lint_rejected] wire codes respectively. *)
+type plan_error =
+  | Bad_query of string
+  | Rejected of string
+
+val plan_error_message : plan_error -> string
+
+val plan_for : t -> doc -> string -> (Whirlpool.Plan.t, plan_error) result
 (** Compiled plan for a query string against a document, served from
-    the plan cache when warm.  [Error] on an unparsable query or a plan
-    the static analyzer rejects ({!Wp_analysis.Lint.Rejected}); rejected
-    plans are not cached. *)
+    the plan cache when warm; rejected plans are not cached. *)
 
 type cache_stats = {
   size : int;

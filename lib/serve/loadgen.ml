@@ -44,6 +44,8 @@ let client_loop client queries ~t_end acc =
           deadline_ms = None;
           algo = None;
           routing = None;
+          batch = None;
+          use_cache = None;
         }
     in
     let t0 = now_ns () in
@@ -147,7 +149,7 @@ let ( let* ) = Result.bind
 
 let fetch_metrics ~socket =
   let* client = Wire.connect socket in
-  let reply = Wire.call client (Protocol.Metrics { id = 0 }) in
+  let reply = Wire.call client (Protocol.Metrics { id = 0; format = Protocol.Json_format }) in
   Wire.close client;
   let* r = reply in
   match r.metrics with

@@ -8,6 +8,8 @@ type t = {
   ring : float array;  (* latency samples, ms *)
   mutable ring_len : int;  (* samples stored, <= window *)
   mutable ring_pos : int;  (* next write position *)
+  mutable latency_hist : Wp_obs.Registry.histogram option;
+      (* set by [register]; observed on every completed request *)
 }
 
 let window = 8192
@@ -23,6 +25,7 @@ let create () =
     ring = Array.make window 0.0;
     ring_len = 0;
     ring_pos = 0;
+    latency_hist = None;
   }
 
 let with_lock t f =
@@ -30,14 +33,22 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let record t ~status ~latency_ms =
-  with_lock t (fun () ->
-      (match status with
-      | `Ok -> t.ok <- t.ok + 1
-      | `Partial -> t.partial <- t.partial + 1
-      | `Error -> t.errors <- t.errors + 1);
-      t.ring.(t.ring_pos) <- latency_ms;
-      t.ring_pos <- (t.ring_pos + 1) mod window;
-      if t.ring_len < window then t.ring_len <- t.ring_len + 1)
+  let hist =
+    with_lock t (fun () ->
+        (match status with
+        | `Ok -> t.ok <- t.ok + 1
+        | `Partial -> t.partial <- t.partial + 1
+        | `Error -> t.errors <- t.errors + 1);
+        t.ring.(t.ring_pos) <- latency_ms;
+        t.ring_pos <- (t.ring_pos + 1) mod window;
+        if t.ring_len < window then t.ring_len <- t.ring_len + 1;
+        t.latency_hist)
+  in
+  (* Observe outside our mutex: the registry lock is leaf-only and the
+     two must never nest in a fixed order anyway. *)
+  match hist with
+  | None -> ()
+  | Some h -> Wp_obs.Registry.observe h latency_ms
 
 let record_shed t = with_lock t (fun () -> t.shed <- t.shed + 1)
 
@@ -96,3 +107,45 @@ let snapshot t ~extra =
            ] );
      ]
     @ extra)
+
+(* Registry integration: counters and uptime are pull-style (read under
+   our mutex at snapshot time), latencies additionally feed a push-style
+   histogram so the Prometheus page carries real distribution buckets,
+   not just the JSON snapshot's ring percentiles. *)
+let register t reg =
+  let module R = Wp_obs.Registry in
+  let pull name help read =
+    R.pull_counter reg ~help name (fun () ->
+        float_of_int (with_lock t (fun () -> read ())))
+  in
+  R.pull_counter reg ~help:"completed requests by status"
+    ~labels:[ ("status", "ok") ] "wp_serve_requests_total" (fun () ->
+      float_of_int (with_lock t (fun () -> t.ok)));
+  R.pull_counter reg ~help:"completed requests by status"
+    ~labels:[ ("status", "partial") ] "wp_serve_requests_total" (fun () ->
+      float_of_int (with_lock t (fun () -> t.partial)));
+  R.pull_counter reg ~help:"completed requests by status"
+    ~labels:[ ("status", "error") ] "wp_serve_requests_total" (fun () ->
+      float_of_int (with_lock t (fun () -> t.errors)));
+  pull "wp_serve_shed_total" "requests refused at admission" (fun () ->
+      t.shed);
+  R.pull_gauge reg ~help:"seconds since service start"
+    "wp_serve_uptime_seconds" (fun () ->
+      Int64.to_float (Int64.sub (Whirlpool.Clock.now_ns ()) t.started_ns)
+      /. 1e9);
+  List.iter
+    (fun (q, v) ->
+      R.pull_gauge reg
+        ~help:"request latency percentile over the recent sample window"
+        ~labels:[ ("quantile", q) ] "wp_serve_latency_ms" (fun () ->
+          let samples =
+            with_lock t (fun () ->
+                Array.to_list (Array.sub t.ring 0 t.ring_len))
+          in
+          percentile samples v))
+    [ ("0.5", 0.50); ("0.95", 0.95); ("0.99", 0.99) ];
+  let hist =
+    R.histogram reg ~help:"request latency distribution, milliseconds"
+      "wp_serve_latency_milliseconds"
+  in
+  with_lock t (fun () -> t.latency_hist <- Some hist)

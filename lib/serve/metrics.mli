@@ -33,3 +33,11 @@ val snapshot : t -> extra:(string * Wp_json.Json.t) list -> Wp_json.Json.t
     and p50/p95/p99/max/mean latency (milliseconds) over the sample
     window, followed by the [extra] fields (cache and pool figures the
     service contributes). *)
+
+val register : t -> Wp_obs.Registry.t -> unit
+(** Publish this instance through a metrics registry:
+    [wp_serve_requests_total{status=...}], [wp_serve_shed_total] and
+    the latency percentiles are pull-style (read at snapshot time), and
+    a [wp_serve_latency_milliseconds] histogram starts receiving every
+    subsequent {!record}'s latency.  The JSON {!snapshot} is unchanged;
+    both read the same underlying state. *)

@@ -8,11 +8,24 @@ type query = {
   deadline_ms : float option;
   algo : string option;
   routing : string option;
+  batch : int option;
+  use_cache : bool option;
 }
+
+type metrics_format = Json_format | Prometheus
+
+let metrics_format_to_string = function
+  | Json_format -> "json"
+  | Prometheus -> "prometheus"
+
+let metrics_format_of_string = function
+  | "json" -> Some Json_format
+  | "prometheus" -> Some Prometheus
+  | _ -> None
 
 type request =
   | Query of query
-  | Metrics of { id : int }
+  | Metrics of { id : int; format : metrics_format }
   | Ping of { id : int }
   | Stop of { id : int }
 
@@ -31,6 +44,34 @@ let status_of_string = function
   | "error" -> Some Error
   | _ -> None
 
+(* Machine-readable failure classes — a closed variant with stable wire
+   strings, so clients dispatch on [code] instead of parsing the
+   human-oriented [error] message (which remains free to change). *)
+type error_code =
+  | Code_overloaded
+  | Bad_request
+  | Lint_rejected
+  | Deadline_expired
+  | Internal
+
+let error_code_to_string = function
+  | Code_overloaded -> "overloaded"
+  | Bad_request -> "bad_request"
+  | Lint_rejected -> "lint_rejected"
+  | Deadline_expired -> "deadline_expired"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "overloaded" -> Some Code_overloaded
+  | "bad_request" -> Some Bad_request
+  | "lint_rejected" -> Some Lint_rejected
+  | "deadline_expired" -> Some Deadline_expired
+  | "internal" -> Some Internal
+  | _ -> None
+
+let all_error_codes =
+  [ Code_overloaded; Bad_request; Lint_rejected; Deadline_expired; Internal ]
+
 type answer = {
   doc : string;
   root : int;
@@ -43,32 +84,38 @@ type response = {
   id : int;
   status : status;
   error : string option;
+  code : error_code option;
   answers : answer list;
   stats : Json.t option;
   metrics : Json.t option;
+  metrics_text : string option;
   elapsed_ms : float;
 }
 
-let ok_response ?(answers = []) ?stats ?metrics ?(partial = false) ~id
-    ~elapsed_ms () =
+let ok_response ?(answers = []) ?stats ?metrics ?metrics_text ?(partial = false)
+    ~id ~elapsed_ms () =
   {
     id;
     status = (if partial then Partial else Ok);
     error = None;
+    code = (if partial then Some Deadline_expired else None);
     answers;
     stats;
     metrics;
+    metrics_text;
     elapsed_ms;
   }
 
-let error_response ~id ?(elapsed_ms = 0.0) msg =
+let error_response ~id ?(elapsed_ms = 0.0) ?(code = Internal) msg =
   {
     id;
     status = Error;
     error = Some msg;
+    code = Some code;
     answers = [];
     stats = None;
     metrics = None;
+    metrics_text = None;
     elapsed_ms;
   }
 
@@ -77,9 +124,11 @@ let overloaded_response ~id =
     id;
     status = Overloaded;
     error = None;
+    code = Some Code_overloaded;
     answers = [];
     stats = None;
     metrics = None;
+    metrics_text = None;
     elapsed_ms = 0.0;
   }
 
@@ -111,6 +160,13 @@ let opt_int name json =
   | Some _ ->
       Result.Error (Printf.sprintf "field %S must be an integer or null" name)
 
+let opt_bool name json =
+  match Json.member name json with
+  | Some (Json.Bool b) -> Result.Ok (Some b)
+  | Some Json.Null | None -> Result.Ok None
+  | Some _ ->
+      Result.Error (Printf.sprintf "field %S must be a boolean or null" name)
+
 let opt_float name json =
   match Json.member name json with
   | Some (Json.Float f) -> Result.Ok (Some f)
@@ -134,8 +190,16 @@ let request_to_json req =
         @ opt "k" q.k (fun k -> Int k)
         @ opt "deadline_ms" q.deadline_ms (fun d -> Float d)
         @ opt "algo" q.algo (fun s -> String s)
-        @ opt "routing" q.routing (fun s -> String s))
-  | Metrics { id } -> Obj [ ("op", String "metrics"); ("id", Int id) ]
+        @ opt "routing" q.routing (fun s -> String s)
+        @ opt "batch" q.batch (fun b -> Int b)
+        @ opt "use_cache" q.use_cache (fun b -> Bool b))
+  | Metrics { id; format } ->
+      Obj
+        ([ ("op", String "metrics"); ("id", Int id) ]
+        @
+        match format with
+        | Json_format -> []
+        | f -> [ ("format", String (metrics_format_to_string f)) ])
   | Ping { id } -> Obj [ ("op", String "ping"); ("id", Int id) ]
   | Stop { id } -> Obj [ ("op", String "stop"); ("id", Int id) ]
 
@@ -150,8 +214,25 @@ let request_of_json json =
       let* deadline_ms = opt_float "deadline_ms" json in
       let* algo = opt_string "algo" json in
       let* routing = opt_string "routing" json in
-      Result.Ok (Query { id; query; doc; k; deadline_ms; algo; routing })
-  | "metrics" -> Result.Ok (Metrics { id })
+      let* batch = opt_int "batch" json in
+      let* use_cache = opt_bool "use_cache" json in
+      Result.Ok
+        (Query
+           { id; query; doc; k; deadline_ms; algo; routing; batch; use_cache })
+  | "metrics" ->
+      let* fmt = opt_string "format" json in
+      let* format =
+        match fmt with
+        | None -> Result.Ok Json_format
+        | Some s -> (
+            match metrics_format_of_string s with
+            | Some f -> Result.Ok f
+            | None ->
+                Result.Error
+                  (Printf.sprintf
+                     "unknown metrics format %S (known: json, prometheus)" s))
+      in
+      Result.Ok (Metrics { id; format })
   | "ping" -> Result.Ok (Ping { id })
   | "stop" -> Result.Ok (Stop { id })
   | other -> Result.Error (Printf.sprintf "unknown op %S" other)
@@ -192,11 +273,13 @@ let response_to_json r =
        ("elapsed_ms", Float r.elapsed_ms);
      ]
     @ opt "error" r.error (fun s -> String s)
+    @ opt "code" r.code (fun c -> String (error_code_to_string c))
     @ (match r.answers with
       | [] -> []
       | answers -> [ ("answers", List (List.map answer_to_json answers)) ])
     @ opt "stats" r.stats Fun.id
-    @ opt "metrics" r.metrics Fun.id)
+    @ opt "metrics" r.metrics Fun.id
+    @ opt "metrics_text" r.metrics_text (fun s -> String s))
 
 let response_of_json json =
   let* id = field_int "id" json in
@@ -211,6 +294,15 @@ let response_of_json json =
     Result.Ok (Option.value v ~default:0.0)
   in
   let* error = opt_string "error" json in
+  let* code =
+    let* c = opt_string "code" json in
+    match c with
+    | None -> Result.Ok None
+    | Some s -> (
+        match error_code_of_string s with
+        | Some c -> Result.Ok (Some c)
+        | None -> Result.Error (Printf.sprintf "unknown error code %S" s))
+  in
   let* answers =
     match Json.member "answers" json with
     | Some (Json.List items) ->
@@ -226,7 +318,10 @@ let response_of_json json =
   in
   let stats = Json.member "stats" json in
   let metrics = Json.member "metrics" json in
-  Result.Ok { id; status; error; answers; stats; metrics; elapsed_ms }
+  let* metrics_text = opt_string "metrics_text" json in
+  Result.Ok
+    { id; status; error; code; answers; stats; metrics; metrics_text;
+      elapsed_ms }
 
 let parse_request s =
   let* json = Json.of_string s in

@@ -15,7 +15,11 @@
 
     Omitting ["doc"] asks for the top-k merged across the whole corpus.
     [Overloaded] is the admission-control reply — the request was shed,
-    not queued; [Partial] flags a top-k cut short by its deadline. *)
+    not queued; [Partial] flags a top-k cut short by its deadline.
+
+    Failed replies carry both a human-oriented ["error"] message and a
+    machine-readable ["code"] from the closed {!error_code} vocabulary;
+    clients dispatch on the code, the message is free to change. *)
 
 type query = {
   id : int;
@@ -25,11 +29,24 @@ type query = {
   deadline_ms : float option;  (** [None] = service default *)
   algo : string option;  (** "whirlpool-s" (default) or "whirlpool-m" *)
   routing : string option;  (** as {!Whirlpool.Strategy.routing_of_string} *)
+  batch : int option;
+      (** bulk-adaptivity width ({!Whirlpool.Engine.Config.t}[.batch]);
+          [None] = service default *)
+  use_cache : bool option;
+      (** candidate-cache toggle; [None] = service default *)
 }
+
+type metrics_format = Json_format | Prometheus
+
+val metrics_format_to_string : metrics_format -> string
+val metrics_format_of_string : string -> metrics_format option
 
 type request =
   | Query of query
-  | Metrics of { id : int }  (** service-level metrics snapshot *)
+  | Metrics of { id : int; format : metrics_format }
+      (** service-level metrics snapshot; [Prometheus] asks for the
+          text-exposition page in [metrics_text] instead of the JSON
+          object in [metrics] *)
   | Ping of { id : int }
   | Stop of { id : int }  (** graceful shutdown *)
 
@@ -37,6 +54,24 @@ type status = Ok | Partial | Overloaded | Error
 
 val status_to_string : status -> string
 val status_of_string : string -> status option
+
+(** Stable machine-readable failure classes.  Wire strings —
+    ["overloaded"], ["bad_request"], ["lint_rejected"],
+    ["deadline_expired"], ["internal"] — are part of the protocol and
+    never change meaning; new codes may be appended. *)
+type error_code =
+  | Code_overloaded  (** shed at admission; retry against less load *)
+  | Bad_request  (** unparseable query, unknown document/algo/routing, bad k *)
+  | Lint_rejected  (** static analysis refused the query as meaningless *)
+  | Deadline_expired
+      (** attached to [Partial] replies: the top-k was cut short *)
+  | Internal  (** unexpected server-side failure *)
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+val all_error_codes : error_code list
+(** Every code, for exhaustive round-trip tests. *)
 
 type answer = {
   doc : string;  (** catalog name of the document it came from *)
@@ -50,9 +85,13 @@ type response = {
   id : int;
   status : status;
   error : string option;  (** set when [status = Error] *)
+  code : error_code option;
+      (** set for [Error], [Overloaded] and [Partial] replies *)
   answers : answer list;
   stats : Wp_json.Json.t option;  (** engine statistics, for queries *)
-  metrics : Wp_json.Json.t option;  (** for [Metrics] requests *)
+  metrics : Wp_json.Json.t option;  (** for [Metrics] with [Json_format] *)
+  metrics_text : string option;
+      (** Prometheus text exposition, for [Metrics] with [Prometheus] *)
   elapsed_ms : float;  (** server-side handling time *)
 }
 
@@ -60,13 +99,19 @@ val ok_response :
   ?answers:answer list ->
   ?stats:Wp_json.Json.t ->
   ?metrics:Wp_json.Json.t ->
+  ?metrics_text:string ->
   ?partial:bool ->
   id:int ->
   elapsed_ms:float ->
   unit ->
   response
+(** [partial = true] sets [status = Partial] and
+    [code = Some Deadline_expired]. *)
 
-val error_response : id:int -> ?elapsed_ms:float -> string -> response
+val error_response :
+  id:int -> ?elapsed_ms:float -> ?code:error_code -> string -> response
+(** [code] defaults to [Internal]. *)
+
 val overloaded_response : id:int -> response
 
 val request_to_json : request -> Wp_json.Json.t

@@ -1,31 +1,74 @@
 module Json = Wp_json.Json
+module Obs = Wp_obs.Obs
+module Registry = Wp_obs.Registry
+
+type slow_query = {
+  query : string;
+  doc : string option;
+  elapsed_ms : float;
+  spans : Json.t;
+  profile : Json.t;
+}
+
+let slow_log_cap = 32
 
 type t = {
   catalog : Catalog.t;
   metrics : Metrics.t;
+  registry : Registry.t;
   default_k : int;
   default_deadline_ms : float option;
   max_k : int;
-  (* candidate-cache totals aggregated across every served request *)
-  cache_mutex : Mutex.t;
-  mutable engine_cache_hits : int;
-  mutable engine_cache_misses : int;
+  base_config : Whirlpool.Engine.Config.t;
+  slow_query_ms : float option;
+  slow_counter : Registry.counter;
+  state_mutex : Mutex.t;
+  (* engine totals aggregated across every served request, and the
+     bounded slow-query log (newest first) — both under [state_mutex] *)
+  totals : Whirlpool.Stats.t;
+  mutable slow_log : slow_query list;
 }
 
-let create ?(default_k = 10) ?default_deadline_ms ?(max_k = 1000) ~catalog () =
+let create ?(default_k = 10) ?default_deadline_ms ?(max_k = 1000)
+    ?(engine_config = Whirlpool.Engine.Config.default) ?slow_query_ms ~catalog
+    () =
+  let registry = Registry.create () in
+  let metrics = Metrics.create () in
+  let totals = Whirlpool.Stats.create () in
+  Metrics.register metrics registry;
+  Whirlpool.Stats.register totals registry;
+  let slow_counter =
+    Registry.counter registry
+      ~help:"requests slower than the slow-query threshold"
+      "wp_serve_slow_queries_total"
+  in
+  Registry.pull_gauge registry ~help:"documents in the corpus"
+    "wp_corpus_documents" (fun () ->
+      float_of_int (List.length (Catalog.docs catalog)));
+  Registry.pull_counter registry ~help:"compiled-plan cache hits"
+    "wp_plan_cache_hits_total" (fun () ->
+      float_of_int (Catalog.plan_cache_stats catalog).hits);
+  Registry.pull_counter registry ~help:"compiled-plan cache misses"
+    "wp_plan_cache_misses_total" (fun () ->
+      float_of_int (Catalog.plan_cache_stats catalog).misses);
   {
     catalog;
-    metrics = Metrics.create ();
+    metrics;
+    registry;
     default_k;
     default_deadline_ms;
     max_k;
-    cache_mutex = Mutex.create ();
-    engine_cache_hits = 0;
-    engine_cache_misses = 0;
+    base_config = engine_config;
+    slow_query_ms;
+    slow_counter;
+    state_mutex = Mutex.create ();
+    totals;
+    slow_log = [];
   }
 
 let catalog t = t.catalog
 let metrics t = t.metrics
+let registry t = t.registry
 let record_shed t = Metrics.record_shed t.metrics
 
 let now_ns = Whirlpool.Clock.now_ns
@@ -33,39 +76,24 @@ let now_ns = Whirlpool.Clock.now_ns
 let elapsed_ms_since t0 =
   Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6
 
-let stats_to_json (s : Whirlpool.Stats.t) =
-  let open Json in
-  Obj
-    [
-      ("server_ops", Int s.server_ops);
-      ("comparisons", Int s.comparisons);
-      ("matches_created", Int s.matches_created);
-      ("matches_pruned", Int s.matches_pruned);
-      ("matches_died", Int s.matches_died);
-      ("routing_decisions", Int s.routing_decisions);
-      ("completed", Int s.completed);
-      ("cache_hits", Int s.cache_hits);
-      ("cache_misses", Int s.cache_misses);
-      ("cache_hit_rate", Float (Whirlpool.Stats.cache_hit_rate s));
-      ("wall_seconds", Float (Whirlpool.Stats.wall_seconds s));
-    ]
-
 let ( let* ) = Result.bind
+
+let bad msg = Result.Error (Protocol.Bad_request, msg)
 
 let resolve_docs t (q : Protocol.query) =
   match q.doc with
   | Some name -> (
       match Catalog.find t.catalog name with
       | Some d -> Result.Ok [ d ]
-      | None -> Result.Error (Printf.sprintf "unknown document: %s" name))
+      | None -> bad (Printf.sprintf "unknown document: %s" name))
   | None -> (
       match Catalog.docs t.catalog with
-      | [] -> Result.Error "the corpus is empty"
+      | [] -> bad "the corpus is empty"
       | ds -> Result.Ok ds)
 
 let resolve_k t (q : Protocol.query) =
   let k = Option.value q.k ~default:t.default_k in
-  if k < 1 then Result.Error (Printf.sprintf "k must be >= 1 (got %d)" k)
+  if k < 1 then bad (Printf.sprintf "k must be >= 1 (got %d)" k)
   else Result.Ok (min k t.max_k)
 
 let resolve_algo (q : Protocol.query) =
@@ -73,7 +101,7 @@ let resolve_algo (q : Protocol.query) =
   | "whirlpool-s" | "ws" -> Result.Ok `S
   | "whirlpool-m" | "wm" -> Result.Ok `M
   | other ->
-      Result.Error
+      bad
         (Printf.sprintf
            "unknown algo %S (serveable: whirlpool-s, whirlpool-m)" other)
 
@@ -83,7 +111,12 @@ let resolve_routing (q : Protocol.query) =
   | Some s -> (
       match Whirlpool.Strategy.routing_of_string s with
       | Some r -> Result.Ok (Some r)
-      | None -> Result.Error (Printf.sprintf "unknown routing %S" s))
+      | None -> bad (Printf.sprintf "unknown routing %S" s))
+
+let resolve_batch (q : Protocol.query) =
+  match q.batch with
+  | Some b when b < 1 -> bad (Printf.sprintf "batch must be >= 1 (got %d)" b)
+  | other -> Result.Ok other
 
 (* The per-request deadline, as the engines' cooperative-cancellation
    hook: checked at iteration boundaries, so expiry yields the current
@@ -99,18 +132,34 @@ let deadline_hook t (q : Protocol.query) ~t0 =
       let deadline = Int64.add t0 (Int64.of_float (ms *. 1e6)) in
       fun () -> Int64.compare (now_ns ()) deadline >= 0
 
-let note_engine_cache t (stats : Whirlpool.Stats.t) =
-  Mutex.lock t.cache_mutex;
-  t.engine_cache_hits <- t.engine_cache_hits + stats.cache_hits;
-  t.engine_cache_misses <- t.engine_cache_misses + stats.cache_misses;
-  Mutex.unlock t.cache_mutex
+let note_totals t (stats : Whirlpool.Stats.t) =
+  Mutex.lock t.state_mutex;
+  Whirlpool.Stats.add t.totals stats;
+  Mutex.unlock t.state_mutex
 
-let run_query t (q : Protocol.query) ~t0 =
+(* The per-request engine configuration: service defaults overridden by
+   the request's knobs, plus the deadline hook and (when the slow-query
+   log is armed) a fresh observability context. *)
+let request_config t (q : Protocol.query) ~routing ~batch ~should_stop ~obs =
+  let open Whirlpool.Engine.Config in
+  let c = t.base_config in
+  let c = match routing with None -> c | Some r -> with_routing r c in
+  let c = match batch with None -> c | Some b -> with_batch b c in
+  let c =
+    match q.Protocol.use_cache with
+    | None -> c
+    | Some u -> with_use_cache u c
+  in
+  c |> with_should_stop should_stop |> with_obs obs
+
+let run_query t (q : Protocol.query) ~t0 ~obs =
   let* docs = resolve_docs t q in
   let* k = resolve_k t q in
   let* algo = resolve_algo q in
   let* routing = resolve_routing q in
+  let* batch = resolve_batch q in
   let should_stop = deadline_hook t q ~t0 in
+  let config = request_config t q ~routing ~batch ~should_stop ~obs in
   let stats = Whirlpool.Stats.create () in
   let partial = ref false in
   let* tagged =
@@ -124,15 +173,21 @@ let run_query t (q : Protocol.query) ~t0 =
           Result.Ok acc
         end
         else
-          let* plan = Catalog.plan_for t.catalog doc q.query in
+          let* plan =
+            Result.map_error
+              (function
+                | Catalog.Bad_query m -> (Protocol.Bad_request, m)
+                | Catalog.Rejected m -> (Protocol.Lint_rejected, m))
+              (Catalog.plan_for t.catalog doc q.query)
+          in
           let result =
             match algo with
-            | `S -> Whirlpool.Engine.run ?routing ~should_stop plan ~k
-            | `M -> Whirlpool.Engine_mt.run ?routing ~should_stop plan ~k
+            | `S -> Whirlpool.Engine.run ~config plan ~k
+            | `M -> Whirlpool.Engine_mt.run ~config plan ~k
           in
           if result.partial then partial := true;
           Whirlpool.Stats.add stats result.stats;
-          note_engine_cache t result.stats;
+          note_totals t result.stats;
           Result.Ok
             (List.rev_append
                (List.map (fun e -> (doc, e)) result.answers)
@@ -169,36 +224,90 @@ let run_query t (q : Protocol.query) ~t0 =
   in
   Result.Ok (answers, stats, !partial)
 
+let note_slow t (q : Protocol.query) ~elapsed_ms ~obs =
+  match t.slow_query_ms with
+  | Some threshold when elapsed_ms >= threshold ->
+      Registry.incr t.slow_counter;
+      let entry =
+        {
+          query = q.query;
+          doc = q.doc;
+          elapsed_ms;
+          spans = Obs.span_tree_json obs;
+          profile = Obs.profile_json obs;
+        }
+      in
+      Mutex.lock t.state_mutex;
+      t.slow_log <-
+        entry :: List.filteri (fun i _ -> i < slow_log_cap - 1) t.slow_log;
+      Mutex.unlock t.state_mutex
+  | Some _ | None -> ()
+
 let handle_query t (q : Protocol.query) =
   let t0 = now_ns () in
+  (* A context per request: the slow-query log wants the full span tree
+     of exactly the offending request, so sampling is 1 and the cap
+     bounds memory per request instead. *)
+  let obs =
+    match t.slow_query_ms with
+    | Some _ -> Obs.create ()
+    | None -> Obs.disabled
+  in
   let outcome =
-    match run_query t q ~t0 with
+    match run_query t q ~t0 ~obs with
     | r -> r
     | exception exn ->
         Result.Error
-          (Printf.sprintf "internal error: %s" (Printexc.to_string exn))
+          ( Protocol.Internal,
+            Printf.sprintf "internal error: %s" (Printexc.to_string exn) )
   in
   let elapsed_ms = elapsed_ms_since t0 in
+  note_slow t q ~elapsed_ms ~obs;
   match outcome with
   | Result.Ok (answers, stats, partial) ->
       Metrics.record t.metrics
         ~status:(if partial then `Partial else `Ok)
         ~latency_ms:elapsed_ms;
-      Protocol.ok_response ~answers ~stats:(stats_to_json stats) ~partial
-        ~id:q.id ~elapsed_ms ()
-  | Result.Error msg ->
+      Protocol.ok_response ~answers
+        ~stats:(Whirlpool.Stats.to_json stats)
+        ~partial ~id:q.id ~elapsed_ms ()
+  | Result.Error (code, msg) ->
       Metrics.record t.metrics ~status:`Error ~latency_ms:elapsed_ms;
-      Protocol.error_response ~id:q.id ~elapsed_ms msg
+      Protocol.error_response ~id:q.id ~elapsed_ms ~code msg
+
+let slow_queries t =
+  let entries =
+    Mutex.lock t.state_mutex;
+    let l = t.slow_log in
+    Mutex.unlock t.state_mutex;
+    l
+  in
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           ([ ("query", Json.String e.query) ]
+           @ (match e.doc with
+             | None -> []
+             | Some d -> [ ("doc", Json.String d) ])
+           @ [
+               ("elapsed_ms", Json.Float e.elapsed_ms);
+               ("profile", e.profile);
+               ("spans", e.spans);
+             ]))
+       entries)
 
 let metrics_json t =
   let open Json in
   let docs = Catalog.docs t.catalog in
   let nodes = List.fold_left (fun a (d : Catalog.doc) -> a + d.nodes) 0 docs in
   let pc = Catalog.plan_cache_stats t.catalog in
-  let ech, ecm =
-    Mutex.lock t.cache_mutex;
-    let v = (t.engine_cache_hits, t.engine_cache_misses) in
-    Mutex.unlock t.cache_mutex;
+  let ech, ecm, slow =
+    Mutex.lock t.state_mutex;
+    let v =
+      (t.totals.cache_hits, t.totals.cache_misses, List.length t.slow_log)
+    in
+    Mutex.unlock t.state_mutex;
     v
   in
   let cache_rate hits misses =
@@ -228,14 +337,21 @@ let metrics_json t =
               ("misses", Int ecm);
               ("hit_rate", Float (cache_rate ech ecm));
             ] );
+        ("slow_queries", Int slow);
       ]
+
+let prometheus t = Registry.to_prometheus (Registry.snapshot t.registry)
 
 let handle t (req : Protocol.request) =
   match req with
   | Protocol.Query q -> `Reply (handle_query t q)
-  | Protocol.Metrics { id } ->
+  | Protocol.Metrics { id; format = Protocol.Json_format } ->
       `Reply
         (Protocol.ok_response ~metrics:(metrics_json t) ~id ~elapsed_ms:0.0 ())
+  | Protocol.Metrics { id; format = Protocol.Prometheus } ->
+      `Reply
+        (Protocol.ok_response ~metrics_text:(prometheus t) ~id ~elapsed_ms:0.0
+           ())
   | Protocol.Ping { id } ->
       `Reply (Protocol.ok_response ~id ~elapsed_ms:0.0 ())
   | Protocol.Stop { id } ->

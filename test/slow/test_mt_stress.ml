@@ -23,7 +23,11 @@ let test_multi_worker_runs () =
   let plan = Run.compile idx (parse Fixtures.q2) in
   let reference = Fixtures.sorted_scores (Engine.run plan ~k:10).answers in
   for _ = 1 to 5 do
-    let m = Engine_mt.run ~threads_per_server:2 plan ~k:10 in
+    let m =
+      Engine_mt.run
+        ~config:Engine.Config.(default |> with_threads_per_server 2)
+        plan ~k:10
+    in
     Fixtures.check_scores_equal ~msg:"2-worker W-M run" reference
       (Fixtures.sorted_scores m.answers)
   done
@@ -50,11 +54,22 @@ let test_sweep () =
       List.iter
         (fun routing ->
           let reference =
-            Fixtures.sorted_scores (Engine.run ~routing plan ~k:5).answers
+            Fixtures.sorted_scores
+              (Engine.run
+                 ~config:Engine.Config.(default |> with_routing routing)
+                 plan ~k:5)
+                .answers
           in
           List.iter
             (fun threads_per_server ->
-              let m = Engine_mt.run ~routing ~threads_per_server plan ~k:5 in
+              let m =
+                Engine_mt.run
+                  ~config:
+                    Engine.Config.(
+                      default |> with_routing routing
+                      |> with_threads_per_server threads_per_server)
+                  plan ~k:5
+              in
               Fixtures.check_scores_equal
                 ~msg:
                   (Format.asprintf "doc seed %d, %a, %d worker(s)" gen_seed

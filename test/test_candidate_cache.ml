@@ -127,8 +127,12 @@ let prop_engine_cache_invisible =
       in
       List.for_all
         (fun routing ->
-          let on = Engine.run ~routing ~use_cache:true plan ~k:4 in
-          let off = Engine.run ~routing ~use_cache:false plan ~k:4 in
+          let cfg use_cache =
+            Engine.Config.(
+              default |> with_routing routing |> with_use_cache use_cache)
+          in
+          let on = Engine.run ~config:(cfg true) plan ~k:4 in
+          let off = Engine.run ~config:(cfg false) plan ~k:4 in
           List.map entry_repr on.answers = List.map entry_repr off.answers
           && on.stats.comparisons <= off.stats.comparisons)
         routings)

@@ -92,7 +92,10 @@ let test_routing_strategies_agree () =
   let reference = Fixtures.sorted_scores (Engine.run plan ~k:15).answers in
   List.iter
     (fun routing ->
-      let r = Engine.run ~routing plan ~k:15 in
+      let r =
+        Engine.run ~config:Engine.Config.(default |> with_routing routing)
+          plan ~k:15
+      in
       Fixtures.check_scores_equal
         ~msg:(Format.asprintf "routing %a" Strategy.pp_routing routing)
         reference
@@ -105,7 +108,11 @@ let test_queue_policies_agree () =
   let reference = Fixtures.sorted_scores (Engine.run plan ~k:15).answers in
   List.iter
     (fun queue_policy ->
-      let r = Engine.run ~queue_policy plan ~k:15 in
+      let r =
+        Engine.run
+          ~config:Engine.Config.(default |> with_queue_policy queue_policy)
+          plan ~k:15
+      in
       Fixtures.check_scores_equal
         ~msg:(Format.asprintf "queue %a" Strategy.pp_queue_policy queue_policy)
         reference
@@ -118,7 +125,12 @@ let test_static_permutations_agree () =
   let reference = Fixtures.sorted_scores (Engine.run plan ~k:5).answers in
   List.iter
     (fun order ->
-      let r = Engine.run ~routing:(Strategy.Static order) plan ~k:5 in
+      let r =
+        Engine.run
+          ~config:
+            Engine.Config.(default |> with_routing (Strategy.Static order))
+          plan ~k:5
+      in
       Fixtures.check_scores_equal ~msg:"static permutation" reference
         (Fixtures.sorted_scores r.answers))
     (Strategy.static_permutations plan)

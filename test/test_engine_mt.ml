@@ -42,7 +42,11 @@ let test_routing_strategies () =
   let reference = Fixtures.sorted_scores (Engine.run plan ~k:10).answers in
   List.iter
     (fun routing ->
-      let m = Engine_mt.run ~routing plan ~k:10 in
+      let m =
+        Engine_mt.run
+          ~config:Engine.Config.(default |> with_routing routing)
+          plan ~k:10
+      in
       Fixtures.check_scores_equal
         ~msg:(Format.asprintf "W-M routing %a" Strategy.pp_routing routing)
         reference

@@ -11,7 +11,7 @@ let test_batch_same_answers () =
   let reference = Fixtures.sorted_scores (Engine.run plan ~k:10).answers in
   List.iter
     (fun batch ->
-      let r = Engine.run ~batch plan ~k:10 in
+      let r = Engine.run ~config:Engine.Config.(default |> with_batch batch) plan ~k:10 in
       Fixtures.check_scores_equal
         ~msg:(Printf.sprintf "batch=%d answers" batch)
         reference
@@ -20,15 +20,16 @@ let test_batch_same_answers () =
 
 let test_batch_reduces_decisions () =
   let plan = Run.compile idx (parse Fixtures.q2) in
-  let r1 = Engine.run ~batch:1 plan ~k:15 in
-  let r64 = Engine.run ~batch:64 plan ~k:15 in
+  let r1 = Engine.run ~config:Engine.Config.(default |> with_batch 1) plan ~k:15 in
+  let r64 = Engine.run ~config:Engine.Config.(default |> with_batch 64) plan ~k:15 in
   Alcotest.(check bool)
     (Printf.sprintf "decisions drop (%d -> %d)" r1.stats.routing_decisions
        r64.stats.routing_decisions)
     true
     (r64.stats.routing_decisions < r1.stats.routing_decisions);
   Alcotest.check_raises "batch >= 1" (Invalid_argument "Engine.run: batch >= 1")
-    (fun () -> ignore (Engine.run ~batch:0 plan ~k:5))
+    (fun () ->
+      ignore (Engine.run ~config:Engine.Config.(default |> with_batch 0) plan ~k:5))
 
 let test_run_above_matches_noprun () =
   let plan = Run.compile idx (parse Fixtures.q1) in
@@ -78,7 +79,12 @@ let test_threads_per_server () =
   let reference = Fixtures.sorted_scores (Engine.run plan ~k:10).answers in
   List.iter
     (fun threads_per_server ->
-      let r = Engine_mt.run ~threads_per_server plan ~k:10 in
+      let r =
+        Engine_mt.run
+          ~config:
+            Engine.Config.(default |> with_threads_per_server threads_per_server)
+          plan ~k:10
+      in
       Fixtures.check_scores_equal
         ~msg:(Printf.sprintf "%d threads per server" threads_per_server)
         reference
@@ -86,7 +92,10 @@ let test_threads_per_server () =
     [ 1; 2; 3 ];
   Alcotest.check_raises "threads >= 1"
     (Invalid_argument "Engine_mt.run: threads_per_server >= 1") (fun () ->
-      ignore (Engine_mt.run ~threads_per_server:0 plan ~k:5))
+      ignore
+        (Engine_mt.run
+           ~config:Engine.Config.(default |> with_threads_per_server 0)
+           plan ~k:5))
 
 let test_wildcard_parsing () =
   let p = parse "//item[./*]" in

@@ -63,6 +63,8 @@ let test_protocol_request_roundtrip () =
          deadline_ms = Some 12.5;
          algo = Some "whirlpool-m";
          routing = Some "max_score";
+         batch = Some 4;
+         use_cache = Some false;
        });
   roundtrip_request
     (Protocol.Query
@@ -74,8 +76,11 @@ let test_protocol_request_roundtrip () =
          deadline_ms = None;
          algo = None;
          routing = None;
+         batch = None;
+         use_cache = None;
        });
-  roundtrip_request (Protocol.Metrics { id = 2 });
+  roundtrip_request (Protocol.Metrics { id = 2; format = Protocol.Json_format });
+  roundtrip_request (Protocol.Metrics { id = 2; format = Protocol.Prometheus });
   roundtrip_request (Protocol.Ping { id = 3 });
   roundtrip_request (Protocol.Stop { id = 4 })
 
@@ -117,6 +122,43 @@ let test_protocol_rejects () =
       "{\"op\":\"query\",\"id\":\"x\",\"query\":\"/a\"}";  (* id not int *)
       "not json at all";
     ]
+
+let test_error_codes_roundtrip () =
+  List.iter
+    (fun code ->
+      let s = Protocol.error_code_to_string code in
+      match Protocol.error_code_of_string s with
+      | Some c ->
+          Alcotest.(check bool) (s ^ " round-trips") true (c = code)
+      | None -> Alcotest.failf "code %s does not reparse" s)
+    Protocol.all_error_codes;
+  Alcotest.(check bool) "unknown code rejected" true
+    (Protocol.error_code_of_string "warp_failure" = None);
+  (* Codes ride replies over the wire. *)
+  roundtrip_response
+    (Protocol.error_response ~id:1 ~code:Protocol.Bad_request "nope");
+  (match
+     Protocol.parse_response
+       (Json.to_string
+          (Protocol.response_to_json
+             (Protocol.error_response ~id:4 ~code:Protocol.Lint_rejected "no")))
+   with
+  | Ok r ->
+      Alcotest.(check bool) "code survives the wire" true
+        (r.code = Some Protocol.Lint_rejected)
+  | Error m -> Alcotest.failf "reparse: %s" m);
+  (* The shed and partial constructors pin their codes. *)
+  Alcotest.(check bool) "overloaded code" true
+    ((Protocol.overloaded_response ~id:2).code = Some Protocol.Code_overloaded);
+  Alcotest.(check bool) "partial code" true
+    ((Protocol.ok_response ~partial:true ~id:3 ~elapsed_ms:1.0 ()).code
+    = Some Protocol.Deadline_expired);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "metrics format round-trips" true
+        (Protocol.metrics_format_of_string (Protocol.metrics_format_to_string f)
+        = Some f))
+    [ Protocol.Json_format; Protocol.Prometheus ]
 
 (* --- corpus fixture on disk --- *)
 
@@ -190,17 +232,19 @@ let test_catalog_plan_cache () =
       let q = "/book[./title]" in
       (match Catalog.plan_for catalog doc q with
       | Ok _ -> ()
-      | Error m -> Alcotest.failf "plan_for: %s" m);
+      | Error e -> Alcotest.failf "plan_for: %s" (Catalog.plan_error_message e));
       (match Catalog.plan_for catalog doc q with
       | Ok _ -> ()
-      | Error m -> Alcotest.failf "plan_for (warm): %s" m);
+      | Error e ->
+          Alcotest.failf "plan_for (warm): %s" (Catalog.plan_error_message e));
       let s = Catalog.plan_cache_stats catalog in
       Alcotest.(check int) "one miss" 1 s.misses;
       Alcotest.(check int) "one hit" 1 s.hits;
       Alcotest.(check int) "one plan cached" 1 s.size;
       (* An unparsable query is an error and occupies no cache slot. *)
       (match Catalog.plan_for catalog doc "][broken" with
-      | Error _ -> ()
+      | Error (Catalog.Bad_query _) -> ()
+      | Error (Catalog.Rejected m) -> Alcotest.failf "rejected, not bad: %s" m
       | Ok _ -> Alcotest.fail "compiled garbage");
       Alcotest.(check int) "still one plan"
         1 (Catalog.plan_cache_stats catalog).size)
@@ -265,7 +309,11 @@ let test_engine_should_stop () =
   Alcotest.(check bool) "baseline complete" false baseline.partial;
   (* A hook that never fires leaves the run identical. *)
   let unfired =
-    Whirlpool.Engine.run ~should_stop:Whirlpool.Engine.never_stop plan ~k:3
+    Whirlpool.Engine.run
+      ~config:
+        Whirlpool.Engine.Config.(
+          default |> with_should_stop Whirlpool.Engine.never_stop)
+      plan ~k:3
   in
   Alcotest.(check bool) "never_stop identical" true
     (List.map
@@ -276,7 +324,12 @@ let test_engine_should_stop () =
         unfired.answers);
   (* A hook that fires immediately stops the run at the first
      iteration boundary, flagged partial, with no answers hung. *)
-  let stopped = Whirlpool.Engine.run ~should_stop:(fun () -> true) plan ~k:3 in
+  let stopped =
+    Whirlpool.Engine.run
+      ~config:
+        Whirlpool.Engine.Config.(default |> with_should_stop (fun () -> true))
+      plan ~k:3
+  in
   Alcotest.(check bool) "flagged partial" true stopped.partial;
   Alcotest.(check bool) "no more answers than baseline" true
     (List.length stopped.answers <= List.length baseline.answers)
@@ -284,7 +337,10 @@ let test_engine_should_stop () =
 let test_engine_mt_should_stop () =
   let plan = books_plan Fixtures.q2a in
   let stopped =
-    Whirlpool.Engine_mt.run ~should_stop:(fun () -> true) plan ~k:3
+    Whirlpool.Engine_mt.run
+      ~config:
+        Whirlpool.Engine.Config.(default |> with_should_stop (fun () -> true))
+      plan ~k:3
   in
   Alcotest.(check bool) "mt flagged partial" true stopped.partial;
   let complete = Whirlpool.Engine_mt.run plan ~k:3 in
@@ -301,6 +357,8 @@ let query id ?doc ?k ?deadline_ms ?algo q =
     deadline_ms;
     algo;
     routing = None;
+    batch = None;
+    use_cache = None;
   }
 
 let test_service_matches_engine () =
@@ -317,7 +375,9 @@ let test_service_matches_engine () =
               let plan =
                 match Catalog.plan_for catalog doc q with
                 | Ok p -> p
-                | Error m -> Alcotest.failf "plan %s: %s" q m
+                | Error e ->
+                    Alcotest.failf "plan %s: %s" q
+                      (Catalog.plan_error_message e)
               in
               let direct = Whirlpool.Engine.run plan ~k:3 in
               let r =
@@ -378,6 +438,18 @@ let test_service_errors () =
       err (query 3 ~k:0 "/book");
       err { (query 4 "/book") with algo = Some "quicksort" };
       err { (query 5 "/book") with routing = Some "psychic" };
+      err { (query 7 "/book") with batch = Some 0 };
+      (* Every resolution failure is classified bad_request. *)
+      List.iter
+        (fun q ->
+          let r = Service.handle_query service q in
+          Alcotest.(check bool) "bad_request code" true
+            (r.code = Some Protocol.Bad_request))
+        [
+          query 8 ~doc:"missing.xml" "/book";
+          query 9 "][garbage";
+          { (query 10 "/book") with batch = Some (-1) };
+        ];
       (* And an empty corpus is a typed error, not a crash. *)
       let empty = Service.create ~catalog:(Catalog.create ()) () in
       let r = Service.handle_query empty (query 6 "/book") in
@@ -404,6 +476,51 @@ let test_service_metrics_json () =
       let s = Json.to_string snap in
       Alcotest.(check bool) "snapshot finite" false
         (Test_stats.contains ~needle:"nan" s))
+
+let test_service_prometheus () =
+  with_corpus_dir (fun dir ->
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      ignore (Service.handle_query service (query 1 ~k:2 "/book[./title]"));
+      Service.record_shed service;
+      let page = Service.prometheus service in
+      (match Wp_obs.Registry.validate_exposition page with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "invalid exposition: %s\n%s" m page);
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (needle ^ " present") true
+            (Test_stats.contains ~needle page))
+        [
+          "wp_serve_requests_total{status=\"ok\"} 1";
+          "wp_serve_shed_total 1";
+          "wp_serve_latency_milliseconds_bucket";
+          "wp_engine_server_ops_total";
+          "wp_corpus_documents 2";
+          "wp_plan_cache_misses_total";
+        ])
+
+let test_slow_query_log () =
+  with_corpus_dir (fun dir ->
+      (* Threshold 0: every request is slow, so the log must fill. *)
+      let service =
+        Service.create ~slow_query_ms:0.0 ~catalog:(loaded_catalog dir) ()
+      in
+      ignore (Service.handle_query service (query 1 ~k:2 "/book[./title]"));
+      (match Service.slow_queries service with
+      | Json.List [ entry ] ->
+          Alcotest.(check bool) "query text" true
+            (Json.member "query" entry = Some (Json.String "/book[./title]"));
+          Alcotest.(check bool) "has spans" true
+            (Json.member "spans" entry <> None);
+          (match Json.member "profile" entry with
+          | Some (Json.List (_ :: _)) -> ()
+          | _ -> Alcotest.fail "expected a non-empty per-server profile")
+      | _ -> Alcotest.fail "expected one slow-query entry");
+      (* Off by default: a plain service records nothing. *)
+      let quiet = Service.create ~catalog:(loaded_catalog dir) () in
+      ignore (Service.handle_query quiet (query 2 ~k:2 "/book[./title]"));
+      Alcotest.(check bool) "log off by default" true
+        (Service.slow_queries quiet = Json.List []))
 
 (* --- Pool admission control --- *)
 
@@ -528,7 +645,22 @@ let test_wire_end_to_end () =
                      (r.status = Protocol.Error)
                | Error e -> Alcotest.failf "error reply unparsable: %s" e)
            | Error e -> Alcotest.failf "raw read: %s" e));
-      (match Wire.call client (Protocol.Metrics { id = 3 }) with
+      (match
+         Wire.call client (Protocol.Metrics { id = 5; format = Protocol.Prometheus })
+       with
+      | Ok r -> (
+          match r.metrics_text with
+          | Some page -> (
+              match Wp_obs.Registry.validate_exposition page with
+              | Ok () ->
+                  Alcotest.(check bool) "request counted in exposition" true
+                    (Test_stats.contains ~needle:"wp_serve_requests_total" page)
+              | Error m -> Alcotest.failf "invalid exposition: %s" m)
+          | None -> Alcotest.fail "prometheus reply lacks metrics_text")
+      | Error e -> Alcotest.failf "prometheus metrics: %s" e);
+      (match
+         Wire.call client (Protocol.Metrics { id = 3; format = Protocol.Json_format })
+       with
       | Ok r -> Alcotest.(check bool) "metrics" true (r.metrics <> None)
       | Error e -> Alcotest.failf "metrics: %s" e);
       (match Wire.call client (Protocol.Stop { id = 4 }) with
@@ -585,6 +717,8 @@ let suite =
     Alcotest.test_case "protocol response roundtrip" `Quick
       test_protocol_response_roundtrip;
     Alcotest.test_case "protocol rejects" `Quick test_protocol_rejects;
+    Alcotest.test_case "error codes roundtrip" `Quick
+      test_error_codes_roundtrip;
     Alcotest.test_case "catalog load dir" `Quick test_catalog_load_dir;
     Alcotest.test_case "catalog load errors" `Quick test_catalog_load_errors;
     Alcotest.test_case "catalog plan cache" `Quick test_catalog_plan_cache;
@@ -604,6 +738,8 @@ let suite =
     Alcotest.test_case "service errors" `Quick test_service_errors;
     Alcotest.test_case "service metrics json" `Quick
       test_service_metrics_json;
+    Alcotest.test_case "service prometheus" `Quick test_service_prometheus;
+    Alcotest.test_case "slow query log" `Quick test_slow_query_log;
     Alcotest.test_case "pool sheds when full" `Quick test_pool_sheds_when_full;
     Alcotest.test_case "pool runs jobs" `Quick test_pool_runs_jobs;
     Alcotest.test_case "wire frame roundtrip" `Quick test_wire_frame_roundtrip;

@@ -6,7 +6,7 @@ let parse = Fixtures.parse
 let traced_run ?(k = 5) q =
   let plan = Run.compile idx (parse q) in
   let trace, events = Trace.collector () in
-  let r = Engine.run ~trace plan ~k in
+  let r = Engine.run ~config:Engine.Config.(default |> with_trace trace) plan ~k in
   (plan, r, events ())
 
 let test_events_flow () =
