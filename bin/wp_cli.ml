@@ -36,8 +36,8 @@ let exits =
   [
     Cmd.Exit.info 0 ~doc:"on success.";
     Cmd.Exit.info 1
-      ~doc:"on findings: lint or race diagnostics, a shed (overloaded) \
-            request.";
+      ~doc:"on findings: lint, race or static-check diagnostics, a shed \
+            (overloaded) request.";
     Cmd.Exit.info 2
       ~doc:"on usage errors, unparsable queries or documents, and I/O \
             failures (including unreachable servers).";
@@ -590,6 +590,87 @@ let race_cmd =
       const race $ query_arg $ path $ k $ schedules $ seed
       $ threads_per_server $ routing $ exact $ inject $ json)
 
+(* --- check (the Sentinel static checks) --- *)
+
+let check_run root dirs json =
+  let root =
+    match root with
+    | Some r -> r
+    | None ->
+        if Sys.file_exists "_build/default" then "_build/default" else "."
+  in
+  let report = Wp_sentinel.Sentinel.run ?dirs ~root () in
+  if report.units = 0 && report.load_errors = [] then begin
+    Printf.eprintf "check: no .cmt files under %s (build the tree first)\n"
+      root;
+    exit 2
+  end;
+  if json then
+    Format.printf "%a@." Wp_json.Json.pp
+      (Wp_json.Json.Obj
+         [
+           ("units", Wp_json.Json.Int report.units);
+           ( "findings",
+             Wp_json.Json.List (List.map diagnostic_to_json report.diagnostics)
+           );
+           ( "load_errors",
+             Wp_json.Json.List
+               (List.map
+                  (fun e -> Wp_json.Json.String e)
+                  report.load_errors) );
+         ])
+  else begin
+    List.iter (fun e -> Printf.eprintf "check: %s\n" e) report.load_errors;
+    List.iter
+      (fun d -> Format.printf "%a@." Wp_analysis.Diagnostic.pp d)
+      report.diagnostics;
+    Printf.printf "check: %d finding(s) in %d unit(s)\n"
+      (List.length report.diagnostics)
+      report.units
+  end;
+  if report.load_errors <> [] then exit 2
+  else if report.diagnostics <> [] then exit 1
+
+let check_cmd =
+  let root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Build tree to scan for .cmt files (default: _build/default \
+             when present, else the current directory).")
+  in
+  let dirs =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "dirs" ] ~docv:"D1,D2"
+          ~doc:
+            "Subdirectories of the root to scan (default: lib, bin, tools, \
+             examples, bench).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON.")
+  in
+  Cmd.v
+    (cmd_info "check"
+       ~doc:"run the Sentinel static checks over the compiled tree"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Reads the typedtrees (.cmt files) dune wrote for the repo's \
+              own sources and checks the lock-rank discipline, the \
+              monotonic-clock discipline, hot-path allocation hygiene \
+              ([@@wp.hot] functions), exception-safe lock sections \
+              (Fun.protect) and wire-string totality of closed variants.  \
+              Exits 1 on any finding, 2 when cmts cannot be read.  \
+              Suppressions require [@wp.allow \"rule justification\"].";
+         ]
+       ())
+    Term.(const check_run $ root $ dirs $ json)
+
 (* --- serve --- *)
 
 let load_corpus catalog paths =
@@ -951,11 +1032,14 @@ let spawn_server ~socket ~service ~workers ~queue_depth =
   let m = Mutex.create () in
   let c = Condition.create () in
   let state = ref `Pending in
-  let set s =
+  let with_lock f =
     Mutex.lock m;
-    state := s;
-    Condition.signal c;
-    Mutex.unlock m
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  in
+  let set s =
+    with_lock (fun () ->
+        state := s;
+        Condition.signal c)
   in
   let thread =
     Thread.create
@@ -969,12 +1053,13 @@ let spawn_server ~socket ~service ~workers ~queue_depth =
         | Error e -> set (`Failed e))
       ()
   in
-  Mutex.lock m;
-  while !state = `Pending do
-    Condition.wait c m
-  done;
-  let outcome = !state in
-  Mutex.unlock m;
+  let outcome =
+    with_lock (fun () ->
+        while !state = `Pending do
+          Condition.wait c m
+        done;
+        !state)
+  in
   match outcome with
   | `Ready server -> Ok (server, thread)
   | `Failed e ->
@@ -1154,7 +1239,8 @@ let () =
          (Cmd.info "wp_cli" ~version ~exits ~doc)
          [
            generate_cmd; query_cmd; explain_cmd; relax_cmd; snapshot_cmd;
-           lint_cmd; race_cmd; profile_cmd; serve_cmd; ctl_cmd; loadgen_cmd;
+           lint_cmd; race_cmd; check_cmd; profile_cmd; serve_cmd; ctl_cmd;
+           loadgen_cmd;
          ])
   in
   (* Uniform exit vocabulary: cmdliner reports its own parse and

@@ -1,0 +1,44 @@
+(** The Whirlpool Sentinel: typedtree-level static checks.
+
+    Five rules over the repo's own compiled units, each reported as a
+    {!Wp_analysis.Diagnostic} error with code [sentinel/<rule>] and a
+    [file.ml:LINE:]-prefixed message:
+
+    - [sentinel/lock-rank] — acquisitions resolved against the
+      declared hierarchy ({!Wp_serve.Pool.lock_rank}); taking a lock
+      of equal or lower rank while one is held is flagged.
+    - [sentinel/blocking-under-lock] — direct
+      [Unix.read]/[write]/[select]/[sleepf] inside a held section.
+    - [sentinel/clock] — any reference to [Unix.gettimeofday] or
+      [Sys.time]; time comes from the monotonic [Clock] modules.
+    - [sentinel/hot-alloc] — functions tagged [[@@wp.hot]] must not
+      reference a known allocator.
+    - [sentinel/lock-leak] — a lock acquisition whose release is not
+      guarded by [Fun.protect ~finally].
+    - [sentinel/wire-total] — closed nullary variants with
+      [_to_string]/[_of_string] pairs must round-trip every
+      constructor through distinct wire strings.
+
+    [[@wp.allow "rule justification"]] on an enclosing expression or
+    binding suppresses a rule in its scope; a missing justification is
+    itself a finding ([sentinel/allow]).
+
+    The checker is lexical and intra-procedural by design: it does not
+    chase calls, so a section's footprint is what is written inside
+    it.  That keeps findings cheap to confirm and the zero-findings
+    state stable. *)
+
+val all_rules : string list
+
+val check_unit : Discover.unit_info -> Wp_analysis.Diagnostic.t list
+(** All findings for one unit, sorted. *)
+
+type report = {
+  units : int;  (** implementation units checked *)
+  diagnostics : Wp_analysis.Diagnostic.t list;
+  load_errors : string list;  (** unreadable / non-implementation cmts *)
+}
+
+val run : ?dirs:string list -> root:string -> unit -> report
+(** Discover (see {!Discover.find_cmts}), load and check every unit
+    under [root]. *)

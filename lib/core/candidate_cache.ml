@@ -104,3 +104,4 @@ let find t (plan : Plan.t) (stats : Stats.t) ~server ~root =
           stats.comparisons <- stats.comparisons + examined;
           Hashtbl.add t.table (server, root) entries;
           entries)
+[@@wp.hot]

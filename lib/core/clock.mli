@@ -1,16 +1,15 @@
-(** Monotonic wall-clock helper shared by the engines, the benchmark
-    harness and the CLI.
+(** Monotonic clock shared by the engines, the benchmark harness and
+    the CLI.
 
-    [Unix.gettimeofday] can step backwards (NTP adjustment, manual
-    clock change), which used to make [Stats.wall_ns] and benchmark
-    timings negative or wildly wrong.  The stdlib exposes no monotonic
-    clock, so this helper clamps: it never returns a value smaller than
-    one it has already returned, from any domain.  Resolution is that
-    of [gettimeofday] (microseconds). *)
+    Re-export of {!Wp_obs.Clock}: a [clock_gettime(CLOCK_MONOTONIC)]
+    C stub, immune to NTP steps and manual clock changes.  The origin
+    is unspecified, so readings are only meaningful relative to one
+    another — subtract two for an elapsed time.  See {!Wp_obs.Clock}
+    for the full contract. *)
 
 val now_ns : unit -> int64
-(** Nanoseconds since the epoch, monotonically non-decreasing across
-    all domains of the process. *)
+(** Nanoseconds since an unspecified fixed origin, monotonically
+    non-decreasing across all domains of the process. *)
 
 val now : unit -> float
 (** Seconds, on the same monotonic basis as {!now_ns}. *)

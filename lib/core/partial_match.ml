@@ -39,12 +39,14 @@ let extend_onto bindings t ~id ~server ~binding ~weight ~server_max =
     score = t.score +. weight;
     max_possible = t.max_possible -. server_max +. weight;
   }
+[@@wp.hot]
 
 let extend t ~id ~server ~binding ~weight ~server_max =
   extend_onto (Array.copy t.bindings) t ~id ~server ~binding ~weight ~server_max
 
 let extend_last t ~id ~server ~binding ~weight ~server_max =
   extend_onto t.bindings t ~id ~server ~binding ~weight ~server_max
+[@@wp.hot]
 
 let n_visited t = Bits.popcount t.visited_mask
 

@@ -154,7 +154,10 @@ let make_sync (st : sched) : (module Sync.S) =
          registration on the condition is atomic with the unlock, as in
          the real primitive (no lost wakeups beyond the real ones). *)
       Effect.perform (Suspend (Cond_wait c));
-      lock m
+      (lock m
+      [@wp.allow
+        "lock-leak re-acquisition after a condition wait: the section that \
+         called [wait] already guards this mutex with Fun.protect"])
 
     let signal c =
       (match c.c_waiters with

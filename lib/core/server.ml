@@ -174,3 +174,4 @@ let process ?cache (plan : Plan.t) (stats : Stats.t) ~next_id
       in
       stats.matches_created <- stats.matches_created + List.length extensions;
       { extensions; died = false }
+[@@wp.hot]

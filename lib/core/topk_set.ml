@@ -109,10 +109,12 @@ let rec min_entry t =
     | Some _ | None ->
         Min_heap.drop_min t.heap;
         min_entry t
+[@@wp.hot]
 
 let threshold t =
   if Hashtbl.length t.by_root < t.k then neg_infinity
   else match min_entry t with None -> neg_infinity | Some e -> e.score
+[@@wp.hot]
 
 let consider t ~complete (pm : Partial_match.t) =
   if complete || t.admit_partial then begin
@@ -171,6 +173,7 @@ let should_prune t (pm : Partial_match.t) =
     match Hashtbl.find_opt t.by_root (Partial_match.root_binding pm) with
     | Some e -> pm.max_possible <= e.score && e.match_id <> pm.id
     | None -> true
+[@@wp.hot]
 
 let retract t (pm : Partial_match.t) =
   let root = Partial_match.root_binding pm in

@@ -16,20 +16,15 @@ type timed = { ts_ns : int64; seq : int; event : event }
    to every domain, and a plain [ref] would lose events under
    contention.  The single-threaded engine pays one uncontended
    lock/unlock per event, which tracing runs can afford. *)
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let collector () =
   let m = Mutex.create () in
   let events = ref [] in
-  let trace e =
-    Mutex.lock m;
-    events := e :: !events;
-    Mutex.unlock m
-  in
-  ( trace,
-    fun () ->
-      Mutex.lock m;
-      let es = !events in
-      Mutex.unlock m;
-      List.rev es )
+  let trace e = with_lock m (fun () -> events := e :: !events) in
+  (trace, fun () -> List.rev (with_lock m (fun () -> !events)))
 
 let compare_timed a b =
   match Int64.compare a.ts_ns b.ts_ns with
@@ -41,19 +36,13 @@ let timed_collector () =
   let events = ref [] in
   let n = ref 0 in
   let trace event =
-    Mutex.lock m;
     (* Stamp and sequence under the same lock, so (ts_ns, seq) is a
        total order consistent with arrival. *)
-    incr n;
-    events := { ts_ns = Clock.now_ns (); seq = !n; event } :: !events;
-    Mutex.unlock m
+    with_lock m (fun () ->
+        incr n;
+        events := { ts_ns = Clock.now_ns (); seq = !n; event } :: !events)
   in
-  ( trace,
-    fun () ->
-      Mutex.lock m;
-      let es = !events in
-      Mutex.unlock m;
-      List.sort compare_timed es )
+  (trace, fun () -> List.sort compare_timed (with_lock m (fun () -> !events)))
 
 let src = Logs.Src.create "whirlpool" ~doc:"Whirlpool engine tracing"
 

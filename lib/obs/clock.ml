@@ -1,10 +1,9 @@
-let last = Atomic.make 0L
+(* The one place in the tree that is allowed to read a clock for
+   timing: a clock_gettime(CLOCK_MONOTONIC) stub.  The kernel guarantees
+   monotonicity across threads and domains, so no clamping is needed —
+   and no [Unix.gettimeofday] either, which Sentinel's clock-discipline
+   rule forbids everywhere. *)
 
-let rec now_ns () =
-  let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
-  let prev = Atomic.get last in
-  if Int64.compare t prev <= 0 then prev
-  else if Atomic.compare_and_set last prev t then t
-  else now_ns ()
+external now_ns : unit -> int64 = "wp_clock_monotonic_ns"
 
 let now () = Int64.to_float (now_ns ()) /. 1e9

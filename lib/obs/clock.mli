@@ -1,16 +1,20 @@
-(** Monotonic wall-clock helper shared by the engines, the benchmark
-    harness, the CLI and the observability layer.
+(** Monotonic clock shared by the engines, the benchmark harness, the
+    CLI and the observability layer.
 
-    [Unix.gettimeofday] can step backwards (NTP adjustment, manual
-    clock change), which used to make [Stats.wall_ns] and benchmark
-    timings negative or wildly wrong.  The stdlib exposes no monotonic
-    clock, so this helper clamps: it never returns a value smaller than
-    one it has already returned, from any domain.  Resolution is that
-    of [gettimeofday] (microseconds). *)
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] via a C stub: readings
+    never step backwards (NTP adjustment, manual clock change) and need
+    no user-space clamping.  The origin is unspecified (boot time on
+    Linux), so values are only meaningful relative to one another —
+    subtract two readings for an elapsed time, never interpret one as a
+    wall-clock date.  Resolution is the kernel clock's (nanoseconds).
+
+    This module is the only sanctioned time source in the tree: the
+    Sentinel static checker's clock-discipline rule flags any other use
+    of [Unix.gettimeofday] or [Sys.time]. *)
 
 val now_ns : unit -> int64
-(** Nanoseconds since the epoch, monotonically non-decreasing across
-    all domains of the process. *)
+(** Nanoseconds since an unspecified fixed origin, monotonically
+    non-decreasing across all domains of the process. *)
 
 val now : unit -> float
 (** Seconds, on the same monotonic basis as {!now_ns}. *)

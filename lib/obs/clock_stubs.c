@@ -1,0 +1,19 @@
+/* Monotonic clock primitive for Wp_obs.Clock.
+
+   CLOCK_MONOTONIC is immune to NTP steps and manual clock changes, so
+   the OCaml side needs no clamping loop: the kernel already guarantees
+   that consecutive reads never go backwards, from any thread.  The
+   origin is unspecified (boot time on Linux) — callers must only ever
+   subtract two readings. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value wp_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

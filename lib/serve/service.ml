@@ -76,6 +76,13 @@ let now_ns = Whirlpool.Clock.now_ns
 let elapsed_ms_since t0 =
   Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6
 
+(* [state_mutex] is always held through [with_state] so an exception
+   inside a critical section cannot leak the lock (Sentinel's
+   exception-safety rule checks for exactly this). *)
+let with_state t f =
+  Mutex.lock t.state_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.state_mutex) f
+
 let ( let* ) = Result.bind
 
 let bad msg = Result.Error (Protocol.Bad_request, msg)
@@ -133,9 +140,7 @@ let deadline_hook t (q : Protocol.query) ~t0 =
       fun () -> Int64.compare (now_ns ()) deadline >= 0
 
 let note_totals t (stats : Whirlpool.Stats.t) =
-  Mutex.lock t.state_mutex;
-  Whirlpool.Stats.add t.totals stats;
-  Mutex.unlock t.state_mutex
+  with_state t (fun () -> Whirlpool.Stats.add t.totals stats)
 
 (* The per-request engine configuration: service defaults overridden by
    the request's knobs, plus the deadline hook and (when the slow-query
@@ -237,10 +242,9 @@ let note_slow t (q : Protocol.query) ~elapsed_ms ~obs =
           profile = Obs.profile_json obs;
         }
       in
-      Mutex.lock t.state_mutex;
-      t.slow_log <-
-        entry :: List.filteri (fun i _ -> i < slow_log_cap - 1) t.slow_log;
-      Mutex.unlock t.state_mutex
+      with_state t (fun () ->
+          t.slow_log <-
+            entry :: List.filteri (fun i _ -> i < slow_log_cap - 1) t.slow_log)
   | Some _ | None -> ()
 
 let handle_query t (q : Protocol.query) =
@@ -276,12 +280,7 @@ let handle_query t (q : Protocol.query) =
       Protocol.error_response ~id:q.id ~elapsed_ms ~code msg
 
 let slow_queries t =
-  let entries =
-    Mutex.lock t.state_mutex;
-    let l = t.slow_log in
-    Mutex.unlock t.state_mutex;
-    l
-  in
+  let entries = with_state t (fun () -> t.slow_log) in
   Json.List
     (List.map
        (fun e ->
@@ -303,12 +302,8 @@ let metrics_json t =
   let nodes = List.fold_left (fun a (d : Catalog.doc) -> a + d.nodes) 0 docs in
   let pc = Catalog.plan_cache_stats t.catalog in
   let ech, ecm, slow =
-    Mutex.lock t.state_mutex;
-    let v =
-      (t.totals.cache_hits, t.totals.cache_misses, List.length t.slow_log)
-    in
-    Mutex.unlock t.state_mutex;
-    v
+    with_state t (fun () ->
+        (t.totals.cache_hits, t.totals.cache_misses, List.length t.slow_log))
   in
   let cache_rate hits misses =
     let total = hits + misses in

@@ -55,6 +55,13 @@ let read_frame fd =
 
 (* --- server --- *)
 
+(* Every mutex in this module is held through [with_lock] so an
+   exception raised inside a critical section cannot leak the lock
+   (Sentinel's exception-safety rule checks for exactly this). *)
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 type server = {
   socket : string;
   listener : Unix.file_descr;
@@ -67,11 +74,10 @@ type server = {
 
 let request_stop server =
   let first =
-    Mutex.lock server.mutex;
-    let f = not server.stopping in
-    server.stopping <- true;
-    Mutex.unlock server.mutex;
-    f
+    with_lock server.mutex (fun () ->
+        let f = not server.stopping in
+        server.stopping <- true;
+        f)
   in
   if first then begin
     (* Wake the accept loop: a throwaway self-connection is the
@@ -87,14 +93,11 @@ let request_stop server =
 let pool_stats server = Pool.Real.stats server.pool
 
 let track_conn server fd =
-  Mutex.lock server.mutex;
-  server.conns <- fd :: server.conns;
-  Mutex.unlock server.mutex
+  with_lock server.mutex (fun () -> server.conns <- fd :: server.conns)
 
 let untrack_conn server fd =
-  Mutex.lock server.mutex;
-  server.conns <- List.filter (fun c -> c != fd) server.conns;
-  Mutex.unlock server.mutex
+  with_lock server.mutex (fun () ->
+      server.conns <- List.filter (fun c -> c != fd) server.conns)
 
 let handle_conn server fd =
   let wm = Mutex.create () in
@@ -102,16 +105,13 @@ let handle_conn server fd =
   let inflight = ref 0 in
   let send resp =
     let payload = Json.to_string (Protocol.response_to_json resp) in
-    Mutex.lock wm;
-    let r = write_frame fd payload in
-    Mutex.unlock wm;
+    let r = with_lock wm (fun () -> write_frame fd payload) in
     ignore (r : (unit, string) result)
   in
   let job_done () =
-    Mutex.lock wm;
-    decr inflight;
-    Condition.signal drained;
-    Mutex.unlock wm
+    with_lock wm (fun () ->
+        decr inflight;
+        Condition.signal drained)
   in
   let rec loop () =
     match read_frame fd with
@@ -124,9 +124,7 @@ let handle_conn server fd =
         | Result.Ok (Protocol.Query q as req) ->
             (* Queries go through the pool: this is where admission
                control applies.  The reader thread never runs one. *)
-            Mutex.lock wm;
-            incr inflight;
-            Mutex.unlock wm;
+            with_lock wm (fun () -> incr inflight);
             let accepted =
               Pool.Real.submit server.pool (fun () ->
                   let reply =
@@ -153,11 +151,10 @@ let handle_conn server fd =
   in
   loop ();
   (* Let in-flight replies finish before the descriptor goes away. *)
-  Mutex.lock wm;
-  while !inflight > 0 do
-    Condition.wait drained wm
-  done;
-  Mutex.unlock wm;
+  with_lock wm (fun () ->
+      while !inflight > 0 do
+        Condition.wait drained wm
+      done);
   (try Unix.close fd with Unix.Unix_error _ -> ());
   untrack_conn server fd
 
@@ -200,12 +197,7 @@ let serve ?workers ?(queue_depth = 64) ?on_ready ~socket ~service () =
       in
       (match on_ready with None -> () | Some f -> f server);
       let handlers = ref [] in
-      let stopping () =
-        Mutex.lock server.mutex;
-        let s = server.stopping in
-        Mutex.unlock server.mutex;
-        s
-      in
+      let stopping () = with_lock server.mutex (fun () -> server.stopping) in
       let rec accept_loop () =
         match Unix.accept server.listener with
         | fd, _ ->
@@ -226,12 +218,7 @@ let serve ?workers ?(queue_depth = 64) ?on_ready ~socket ~service () =
          replies, then unblock any reader parked on a quiet
          connection. *)
       Pool.Real.shutdown server.pool;
-      let conns =
-        Mutex.lock server.mutex;
-        let c = server.conns in
-        Mutex.unlock server.mutex;
-        c
-      in
+      let conns = with_lock server.mutex (fun () -> server.conns) in
       List.iter
         (fun fd ->
           try Unix.shutdown fd Unix.SHUTDOWN_ALL

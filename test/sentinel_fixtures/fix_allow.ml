@@ -1,0 +1,10 @@
+(* Suppression behaviour.  A justified [@wp.allow] silences its rule,
+   so [justified] contributes no finding; a bare rule name with no
+   justification is itself a finding (sentinel/allow) even though it
+   still suppresses the clock diagnostic underneath. *)
+
+let justified () =
+  (Unix.gettimeofday ()
+  [@wp.allow "clock fixture exercising a justified suppression"])
+
+let unjustified () = (Sys.time () [@wp.allow "clock"])

@@ -1,0 +1,9 @@
+(* Known-bad: a blocking syscall inside a held (and otherwise
+   well-formed, Fun.protect-guarded) critical section.  The
+   blocking-under-lock rule must flag the Unix.sleepf call. *)
+
+let m = Mutex.create ()
+
+let sleepy_section () =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> Unix.sleepf 1e-3)

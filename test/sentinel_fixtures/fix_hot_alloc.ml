@@ -1,0 +1,7 @@
+(* Known-bad: a [@@wp.hot] function calling a known allocator.  The
+   hot-path allocation rule must flag the Array.copy reference. *)
+
+let snapshot (a : int array) = Array.copy a [@@wp.hot]
+
+(* The same call outside a hot function is fine — no finding here. *)
+let snapshot_cold (a : int array) = Array.copy a

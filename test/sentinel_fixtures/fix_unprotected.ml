@@ -1,0 +1,11 @@
+(* Known-bad: a critical section whose unlock is not guarded by
+   Fun.protect — an exception from the body would leave the mutex held
+   forever.  The exception-safety rule must flag the acquisition. *)
+
+let m = Mutex.create ()
+let counter = ref 0
+
+let unsafe_incr () =
+  Mutex.lock m;
+  incr counter;
+  Mutex.unlock m

@@ -1,0 +1,15 @@
+(* The wall-clock implementation lib/obs/clock.ml used to ship: a
+   CAS-clamped Unix.gettimeofday.  Kept verbatim as the Sentinel's
+   regression fixture — if the obs clock ever reverts to this shape,
+   the clock-discipline rule fires on it exactly as it does here. *)
+
+let last = Atomic.make 0L
+
+let rec now_ns () =
+  let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let prev = Atomic.get last in
+  if Int64.compare t prev <= 0 then prev
+  else if Atomic.compare_and_set last prev t then t
+  else now_ns ()
+
+let now () = Int64.to_float (now_ns ()) /. 1e9

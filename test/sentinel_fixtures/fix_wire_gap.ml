@@ -1,0 +1,12 @@
+(* Known-bad: a closed variant whose wire-string pair forgets a
+   constructor.  [to_string Gamma] produces "gamma" but [of_string]
+   never maps it back, so the wire-totality rule must flag Gamma. *)
+
+type t = Alpha | Beta | Gamma
+
+let to_string = function Alpha -> "alpha" | Beta -> "beta" | Gamma -> "gamma"
+
+let of_string = function
+  | "alpha" -> Some Alpha
+  | "beta" -> Some Beta
+  | _ -> None

@@ -1,0 +1,58 @@
+(* The wp_cli exit-code contract, pinned end-to-end for the three
+   analysis subcommands: 0 clean, 1 findings (lint or static-check
+   diagnostics, a detected race), 2 usage or load errors.  Drives the
+   real binary; the dune test stanza depends on ../bin/wp_cli.exe. *)
+
+let build_root = Filename.dirname (Sys.getcwd ())
+let wp_cli = Filename.concat build_root "bin/wp_cli.exe"
+
+let run args =
+  Sys.command
+    (Filename.quote_command wp_cli ~stdout:Filename.null ~stderr:Filename.null
+       args)
+
+(* The books corpus from test_support, serialized for the CLI. *)
+let books_file =
+  lazy
+    (let file = Filename.temp_file "wp_books" ".xml" in
+     let oc = open_out file in
+     output_string oc (Wp_xml.Printer.doc_to_string Fixtures.books_doc);
+     close_out oc;
+     at_exit (fun () -> try Sys.remove file with Sys_error _ -> ());
+     file)
+
+let check_exit what expected args =
+  Alcotest.(check int) what expected (run args)
+
+let test_lint () =
+  let books = Lazy.force books_file in
+  check_exit "clean lint exits 0" 0 [ "lint"; "-q"; "/book[./title]"; books ];
+  check_exit "lint findings exit 1" 1 [ "lint"; "-q"; "//zzz"; books ];
+  check_exit "unparsable query exits 2" 2 [ "lint"; "-q"; "//(" ]
+
+let test_race () =
+  let books = Lazy.force books_file in
+  let q = "/book[.//title = 'wodehouse' and .//publisher/name = 'psmith']" in
+  check_exit "clean schedules exit 0" 0
+    [ "race"; "-q"; q; books; "--schedules"; "5"; "--threads-per-server"; "2" ];
+  check_exit "detected race exits 1" 1
+    [
+      "race"; "-q"; q; books; "--schedules"; "60"; "--threads-per-server"; "2";
+      "-k"; "3"; "--inject"; "drop-topk-lock";
+    ];
+  check_exit "unknown fault exits 2" 2
+    [ "race"; "-q"; q; books; "--inject"; "no-such-fault" ]
+
+let test_check () =
+  check_exit "clean tree exits 0" 0 [ "check"; "--root"; build_root ];
+  check_exit "fixture findings exit 1" 1
+    [ "check"; "--root"; build_root; "--dirs"; "test/sentinel_fixtures" ];
+  check_exit "missing tree exits 2" 2
+    [ "check"; "--root"; "/nonexistent/whirlpool" ]
+
+let suite =
+  [
+    Alcotest.test_case "lint exit codes" `Quick test_lint;
+    Alcotest.test_case "race exit codes" `Quick test_race;
+    Alcotest.test_case "check exit codes" `Quick test_check;
+  ]

@@ -1,0 +1,107 @@
+(* Sentinel static-checker tests: every known-bad fixture in
+   test/sentinel_fixtures produces exactly its expected diagnostic,
+   the live production tree is clean, and the obs clock fix is pinned
+   by a regression pair (current unit clean, old implementation —
+   preserved verbatim in Fix_wall_clock — flagged). *)
+
+module D = Wp_analysis.Diagnostic
+module Discover = Wp_sentinel.Discover
+module Sentinel = Wp_sentinel.Sentinel
+
+(* Tests run in [_build/default/test]; the build tree the cmts live in
+   is one level up. *)
+let build_root = Filename.dirname (Sys.getcwd ())
+
+let fixture_cmt name =
+  Filename.concat build_root
+    ("test/sentinel_fixtures/.sentinel_fixtures.objs/byte/sentinel_fixtures__"
+   ^ name ^ ".cmt")
+
+let check_fixture name =
+  match Discover.load (fixture_cmt name) with
+  | Error e -> Alcotest.failf "cannot load fixture %s: %s" name e
+  | Ok u -> Sentinel.check_unit u
+
+let codes ds = List.map (fun (d : D.t) -> d.D.code) ds
+
+let expect_exactly name code () =
+  let ds = check_fixture name in
+  Alcotest.(check (list string))
+    (name ^ " produces exactly one " ^ code)
+    [ code ] (codes ds);
+  List.iter
+    (fun (d : D.t) ->
+      Alcotest.(check bool) (name ^ " finding is an error") true
+        (d.D.severity = D.Error))
+    ds
+
+let test_lock_order = expect_exactly "Fix_lock_order" "sentinel/lock-rank"
+let test_wall_clock = expect_exactly "Fix_wall_clock" "sentinel/clock"
+let test_hot_alloc = expect_exactly "Fix_hot_alloc" "sentinel/hot-alloc"
+let test_unprotected = expect_exactly "Fix_unprotected" "sentinel/lock-leak"
+let test_wire_gap = expect_exactly "Fix_wire_gap" "sentinel/wire-total"
+let test_blocking = expect_exactly "Fix_blocking" "sentinel/blocking-under-lock"
+let test_allow = expect_exactly "Fix_allow" "sentinel/allow"
+
+(* The messages carry enough to act on: source, line, and the offending
+   name. *)
+let test_messages () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let msg name =
+    match check_fixture name with
+    | [ d ] -> d.D.message
+    | ds -> Alcotest.failf "%s: expected one finding, got %d" name (List.length ds)
+  in
+  Alcotest.(check bool) "clock message names gettimeofday" true
+    (contains (msg "Fix_wall_clock") "Unix.gettimeofday");
+  Alcotest.(check bool) "clock message carries the source file" true
+    (contains (msg "Fix_wall_clock") "fix_wall_clock.ml");
+  Alcotest.(check bool) "hot-alloc message names the allocator" true
+    (contains (msg "Fix_hot_alloc") "Array.copy");
+  Alcotest.(check bool) "wire message names the missing constructor" true
+    (contains (msg "Fix_wire_gap") "Gamma");
+  Alcotest.(check bool) "blocking message names the syscall" true
+    (contains (msg "Fix_blocking") "Unix.sleepf")
+
+(* The committed tree has zero findings: this is the same scan the
+   @sentinel alias and `wp_cli check` run in CI. *)
+let test_clean_tree () =
+  let report = Sentinel.run ~root:build_root () in
+  Alcotest.(check (list string)) "no load errors" [] report.Sentinel.load_errors;
+  Alcotest.(check bool) "scanned at least the libraries" true
+    (report.Sentinel.units > 0);
+  List.iter (fun d -> Format.eprintf "unexpected: %a@." D.pp d)
+    report.Sentinel.diagnostics;
+  Alcotest.(check (list string)) "zero findings on the committed tree" []
+    (codes report.Sentinel.diagnostics)
+
+(* Regression proof for the obs clock fix: the current Wp_obs.Clock
+   unit is clean, while the pre-fix implementation (Fix_wall_clock is
+   that code, verbatim) still trips the clock rule above. *)
+let test_obs_clock_regression () =
+  let path =
+    Filename.concat build_root "lib/obs/.wp_obs.objs/byte/wp_obs__Clock.cmt"
+  in
+  match Discover.load path with
+  | Error e -> Alcotest.failf "cannot load Wp_obs__Clock: %s" e
+  | Ok u ->
+      Alcotest.(check (list string)) "monotonic obs clock has no findings" []
+        (codes (Sentinel.check_unit u))
+
+let suite =
+  [
+    Alcotest.test_case "lock-rank fixture" `Quick test_lock_order;
+    Alcotest.test_case "clock fixture" `Quick test_wall_clock;
+    Alcotest.test_case "hot-alloc fixture" `Quick test_hot_alloc;
+    Alcotest.test_case "lock-leak fixture" `Quick test_unprotected;
+    Alcotest.test_case "wire-total fixture" `Quick test_wire_gap;
+    Alcotest.test_case "blocking fixture" `Quick test_blocking;
+    Alcotest.test_case "allow fixture" `Quick test_allow;
+    Alcotest.test_case "finding messages" `Quick test_messages;
+    Alcotest.test_case "clean tree" `Quick test_clean_tree;
+    Alcotest.test_case "obs clock regression" `Quick test_obs_clock_regression;
+  ]

@@ -1,0 +1,65 @@
+(* Whirlpool Sentinel driver.
+
+   Scans a build tree for .cmt files and reports static findings.
+   Exit codes follow the repo-wide convention for finding-producing
+   commands: 0 clean, 1 findings, 2 usage or load errors. *)
+
+module D = Wp_analysis.Diagnostic
+module Json = Wp_json.Json
+module Sentinel = Wp_sentinel.Sentinel
+
+let default_root () = if Sys.file_exists "_build/default" then "_build/default" else "."
+
+let diagnostic_to_json (d : D.t) =
+  Json.Obj
+    [
+      ("severity", Json.String (D.severity_label d.severity));
+      ("code", Json.String d.code);
+      ("message", Json.String d.message);
+    ]
+
+let () =
+  let root = ref None in
+  let json = ref false in
+  let dirs = ref None in
+  let usage = "sentinel [--root DIR] [--dirs d1,d2,..] [--json]" in
+  let spec =
+    [
+      ( "--root",
+        Arg.String (fun s -> root := Some s),
+        "DIR build tree to scan (default: _build/default if present, else .)"
+      );
+      ( "--dirs",
+        Arg.String
+          (fun s -> dirs := Some (String.split_on_char ',' s)),
+        "D1,D2 comma-separated subdirectories to scan (default: lib,bin,tools,examples,bench)"
+      );
+      ("--json", Arg.Set json, " machine-readable output");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    usage;
+  let root = match !root with Some r -> r | None -> default_root () in
+  let report = Sentinel.run ?dirs:!dirs ~root () in
+  if !json then
+    print_endline
+      (Json.to_string
+         (Json.Obj
+            [
+              ("units", Json.Int report.units);
+              ( "findings",
+                Json.List (List.map diagnostic_to_json report.diagnostics) );
+              ( "load_errors",
+                Json.List
+                  (List.map (fun e -> Json.String e) report.load_errors) );
+            ]))
+  else begin
+    List.iter (fun e -> Printf.eprintf "sentinel: %s\n" e) report.load_errors;
+    List.iter (fun d -> Format.printf "%a@." D.pp d) report.diagnostics;
+    Printf.printf "sentinel: %d finding(s) in %d unit(s)\n"
+      (List.length report.diagnostics)
+      report.units
+  end;
+  if report.load_errors <> [] then exit 2
+  else if report.diagnostics <> [] then exit 1
