@@ -592,44 +592,87 @@ let race_cmd =
 
 (* --- check (the Sentinel static checks) --- *)
 
-let check_run root dirs json =
+let certificate_to_json (c : Wp_analysis.Prove.certificate) =
+  let module P = Wp_analysis.Prove in
+  Wp_json.Json.Obj
+    [
+      ("subject", Wp_json.Json.String c.P.subject);
+      ("certified", Wp_json.Json.Bool (P.certified c));
+      ( "obligations",
+        Wp_json.Json.List
+          (List.map
+             (fun (o : P.obligation) ->
+               Wp_json.Json.Obj
+                 [
+                   ("id", Wp_json.Json.String o.P.oid);
+                   ("claim", Wp_json.Json.String o.P.claim);
+                   ( "status",
+                     Wp_json.Json.String
+                       (match o.P.verdict with
+                       | P.Proved -> "proved"
+                       | P.Refuted _ -> "refuted") );
+                   ( "detail",
+                     Wp_json.Json.String
+                       (match o.P.verdict with
+                       | P.Proved -> o.P.argument
+                       | P.Refuted w -> w) );
+                 ])
+             c.P.obligations) );
+    ]
+
+let check_run root dirs interproc prove json =
   let root =
     match root with
     | Some r -> r
     | None ->
         if Sys.file_exists "_build/default" then "_build/default" else "."
   in
-  let report = Wp_sentinel.Sentinel.run ?dirs ~root () in
+  let report = Wp_sentinel.Sentinel.run ?dirs ~interproc ~root () in
   if report.units = 0 && report.load_errors = [] then begin
     Printf.eprintf "check: no .cmt files under %s (build the tree first)\n"
       root;
     exit 2
   end;
+  let certificates =
+    if prove then Wp_analysis.Prove.check_shipped () else []
+  in
+  let findings =
+    List.sort Wp_sentinel.Sentinel.compare_findings
+      (report.diagnostics @ Wp_analysis.Prove.diagnostics certificates)
+  in
   if json then
     Format.printf "%a@." Wp_json.Json.pp
       (Wp_json.Json.Obj
-         [
-           ("units", Wp_json.Json.Int report.units);
-           ( "findings",
-             Wp_json.Json.List (List.map diagnostic_to_json report.diagnostics)
-           );
-           ( "load_errors",
-             Wp_json.Json.List
-               (List.map
-                  (fun e -> Wp_json.Json.String e)
-                  report.load_errors) );
-         ])
+         ([
+            ("units", Wp_json.Json.Int report.units);
+            ("findings", Wp_json.Json.List (List.map diagnostic_to_json findings));
+            ( "load_errors",
+              Wp_json.Json.List
+                (List.map (fun e -> Wp_json.Json.String e) report.load_errors)
+            );
+          ]
+         @
+         if prove then
+           [
+             ( "certificates",
+               Wp_json.Json.List (List.map certificate_to_json certificates) );
+           ]
+         else []))
   else begin
     List.iter (fun e -> Printf.eprintf "check: %s\n" e) report.load_errors;
     List.iter
       (fun d -> Format.printf "%a@." Wp_analysis.Diagnostic.pp d)
-      report.diagnostics;
-    Printf.printf "check: %d finding(s) in %d unit(s)\n"
-      (List.length report.diagnostics)
+      findings;
+    if prove then
+      List.iter
+        (fun (c : Wp_analysis.Prove.certificate) ->
+          Printf.printf "check: prove %s: %s\n" c.subject
+            (if Wp_analysis.Prove.certified c then "certified" else "REFUTED"))
+        certificates;
+    Printf.printf "check: %d finding(s) in %d unit(s)\n" (List.length findings)
       report.units
   end;
-  if report.load_errors <> [] then exit 2
-  else if report.diagnostics <> [] then exit 1
+  if report.load_errors <> [] then exit 2 else if findings <> [] then exit 1
 
 let check_cmd =
   let root =
@@ -650,6 +693,28 @@ let check_cmd =
             "Subdirectories of the root to scan (default: lib, bin, tools, \
              examples, bench).")
   in
+  let interproc =
+    Arg.(
+      value & flag
+      & info [ "interproc" ]
+          ~doc:
+            "Add the interprocedural stages: call-graph propagation of \
+             blocking, allocation and lock-rank facts (a helper that \
+             blocks is flagged at every call site holding a lock), and \
+             the cancellation-totality rule (every suspect loop on a \
+             serve path must consult should_stop or be statically \
+             bounded).")
+  in
+  let prove =
+    Arg.(
+      value & flag
+      & info [ "prove-bounds" ]
+          ~doc:
+            "Prove prune-soundness of every shipped scoring \
+             configuration: Score_bound's upper bounds stay admissible \
+             and every relaxation edge is score-monotone.  Non-provable \
+             configurations become sentinel/prune-unsound findings.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON.")
   in
@@ -665,11 +730,16 @@ let check_cmd =
               monotonic-clock discipline, hot-path allocation hygiene \
               ([@@wp.hot] functions), exception-safe lock sections \
               (Fun.protect) and wire-string totality of closed variants.  \
-              Exits 1 on any finding, 2 when cmts cannot be read.  \
-              Suppressions require [@wp.allow \"rule justification\"].";
+              $(b,--interproc) re-grounds the lock and allocation rules \
+              on call-graph summaries and adds cancellation totality; \
+              $(b,--prove-bounds) certifies prune-soundness of the \
+              shipped scoring configs.  Findings are ordered by (file, \
+              line, rule), so $(b,--json) output diffs are stable.  Exits \
+              1 on any finding, 2 when cmts cannot be read.  Suppressions \
+              require [@wp.allow \"rule justification\"].";
          ]
        ())
-    Term.(const check_run $ root $ dirs $ json)
+    Term.(const check_run $ root $ dirs $ interproc $ prove $ json)
 
 (* --- serve --- *)
 

@@ -1,20 +1,19 @@
 (* The Whirlpool Sentinel: typedtree-level static checks over the
    repo's own compiled units.
 
-   Five rules, all reported as [Wp_analysis.Diagnostic] errors with
-   codes [sentinel/<rule>] and messages prefixed [file.ml:LINE:]:
+   All rules report [Wp_analysis.Diagnostic] errors with codes
+   [sentinel/<rule>] and messages prefixed [file.ml:LINE:]:
 
    - [lock-rank]: lock acquisitions are resolved to the declared
      hierarchy ({!Wp_serve.Pool.lock_rank}, which delegates to
      {!Whirlpool.Race.lock_rank}); taking a lock of equal or lower
-     rank while one is held is flagged.  Lexically nested sections
-     only — the checker does not chase calls.
-   - [blocking-under-lock]: direct [Unix.read]/[write]/[select]/
-     [sleepf] references inside a held section.
+     rank while one is held is flagged.
+   - [blocking-under-lock]: [Unix.read]/[write]/[select]/[sleepf]/
+     [connect]/[accept]/[recv] references inside a held section.
    - [clock]: any reference to [Unix.gettimeofday] or [Sys.time];
      time must come from the monotonic [Clock] modules.
    - [hot-alloc]: functions tagged [[@@wp.hot]] must not reference a
-     known allocator (direct references only).
+     known allocator.
    - [lock-leak]: a lock acquisition whose release is not guarded by
      [Fun.protect ~finally] — an exception in the section would leave
      the mutex held.  A function whose entire body is the acquisition
@@ -24,6 +23,16 @@
    - [wire-total]: a closed nullary variant with a [_to_string] /
      [_of_string] pair (or [to_string]/[of_string] for a type [t])
      must round-trip every constructor through distinct wire strings.
+   - [cancel-total] (interprocedural runs only): suspect loops on a
+     path reachable from [Wp_serve.Service] request handling must
+     consult the cooperative-stop signal or be statically bounded.
+
+   Intraprocedural by default: a section's footprint is what is
+   written inside it.  With interprocedural summaries enabled
+   ({!Summary}), the lock-rank, blocking and hot-alloc rules also
+   chase calls — a callee that transitively blocks, allocates or
+   acquires a lower-ranked lock is flagged at the call site with a
+   witness chain.
 
    Findings are suppressed by [[@wp.allow "rule justification"]] on an
    enclosing expression or binding; the justification is mandatory and
@@ -38,6 +47,7 @@ let rule_clock = "clock"
 let rule_hot_alloc = "hot-alloc"
 let rule_lock_leak = "lock-leak"
 let rule_wire_total = "wire-total"
+let rule_cancel = "cancel-total"
 
 let all_rules =
   [
@@ -47,12 +57,28 @@ let all_rules =
     rule_hot_alloc;
     rule_lock_leak;
     rule_wire_total;
+    rule_cancel;
   ]
 
 (* --- rule tables --- *)
 
 let clock_banned = [ "Unix.gettimeofday"; "Sys.time" ]
-let blocking_calls = [ "Unix.read"; "Unix.write"; "Unix.select"; "Unix.sleepf" ]
+
+let blocking_calls =
+  [
+    "Unix.read";
+    "Unix.write";
+    "Unix.select";
+    "Unix.sleepf";
+    "Unix.connect";
+    "Unix.accept";
+    "Unix.recv";
+  ]
+
+(* Idents and record fields whose presence in a loop counts as
+   consulting the cooperative-stop signal. *)
+let stop_names =
+  [ "should_stop"; "stopped"; "stop"; "stopping"; "check_deadline" ]
 
 (* Direct allocators forbidden under [@@wp.hot].  A deliberate
    approximation: record/tuple construction and interprocedural
@@ -153,6 +179,7 @@ let has_hot (attrs : Parsetree.attributes) =
 type ctx = {
   source : string;
   unit_name : string;
+  db : Summary.db option;  (* interprocedural summaries, when enabled *)
   mutable diags : D.t list;
   mutable allowed : string list;  (* rules suppressed in current scope *)
   mutable held : (string * int option) list;  (* innermost first *)
@@ -191,13 +218,13 @@ let with_allows ctx (attrs : Parsetree.attributes) f =
    receivers whose spelling is unit-specific.  Unresolvable locks stay
    unranked: they still open a section (for the blocking and leak
    rules) but never participate in rank comparisons. *)
-let lock_name ctx text =
+let lock_name ~unit_name text =
   if contains text "topk" then Some "topk.mutex"
   else if contains text "queue" then Some "queue.*.mutex"
   else if contains text "cache" then Some Whirlpool.Candidate_cache.mutex_name
   else if contains text "pool" then Some "serve.pool.mutex"
   else
-    match (ctx.unit_name, text) with
+    match (unit_name, text) with
     | "Wp_serve__Pool", "t.mutex" -> Some "serve.pool.mutex"
     | "Whirlpool__Engine_mt", "t.mutex" -> Some "queue.*.mutex"
     | "Wp_obs__Obs", "st.mutex" -> Some Wp_obs.Obs.mutex_name
@@ -206,12 +233,12 @@ let lock_name ctx text =
 
 (* [with_lock]-style helpers open a section around their last argument;
    the mutex they stand for is unit-specific. *)
-let helper_lock ctx name =
+let helper_lock ~unit_name name =
   match name with
   | "with_topk" -> Some "topk.mutex"
   | "with_state" -> None
   | "with_lock" -> (
-      match ctx.unit_name with
+      match unit_name with
       | "Whirlpool__Engine_mt" -> Some "queue.*.mutex"
       | "Wp_serve__Pool" -> Some "serve.pool.mutex"
       | "Wp_obs__Obs" -> Some Wp_obs.Obs.mutex_name
@@ -335,7 +362,55 @@ let scan_expressions ctx (str : structure) =
           if ctx.held <> [] && List.mem n blocking_calls then
             report ctx ~loc:e.exp_loc rule_blocking
               (Printf.sprintf "blocking call %s while holding %s" n
-                 (fst (List.hd ctx.held)))
+                 (fst (List.hd ctx.held)));
+          (* Interprocedural: the same three context rules through the
+             callee's transitive summary. *)
+          match ctx.db with
+          | None -> ()
+          | Some db when ctx.hot || ctx.held <> [] -> (
+              match Summary.resolve db ~unit_name:ctx.unit_name n with
+              | None -> ()
+              | Some g ->
+                  if ctx.hot && not (List.mem n allocators) then
+                    Option.iter
+                      (fun w ->
+                        report ctx ~loc:e.exp_loc rule_hot_alloc
+                          (Printf.sprintf
+                             "call %s may allocate inside a [@@wp.hot] \
+                              function (%s)"
+                             n w))
+                      g.Summary.t_allocs;
+                  if ctx.held <> [] then begin
+                    if not (List.mem n blocking_calls) then
+                      Option.iter
+                        (fun w ->
+                          report ctx ~loc:e.exp_loc rule_blocking
+                            (Printf.sprintf
+                               "call %s may block while holding %s (%s)" n
+                               (fst (List.hd ctx.held))
+                               w))
+                        g.Summary.t_blocks;
+                    List.iter
+                      (fun (lname, rank) ->
+                        match rank with
+                        | None -> ()
+                        | Some r ->
+                            List.iter
+                              (fun (held_name, held_rank) ->
+                                match held_rank with
+                                | Some hr when r <= hr ->
+                                    report ctx ~loc:e.exp_loc rule_lock_rank
+                                      (Printf.sprintf
+                                         "call %s acquires %s (rank %d) \
+                                          while %s (rank %d) is held; locks \
+                                          must be taken in increasing rank \
+                                          order"
+                                         n lname r held_name hr)
+                                | _ -> ())
+                              ctx.held)
+                      g.Summary.t_acquires
+                  end)
+          | Some _ -> ()
         end
     | Texp_function { cases; _ } ->
         (* A function whose whole body is a lock (or unlock) call is a
@@ -349,7 +424,7 @@ let scan_expressions ctx (str : structure) =
         default.expr it e
     | Texp_sequence (e1, e2) when lock_target e1 <> None ->
         let text = Option.value (lock_target e1) ~default:"?" in
-        let name = lock_name ctx text in
+        let name = lock_name ~unit_name:ctx.unit_name text in
         let entry = check_acquire ctx ~loc:e1.exp_loc name text in
         default.expr it e1;
         (match protect_parts e2 with
@@ -381,7 +456,7 @@ let scan_expressions ctx (str : structure) =
         in
         match helper with
         | Some h ->
-            let name = helper_lock ctx h in
+            let name = helper_lock ~unit_name:ctx.unit_name h in
             let entry = check_acquire ctx ~loc:e.exp_loc name h in
             let body =
               List.fold_left
@@ -402,7 +477,7 @@ let scan_expressions ctx (str : structure) =
         | None ->
             if lock_target e <> None then begin
               let text = Option.value (lock_target e) ~default:"?" in
-              let name = lock_name ctx text in
+              let name = lock_name ~unit_name:ctx.unit_name text in
               let entry = check_acquire ctx ~loc:e.exp_loc name text in
               if not (List.memq e ctx.exempt) then
                 report ctx ~loc:e.exp_loc rule_lock_leak
@@ -614,13 +689,118 @@ and check_module ctx (me : module_expr) =
   | Tmod_functor (_, body) -> check_module ctx body
   | _ -> ()
 
+(* --- deterministic finding order --- *)
+
+(* Sentinel messages are ["path.ml:LINE: ..."]; order findings by
+   (file, line, rule, message) so `wp_cli check --json` output is
+   byte-stable across runs and environments.  [Diagnostic.compare]
+   alone orders by severity/node/code and leaves same-code findings in
+   traversal order. *)
+let finding_pos (d : D.t) =
+  match String.index_opt d.message ':' with
+  | None -> (d.message, 0)
+  | Some i -> (
+      let file = String.sub d.message 0 i in
+      let rest = String.sub d.message (i + 1) (String.length d.message - i - 1) in
+      match String.index_opt rest ':' with
+      | None -> (file, 0)
+      | Some j -> (
+          match int_of_string_opt (String.sub rest 0 j) with
+          | Some l -> (file, l)
+          | None -> (file, 0)))
+
+let compare_findings (a : D.t) (b : D.t) =
+  let fa, la = finding_pos a and fb, lb = finding_pos b in
+  match String.compare fa fb with
+  | 0 -> (
+      match Int.compare la lb with
+      | 0 -> (
+          match String.compare a.D.code b.D.code with
+          | 0 -> String.compare a.D.message b.D.message
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let sort_findings ds = List.sort compare_findings ds
+
+(* --- the cancellation-totality rule --- *)
+
+(* Every suspect loop reachable from Wp_serve.Service request handling
+   (or from a [[@@wp.serve_entry]]-tagged root) must consult the
+   cooperative-stop signal — directly, through a called summary, or
+   anywhere in its enclosing function — or be statically bounded
+   ([for], or [[@wp.bounded "why"]]). *)
+let service_unit = "Wp_serve__Service"
+
+let totality_findings (db : Summary.db) =
+  let reachable =
+    Summary.reachable_from_roots db ~is_root:(fun f ->
+        f.Summary.f_serve_entry || f.Summary.f_unit = service_unit)
+  in
+  let diags = ref [] in
+  Summary.iter_fns db (fun f ->
+      if Hashtbl.mem reachable (f.Summary.f_unit, f.Summary.f_path) then
+        List.iter
+          (fun (l : Summary.loop) ->
+            let consults_via_call =
+              List.exists
+                (fun r ->
+                  match Summary.resolve db ~unit_name:f.Summary.f_unit r with
+                  | Some g -> g.Summary.t_consults
+                  | None -> false)
+                l.Summary.l_refs
+            in
+            let ok =
+              l.Summary.l_bounded || l.Summary.l_consults
+              || f.Summary.f_consults || consults_via_call
+              || List.mem rule_cancel l.Summary.l_allowed
+            in
+            if not ok then
+              let what =
+                match l.Summary.l_kind with
+                | Summary.While_loop -> "while loop"
+                | Summary.Self_recursion n ->
+                    Printf.sprintf "self-recursion %s (arguments unchanged)" n
+              in
+              diags :=
+                D.errorf ("sentinel/" ^ rule_cancel)
+                  "%s:%d: %s in %s is on a serve path but neither consults \
+                   should_stop nor is statically bounded; a missed deadline \
+                   could hang — annotate [@wp.bounded \"why\"] if termination \
+                   is structural"
+                  f.Summary.f_source l.Summary.l_line what f.Summary.f_path
+                :: !diags)
+          f.Summary.f_loops);
+  List.iter
+    (fun (n : Summary.naked_attr) ->
+      diags :=
+        D.errorf "sentinel/allow"
+          "%s:%d: [@wp.bounded] needs a justification for why the loop is \
+           bounded"
+          n.Summary.n_source n.Summary.n_line
+        :: !diags)
+    db.Summary.naked_bounded;
+  !diags
+
 (* --- entry points --- *)
 
-let check_unit (u : Discover.unit_info) =
+let summary_tables : Summary.tables =
+  {
+    Summary.blocking = blocking_calls;
+    allocators;
+    stop_names;
+    lock_of_text = (fun ~unit_name text -> lock_name ~unit_name text);
+    helper_lock = (fun ~unit_name name -> helper_lock ~unit_name name);
+    is_helper = is_section_helper;
+    rank_of = lock_rank;
+  }
+
+let check_unit_db ?db (u : Discover.unit_info) =
   let ctx =
     {
       source = u.Discover.source;
       unit_name = u.Discover.modname;
+      db;
       diags = [];
       allowed = [];
       held = [];
@@ -630,7 +810,13 @@ let check_unit (u : Discover.unit_info) =
   in
   scan_expressions ctx u.Discover.structure;
   check_rule5 ctx u.Discover.structure;
-  D.sort (List.rev ctx.diags)
+  sort_findings (List.rev ctx.diags)
+
+let check_unit ?(interproc = false) (u : Discover.unit_info) =
+  if not interproc then check_unit_db u
+  else
+    let db = Summary.build summary_tables [ u ] in
+    sort_findings (check_unit_db ~db u @ totality_findings db)
 
 type report = {
   units : int;
@@ -638,19 +824,23 @@ type report = {
   load_errors : string list;
 }
 
-let run ?dirs ~root () =
+let run ?dirs ?(interproc = false) ~root () =
   let cmts = Discover.find_cmts ?dirs root in
-  let units = ref 0 and diags = ref [] and errors = ref [] in
+  let units = ref [] and errors = ref [] in
   List.iter
     (fun path ->
       match Discover.load path with
-      | Ok u ->
-          incr units;
-          diags := check_unit u :: !diags
+      | Ok u -> units := u :: !units
       | Error e -> errors := e :: !errors)
     cmts;
+  let units = List.rev !units in
+  let db = if interproc then Some (Summary.build summary_tables units) else None in
+  let diags = List.concat_map (fun u -> check_unit_db ?db u) units in
+  let diags =
+    match db with Some db -> diags @ totality_findings db | None -> diags
+  in
   {
-    units = !units;
-    diagnostics = D.sort (List.concat (List.rev !diags));
+    units = List.length units;
+    diagnostics = sort_findings diags;
     load_errors = List.rev !errors;
   }

@@ -1,14 +1,14 @@
 (** The Whirlpool Sentinel: typedtree-level static checks.
 
-    Five rules over the repo's own compiled units, each reported as a
+    Rules over the repo's own compiled units, each reported as a
     {!Wp_analysis.Diagnostic} error with code [sentinel/<rule>] and a
     [file.ml:LINE:]-prefixed message:
 
     - [sentinel/lock-rank] — acquisitions resolved against the
       declared hierarchy ({!Wp_serve.Pool.lock_rank}); taking a lock
       of equal or lower rank while one is held is flagged.
-    - [sentinel/blocking-under-lock] — direct
-      [Unix.read]/[write]/[select]/[sleepf] inside a held section.
+    - [sentinel/blocking-under-lock] — [Unix.read]/[write]/[select]/
+      [sleepf]/[connect]/[accept]/[recv] inside a held section.
     - [sentinel/clock] — any reference to [Unix.gettimeofday] or
       [Sys.time]; time comes from the monotonic [Clock] modules.
     - [sentinel/hot-alloc] — functions tagged [[@@wp.hot]] must not
@@ -18,20 +18,42 @@
     - [sentinel/wire-total] — closed nullary variants with
       [_to_string]/[_of_string] pairs must round-trip every
       constructor through distinct wire strings.
+    - [sentinel/cancel-total] (interprocedural only) — every suspect
+      loop ([while], or a self-recursion whose self-calls never change
+      an argument) reachable from [Wp_serve.Service] request handling
+      (or a [[@@wp.serve_entry]]-tagged root) must consult the
+      cooperative-stop signal or be statically bounded
+      ([[@wp.bounded "why"]]).
+
+    With [~interproc:true], the lock-rank, blocking-under-lock and
+    hot-alloc rules are additionally re-grounded on call-graph
+    summaries ({!Summary}): a call whose callee transitively blocks,
+    allocates, or acquires a lower-ranked lock is flagged at the call
+    site, with a witness chain in the message.  Without it the checker
+    stays lexical and intra-procedural, as in its first release.
 
     [[@wp.allow "rule justification"]] on an enclosing expression or
-    binding suppresses a rule in its scope; a missing justification is
-    itself a finding ([sentinel/allow]).
+    binding suppresses a rule in its scope (at a fact's origin it also
+    keeps the fact out of the interprocedural summaries); a missing
+    justification is itself a finding ([sentinel/allow]), as is a bare
+    [[@wp.bounded]].
 
-    The checker is lexical and intra-procedural by design: it does not
-    chase calls, so a section's footprint is what is written inside
-    it.  That keeps findings cheap to confirm and the zero-findings
-    state stable. *)
+    Findings are ordered deterministically by (file, line, rule,
+    message), so JSON output diffs are stable in CI. *)
 
 val all_rules : string list
 
-val check_unit : Discover.unit_info -> Wp_analysis.Diagnostic.t list
-(** All findings for one unit, sorted. *)
+val check_unit :
+  ?interproc:bool -> Discover.unit_info -> Wp_analysis.Diagnostic.t list
+(** All findings for one unit, deterministically ordered.  With
+    [~interproc:true] the unit is summarized on its own, so
+    cross-call rules see intra-unit helpers (used by the fixture
+    tests); whole-tree scans should use {!run}. *)
+
+val compare_findings :
+  Wp_analysis.Diagnostic.t -> Wp_analysis.Diagnostic.t -> int
+(** The (file, line, rule, message) order used for all Sentinel
+    output. *)
 
 type report = {
   units : int;  (** implementation units checked *)
@@ -39,6 +61,8 @@ type report = {
   load_errors : string list;  (** unreadable / non-implementation cmts *)
 }
 
-val run : ?dirs:string list -> root:string -> unit -> report
+val run : ?dirs:string list -> ?interproc:bool -> root:string -> unit -> report
 (** Discover (see {!Discover.find_cmts}), load and check every unit
-    under [root]. *)
+    under [root].  [~interproc:true] builds whole-program summaries
+    first and adds the interprocedural rules and the
+    cancellation-totality check. *)

@@ -49,7 +49,8 @@ end
    refuse to run it (raises {!Wp_analysis.Lint.Rejected}). *)
 let validate_plan (plan : Plan.t) =
   Wp_analysis.Lint.validate_exn ~config:plan.config ~specs:plan.specs
-    plan.pattern
+    plan.pattern;
+  if Invariants.enabled () then Invariants.check_table plan.scores
 
 let run ?(config = Config.default) (plan : Plan.t) ~k =
   let { Config.routing; queue_policy; batch; use_cache; should_stop; obs; _ } =

@@ -42,6 +42,14 @@ let check_extension plan ~parent (ext : Partial_match.t) =
       p.id ext.id p.max_possible ext.max_possible;
   check_bounds plan ext
 
+(* Concrete cross-check of the prune-soundness certificate
+   ([Wp_analysis.Prove]): the invariants above only hold when the score
+   table's weights satisfy [0 <= relaxed <= exact] (finite). *)
+let check_table scores =
+  match Wp_analysis.Prove.table_violations scores with
+  | [] -> ()
+  | v :: _ -> fail "score table fails prune-soundness: %s" v
+
 let check_threshold ~before ~after =
   if not (le before after) then
     fail "top-k threshold decreased %.6f -> %.6f within an insertion" before

@@ -30,6 +30,13 @@ val check_extension : Plan.t -> parent:Partial_match.t -> Partial_match.t -> uni
     non-decreasing, [max_possible] monotonically non-increasing, and the
     root-match bounds. *)
 
+val check_table : Wp_score.Score_table.t -> unit
+(** The score table about to drive pruning: every entry satisfies
+    [0 <= relaxed_weight <= exact_weight] (finite) — the premise of
+    the static prune-soundness certificate
+    ({!Wp_analysis.Prove.table_violations} is the checker). Run by
+    {!Engine.validate_plan} when checks are enabled. *)
+
 val check_threshold : before:float -> after:float -> unit
 (** The top-k threshold observed around an insertion: non-decreasing
     (retraction of a died match may lower it and is not checked). *)

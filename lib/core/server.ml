@@ -118,9 +118,18 @@ let process ?cache (plan : Plan.t) (stats : Stats.t) ~next_id
     else
       let root = Partial_match.root_binding pm in
       match cache with
-      | Some c -> Candidate_cache.find c plan stats ~server ~root
+      | Some c ->
+          (Candidate_cache.find c plan stats ~server ~root
+          [@wp.allow
+            "hot-alloc the cache allocates only on a (server, root) miss; \
+             steady state is hit-only"])
       | None ->
-          let entries, examined = Candidate_cache.compute plan ~server ~root in
+          let entries, examined =
+            (Candidate_cache.compute plan ~server ~root
+            [@wp.allow
+              "hot-alloc uncached mode recomputes the entry array per \
+               visit by design; it exists to measure exactly that cost"])
+          in
           stats.comparisons <- stats.comparisons + examined;
           entries
   in
@@ -129,9 +138,14 @@ let process ?cache (plan : Plan.t) (stats : Stats.t) ~next_id
     (fun (e : Candidate_cache.entry) ->
       if hard_conditionals_ok doc spec pm e.node then survivors := e :: !survivors)
     candidates;
+  (* Extensions copy the parent's bindings array: one allocation per
+     partial match created is the engine's unit of work, not an
+     accident — [extend_last] transfers instead of copying where the
+     parent is consumed. *)
   let unbound_extension ~last =
-    (if last then Partial_match.extend_last else Partial_match.extend)
-      pm ~id:(next_id ()) ~server ~binding:None ~weight:0.0 ~server_max
+    ((if last then Partial_match.extend_last else Partial_match.extend)
+       pm ~id:(next_id ()) ~server ~binding:None ~weight:0.0 ~server_max
+    [@wp.allow "hot-alloc extensions allocate one bindings array each"])
   in
   match !survivors with
   | [] ->
@@ -163,8 +177,10 @@ let process ?cache (plan : Plan.t) (stats : Stats.t) ~next_id
             let rev_exts =
               List.fold_left
                 (fun acc (e : Candidate_cache.entry) ->
-                  Partial_match.extend pm ~id:(next_id ()) ~server
-                    ~binding:(Some e.node) ~weight:e.weight ~server_max
+                  (Partial_match.extend pm ~id:(next_id ()) ~server
+                     ~binding:(Some e.node) ~weight:e.weight ~server_max
+                  [@wp.allow
+                    "hot-alloc extensions allocate one bindings array each"])
                   :: acc)
                 [] (List.rev rev_survivors)
             in

@@ -45,16 +45,18 @@ module Min_heap = struct
     h.roots.(h.size) <- root;
     h.size <- h.size + 1;
     let i = ref (h.size - 1) in
-    while
-      !i > 0
-      &&
-      let p = (!i - 1) / 2 in
-      h.scores.(p) > h.scores.(!i)
-    do
-      let p = (!i - 1) / 2 in
-      swap h p !i;
-      i := p
-    done
+    (while
+       !i > 0
+       &&
+       let p = (!i - 1) / 2 in
+       h.scores.(p) > h.scores.(!i)
+     do
+       let p = (!i - 1) / 2 in
+       swap h p !i;
+       i := p
+     done)
+    [@wp.bounded "sift-up: !i moves to its parent each pass, strictly \
+                  decreasing toward 0"]
 
   let drop_min h =
     h.size <- h.size - 1;
@@ -63,17 +65,19 @@ module Min_heap = struct
       h.roots.(0) <- h.roots.(h.size);
       let i = ref 0 in
       let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && h.scores.(l) < h.scores.(!smallest) then smallest := l;
-        if r < h.size && h.scores.(r) < h.scores.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          swap h !i !smallest;
-          i := !smallest
-        end
-      done
+      (while !continue do
+         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+         let smallest = ref !i in
+         if l < h.size && h.scores.(l) < h.scores.(!smallest) then smallest := l;
+         if r < h.size && h.scores.(r) < h.scores.(!smallest) then smallest := r;
+         if !smallest = !i then continue := false
+         else begin
+           swap h !i !smallest;
+           i := !smallest
+         end
+       done)
+      [@wp.bounded "sift-down: !i moves to a strictly deeper child each \
+                    pass, bounded by the heap depth"]
     end
 end
 
@@ -110,6 +114,9 @@ let rec min_entry t =
         Min_heap.drop_min t.heap;
         min_entry t
 [@@wp.hot]
+[@@wp.bounded
+  "each recursive step drops one stale heap item; the heap size strictly \
+   decreases"]
 
 let threshold t =
   if Hashtbl.length t.by_root < t.k then neg_infinity

@@ -10,9 +10,10 @@ let advance st = st.pos <- st.pos + 1
 let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
 
 let skip_spaces st =
-  while (not (eof st)) && is_space st.src.[st.pos] do
-    advance st
-  done
+  (while (not (eof st)) && is_space st.src.[st.pos] do
+     advance st
+   done)
+  [@wp.bounded "the cursor strictly advances toward the end of the input"]
 
 let is_name_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '@'
@@ -43,9 +44,10 @@ let parse_name st =
       | Some c when is_name_start c -> advance st
       | Some c -> fail st (Printf.sprintf "expected an element name, found %C" c)
       | None -> fail st "expected an element name, found end of input");
-      while (not (eof st)) && is_name_char st.src.[st.pos] do
-        advance st
-      done;
+      (while (not (eof st)) && is_name_char st.src.[st.pos] do
+         advance st
+       done)
+      [@wp.bounded "the cursor strictly advances toward the end of the input"];
       String.sub st.src start (st.pos - start)
 
 let parse_string_literal st =
@@ -69,7 +71,9 @@ let parse_string_literal st =
 (* Looks ahead (past spaces) for the keyword "and". *)
 let at_and st =
   let p = ref st.pos in
-  while !p < String.length st.src && is_space st.src.[!p] do incr p done;
+  (while !p < String.length st.src && is_space st.src.[!p] do incr p done)
+  [@wp.bounded "the lookahead cursor strictly advances toward the end of \
+                the input"];
   !p + 3 <= String.length st.src
   && String.sub st.src !p 3 = "and"
   && (!p + 3 = String.length st.src || not (is_name_char st.src.[!p + 3]))

@@ -105,7 +105,13 @@ let handle_conn server fd =
   let inflight = ref 0 in
   let send resp =
     let payload = Json.to_string (Protocol.response_to_json resp) in
-    let r = with_lock wm (fun () -> write_frame fd payload) in
+    let r =
+      (with_lock wm (fun () -> write_frame fd payload)
+      [@wp.allow
+        "blocking-under-lock frame writes must be atomic per connection; \
+         the per-connection write mutex exists precisely to serialize \
+         them, and only this connection's jobs contend on it"])
+    in
     ignore (r : (unit, string) result)
   in
   let job_done () =

@@ -1,0 +1,23 @@
+(* Known-bad: the network syscalls added to the blocking set —
+   connect, accept, recv — each inside a held (and otherwise
+   well-formed, Fun.protect-guarded) critical section.  The
+   blocking-under-lock rule must flag all three calls, one finding
+   each. *)
+
+let m = Mutex.create ()
+
+let connect_under_lock fd addr =
+  Mutex.lock m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock m)
+    (fun () -> Unix.connect fd addr)
+
+let accept_under_lock fd =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> Unix.accept fd)
+
+let recv_under_lock fd buf =
+  Mutex.lock m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock m)
+    (fun () -> Unix.recv fd buf 0 (Bytes.length buf) [])

@@ -1,0 +1,9 @@
+(* Known-bad only interprocedurally: [dup] is a cold helper free to
+   allocate, but [snapshot] is [@@wp.hot] and calls it.  The
+   call-graph stage must flag the [dup] call site with a witness chain
+   ending in Array.copy; the intra-procedural checker sees nothing
+   (the hot function references no allocator directly). *)
+
+let dup (a : int array) = Array.copy a
+
+let snapshot (a : int array) = dup a [@@wp.hot]

@@ -1,0 +1,13 @@
+(* Known-bad only interprocedurally: [nap] is clean on its own (a
+   blocking call with no lock held), but [poll_under_lock] calls it
+   from inside a held critical section.  The call-graph stage must
+   flag the [nap] call site with a witness chain ending in
+   Unix.sleepf; the intra-procedural checker sees nothing. *)
+
+let m = Mutex.create ()
+
+let nap () = Unix.sleepf 1e-3
+
+let poll_under_lock () =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> nap ())

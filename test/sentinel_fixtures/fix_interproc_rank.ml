@@ -1,0 +1,19 @@
+(* Known-bad only interprocedurally: [grab_topk] takes the top-k lock
+   (rank 1) and is clean on its own, but [inverted_via_call] calls it
+   while holding the pool lock (rank 2) — the hierarchy requires
+   increasing rank order.  The call-graph stage must flag the
+   [grab_topk] call site; the intra-procedural checker sees nothing
+   (neither function takes two locks lexically). *)
+
+let topk_mutex = Mutex.create ()
+let pool_mutex = Mutex.create ()
+
+let grab_topk f =
+  Mutex.lock topk_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock topk_mutex) f
+
+let inverted_via_call f =
+  Mutex.lock pool_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pool_mutex)
+    (fun () -> grab_topk f)

@@ -1,0 +1,12 @@
+(* Known-bad: a [@@wp.serve_entry] request handler spinning in a
+   [while] loop that neither consults the cooperative-stop signal nor
+   carries a [@wp.bounded] justification.  The cancellation-totality
+   rule must flag the loop — a missed deadline would hang the
+   worker. *)
+
+let drain () =
+  let n = ref 0 in
+  while true do
+    incr n
+  done
+[@@wp.serve_entry]

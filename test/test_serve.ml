@@ -551,6 +551,9 @@ let test_pool_sheds_when_full () =
     s.submitted (s.executed + s.failed);
   (* After shutdown everything is shed. *)
   Alcotest.(check bool) "post-shutdown shed" false (Pool.Real.submit pool job)
+[@@wp.allow
+  "lock-leak the gate is held on purpose to park the worker while \
+   submissions pile up, and the jobs only lock-then-unlock it"]
 
 let test_pool_runs_jobs () =
   let pool = Pool.Real.create ~workers:3 ~queue_depth:64 () in
@@ -606,6 +609,10 @@ let start_server ~socket ~service =
       Thread.join thread;
       Alcotest.failf "server failed to start: %s" e
   | `Pending -> assert false
+[@@wp.allow
+  "lock-leak the startup handshake only assigns, signals and waits under \
+   the lock — none of which raise; a failure here ends the test binary \
+   anyway"]
 
 let test_wire_end_to_end () =
   with_corpus_dir (fun dir ->

@@ -1,12 +1,17 @@
 (* Whirlpool Sentinel driver.
 
    Scans a build tree for .cmt files and reports static findings.
-   Exit codes follow the repo-wide convention for finding-producing
-   commands: 0 clean, 1 findings, 2 usage or load errors. *)
+   [--interproc] adds the call-graph rules (lock ranks, blocking and
+   allocation through calls, cancellation totality); [--prove-bounds]
+   runs the prune-soundness prover over every shipped scoring config
+   and reports non-provable ones as findings.  Exit codes follow the
+   repo-wide convention for finding-producing commands: 0 clean, 1
+   findings, 2 usage or load errors. *)
 
 module D = Wp_analysis.Diagnostic
 module Json = Wp_json.Json
 module Sentinel = Wp_sentinel.Sentinel
+module Prove = Wp_analysis.Prove
 
 let default_root () = if Sys.file_exists "_build/default" then "_build/default" else "."
 
@@ -18,11 +23,43 @@ let diagnostic_to_json (d : D.t) =
       ("message", Json.String d.message);
     ]
 
+let certificate_to_json (c : Prove.certificate) =
+  Json.Obj
+    [
+      ("subject", Json.String c.Prove.subject);
+      ("certified", Json.Bool (Prove.certified c));
+      ( "obligations",
+        Json.List
+          (List.map
+             (fun (o : Prove.obligation) ->
+               Json.Obj
+                 [
+                   ("id", Json.String o.Prove.oid);
+                   ("claim", Json.String o.Prove.claim);
+                   ( "status",
+                     Json.String
+                       (match o.Prove.verdict with
+                       | Prove.Proved -> "proved"
+                       | Prove.Refuted _ -> "refuted") );
+                   ( "detail",
+                     Json.String
+                       (match o.Prove.verdict with
+                       | Prove.Proved -> o.Prove.argument
+                       | Prove.Refuted w -> w) );
+                 ])
+             c.Prove.obligations) );
+    ]
+
 let () =
   let root = ref None in
   let json = ref false in
   let dirs = ref None in
-  let usage = "sentinel [--root DIR] [--dirs d1,d2,..] [--json]" in
+  let interproc = ref false in
+  let prove = ref false in
+  let usage =
+    "sentinel [--root DIR] [--dirs d1,d2,..] [--interproc] [--prove-bounds] \
+     [--json]"
+  in
   let spec =
     [
       ( "--root",
@@ -34,6 +71,13 @@ let () =
           (fun s -> dirs := Some (String.split_on_char ',' s)),
         "D1,D2 comma-separated subdirectories to scan (default: lib,bin,tools,examples,bench)"
       );
+      ( "--interproc",
+        Arg.Set interproc,
+        " add the interprocedural rules (call-graph lock/blocking/alloc \
+         propagation, cancellation totality)" );
+      ( "--prove-bounds",
+        Arg.Set prove,
+        " prove prune-soundness of every shipped scoring config" );
       ("--json", Arg.Set json, " machine-readable output");
     ]
   in
@@ -41,25 +85,42 @@ let () =
     (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
     usage;
   let root = match !root with Some r -> r | None -> default_root () in
-  let report = Sentinel.run ?dirs:!dirs ~root () in
+  let report = Sentinel.run ?dirs:!dirs ~interproc:!interproc ~root () in
+  let certificates = if !prove then Prove.check_shipped () else [] in
+  let findings =
+    List.sort Sentinel.compare_findings
+      (report.diagnostics @ Prove.diagnostics certificates)
+  in
   if !json then
     print_endline
       (Json.to_string
          (Json.Obj
-            [
-              ("units", Json.Int report.units);
-              ( "findings",
-                Json.List (List.map diagnostic_to_json report.diagnostics) );
-              ( "load_errors",
-                Json.List
-                  (List.map (fun e -> Json.String e) report.load_errors) );
-            ]))
+            ([
+               ("units", Json.Int report.units);
+               ( "findings",
+                 Json.List (List.map diagnostic_to_json findings) );
+               ( "load_errors",
+                 Json.List
+                   (List.map (fun e -> Json.String e) report.load_errors) );
+             ]
+            @
+            if !prove then
+              [
+                ( "certificates",
+                  Json.List (List.map certificate_to_json certificates) );
+              ]
+            else [])))
   else begin
     List.iter (fun e -> Printf.eprintf "sentinel: %s\n" e) report.load_errors;
-    List.iter (fun d -> Format.printf "%a@." D.pp d) report.diagnostics;
+    List.iter (fun d -> Format.printf "%a@." D.pp d) findings;
+    if !prove then
+      List.iter
+        (fun c ->
+          Printf.printf "sentinel: prove %s: %s\n" c.Prove.subject
+            (if Prove.certified c then "certified" else "REFUTED"))
+        certificates;
     Printf.printf "sentinel: %d finding(s) in %d unit(s)\n"
-      (List.length report.diagnostics)
-      report.units
+      (List.length findings) report.units
   end;
   if report.load_errors <> [] then exit 2
-  else if report.diagnostics <> [] then exit 1
+  else if findings <> [] then exit 1
