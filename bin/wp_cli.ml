@@ -67,17 +67,27 @@ let load_index path =
   | Error m ->
       prerr_endline m;
       exit 2
-  | Ok (idx, is_snapshot) ->
+  | Ok (idx, source) ->
       Printf.printf "Loaded %s%s: %d nodes in %.2fs\n" path
-        (if is_snapshot then " (snapshot)" else "")
+        (match source with
+        | Wp_serve.Catalog.Xml -> ""
+        | Wp_serve.Catalog.Snapshot -> " (snapshot)"
+        | Wp_serve.Catalog.Mapped -> " (mapped index)")
         (Wp_xml.Doc.size (Wp_xml.Index.doc idx))
         (Whirlpool.Clock.now () -. t0);
       idx
 
 (* --- generate --- *)
 
-let generate out size seed =
-  let tree = Wp_xmark.Generator.generate ~seed ~target_bytes:size () in
+let generate out size seed profile =
+  let profile =
+    match Wp_xmark.Generator.profile_of_string profile with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "unknown profile %S (default, rich or sparse)\n" profile;
+        exit 2
+  in
+  let tree = Wp_xmark.Generator.generate ~profile ~seed ~target_bytes:size () in
   let oc = open_out out in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -98,9 +108,19 @@ let generate_cmd =
       & info [ "size" ] ~docv:"BYTES" ~doc:"Target serialized size.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  let profile =
+    Arg.(
+      value & opt string "default"
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:
+            "Item-structure profile: $(b,default), $(b,rich) \
+             (content-dense items that dominate a merged top-k) or \
+             $(b,sparse) (structure-poor shard filler) — mix them to \
+             build skewed corpora for the sharding benchmarks.")
+  in
   Cmd.v
     (cmd_info "generate" ~doc:"generate an XMark-style benchmark document" ())
-    Term.(const generate $ out $ size $ seed)
+    Term.(const generate $ out $ size $ seed $ profile)
 
 (* --- query --- *)
 
@@ -127,6 +147,7 @@ let remote_query socket q k deadline_ms algo routing doc json =
         routing = Some routing;
         batch = None;
         use_cache = None;
+        bound_push = None;
       }
   in
   let reply = Wp_serve.Wire.call client req in
@@ -336,6 +357,78 @@ let snapshot_cmd =
     (cmd_info "snapshot"
        ~doc:"freeze an XML file into a binary snapshot for fast loading" ())
     Term.(const snapshot $ path $ out)
+
+(* --- index --- *)
+
+let index_build path out =
+  let t0 = Whirlpool.Clock.now () in
+  let idx = load_index path in
+  let doc = Wp_xml.Index.doc idx in
+  let bytes = Wp_storage.Index_file.write out doc in
+  Printf.printf "Wrote index %s (%d nodes, %d bytes) in %.2fs\n" out
+    (Wp_xml.Doc.size doc) bytes
+    (Whirlpool.Clock.now () -. t0)
+
+let index_info path =
+  match Wp_storage.Index_file.open_index path with
+  | Error e ->
+      prerr_endline (Wp_storage.Index_file.error_message e);
+      exit 2
+  | Ok h ->
+      let i = Wp_storage.Index_file.info h in
+      Printf.printf "%s: wpidx v%d\n" path Wp_storage.Index_file.version;
+      Printf.printf "  nodes             %d\n" i.nodes;
+      Printf.printf "  tags              %d\n" i.tags;
+      Printf.printf "  content terms     %d\n" i.terms;
+      Printf.printf "  value bytes       %d\n" i.value_bytes;
+      Printf.printf "  content postings  %d\n" i.content_postings;
+      Printf.printf "  file bytes        %d\n" i.file_bytes
+
+let index_build_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"XML document or .wpdoc snapshot.")
+  in
+  let out =
+    Arg.(
+      value & opt string "doc.wpidx"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Index file.")
+  in
+  Cmd.v
+    (cmd_info "build"
+       ~doc:"compact a document into a memory-mappable .wpidx index" ())
+    Term.(const index_build $ path $ out)
+
+let index_info_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:".wpidx index file.")
+  in
+  Cmd.v
+    (cmd_info "info" ~doc:"validate a .wpidx header and print its counts" ())
+    Term.(const index_info $ path)
+
+let index_cmd =
+  Cmd.group
+    (cmd_info "index"
+       ~doc:"build and inspect on-disk .wpidx indexes"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "A .wpidx file is the compacted, query-ready form of one \
+              document: tag postings, preorder structure columns and a \
+              content-term dictionary behind a checksummed header.  The \
+              server and the query command memory-map it on open — O(1) \
+              regardless of size, pages faulting in on demand — and \
+              answer bit-identically to the in-memory index.";
+         ]
+       ())
+    [ index_build_cmd; index_info_cmd ]
 
 (* --- explain --- *)
 
@@ -767,9 +860,20 @@ let load_corpus catalog paths =
            (fun a (d : Wp_serve.Catalog.doc) -> a + d.nodes)
            0 docs)
 
+let relax_config relax_content =
+  if relax_content then Wp_relax.Relaxation.with_content
+  else Wp_relax.Relaxation.all
+
 let serve_run corpus socket workers queue_depth default_k deadline_ms
-    plan_cache slow_query_ms =
-  let catalog = Wp_serve.Catalog.create ~plan_cache () in
+    plan_cache slow_query_ms shards relax_content =
+  if shards < 1 then begin
+    prerr_endline "--shards must be >= 1";
+    exit 2
+  end;
+  let catalog =
+    Wp_serve.Catalog.create ~shards ~plan_cache
+      ~config:(relax_config relax_content) ()
+  in
   load_corpus catalog corpus;
   let service =
     Wp_serve.Service.create ~default_k ?default_deadline_ms:deadline_ms
@@ -801,8 +905,8 @@ let serve_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"CORPUS"
           ~doc:
-            "Documents to serve: XML files, .wpdoc snapshots, or \
-             directories of them.")
+            "Documents to serve: XML files, .wpdoc snapshots, .wpidx \
+             memory-mapped indexes, or directories of them.")
   in
   let workers =
     Arg.(
@@ -846,6 +950,25 @@ let serve_cmd =
             "Arm the slow-query log: requests at or above this latency \
              record their full span tree and per-server cost profile.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the corpus into N shards (by document-name \
+             hash); merged queries scatter one thread per non-empty \
+             shard and gather their top-k, pushing the merged k-th \
+             score back to running shards as a prune bound.")
+  in
+  let relax_content =
+    Arg.(
+      value & flag
+      & info [ "relax-content" ]
+          ~doc:
+            "Token-relax content predicates ([= 'v']): partial token \
+             matches earn a fractional tf-idf weight instead of being \
+             rejected, spreading the score distribution.")
+  in
   Cmd.v
     (cmd_info "serve"
        ~doc:"serve top-k queries over a Unix-domain socket"
@@ -866,7 +989,8 @@ let serve_cmd =
        ())
     Term.(
       const serve_run $ corpus $ socket_arg $ workers $ queue_depth
-      $ default_k $ deadline_ms $ plan_cache $ slow_query_ms)
+      $ default_k $ deadline_ms $ plan_cache $ slow_query_ms $ shards
+      $ relax_content)
 
 (* --- ctl --- *)
 
@@ -1140,9 +1264,13 @@ let spawn_server ~socket ~service ~workers ~queue_depth =
 let obj_fields = function Wp_json.Json.Obj fields -> fields | j -> [ ("value", j) ]
 
 let loadgen_run connect corpus queries clients duration workers_list
-    queue_depths out =
+    queue_depths shards_list push_list relax_content out =
   if queries = [] then begin
     prerr_endline "at least one -q query is required";
+    exit 2
+  end;
+  if List.exists (fun s -> s < 1) shards_list then begin
+    prerr_endline "--shards must be >= 1";
     exit 2
   end;
   let points =
@@ -1163,53 +1291,88 @@ let loadgen_run connect corpus queries clients duration workers_list
           prerr_endline "a CORPUS is required without --connect";
           exit 2
         end;
-        let catalog = Wp_serve.Catalog.create () in
-        load_corpus catalog corpus;
         let socket =
           Filename.concat
             (Filename.get_temp_dir_name ())
             (Printf.sprintf "wp-loadgen-%d.sock" (Unix.getpid ()))
         in
-        (* One point per (workers x queue-depth): fresh service so the
-           metrics snapshot is the point's own, same warm catalog. *)
+        (* One point per (shards x push x workers x queue-depth): fresh
+           catalog per shard count (its load time is the cold-open
+           cost), fresh service per point so the metrics snapshot is
+           the point's own.  Each point is measured twice back-to-back
+           against the same service: the first window starts with every
+           candidate cache empty (cold), the second reuses them
+           (warm). *)
         List.concat_map
-          (fun workers ->
-            List.map
-              (fun queue_depth ->
-                let service = Wp_serve.Service.create ~catalog () in
-                match spawn_server ~socket ~service ~workers ~queue_depth with
-                | Error e ->
-                    prerr_endline e;
-                    exit 2
-                | Ok (server, thread) -> (
-                    let r =
-                      Wp_serve.Loadgen.run ~socket ~queries ~clients
-                        ~duration_s:duration
-                    in
-                    Wp_serve.Wire.request_stop server;
-                    Thread.join thread;
-                    match r with
-                    | Error e ->
-                        prerr_endline e;
-                        exit 2
-                    | Ok point ->
-                        Printf.printf
-                          "workers=%d queue_depth=%d: %.0f req/s  p50 %.2fms \
-                           p95 %.2fms p99 %.2fms  (%d ok, %d partial, %d \
-                           shed, %d errors)\n\
-                           %!"
-                          workers queue_depth point.throughput point.p50_ms
-                          point.p95_ms point.p99_ms point.ok point.partial
-                          point.overloaded point.errors;
-                        ( "workers", Wp_json.Json.Int workers )
-                        :: ( "queue_depth", Wp_json.Json.Int queue_depth )
-                        :: obj_fields (Wp_serve.Loadgen.point_to_json point)
-                        @ [
-                            ( "server_metrics",
-                              Wp_serve.Service.metrics_json service );
-                          ]))
-              queue_depths)
-          workers_list
+          (fun shards ->
+            let catalog =
+              Wp_serve.Catalog.create ~shards
+                ~config:(relax_config relax_content) ()
+            in
+            let t0 = Whirlpool.Clock.now_ns () in
+            load_corpus catalog corpus;
+            let open_ms =
+              Int64.to_float (Int64.sub (Whirlpool.Clock.now_ns ()) t0) /. 1e6
+            in
+            List.concat_map
+              (fun push ->
+                let bound_push = if push then None else Some false in
+                List.concat_map
+                  (fun workers ->
+                    List.map
+                      (fun queue_depth ->
+                        let service = Wp_serve.Service.create ~catalog () in
+                        match
+                          spawn_server ~socket ~service ~workers ~queue_depth
+                        with
+                        | Error e ->
+                            prerr_endline e;
+                            exit 2
+                        | Ok (server, thread) -> (
+                            let window () =
+                              Wp_serve.Loadgen.run ?bound_push ~socket
+                                ~queries ~clients ~duration_s:duration ()
+                            in
+                            let cold = window () in
+                            let warm = Result.bind cold (fun _ -> window ()) in
+                            Wp_serve.Wire.request_stop server;
+                            Thread.join thread;
+                            match (cold, warm) with
+                            | Error e, _ | _, Error e ->
+                                prerr_endline e;
+                                exit 2
+                            | Ok cold, Ok warm ->
+                                Printf.printf
+                                  "shards=%d push=%b workers=%d \
+                                   queue_depth=%d: cold %.0f req/s p50 \
+                                   %.2fms p99 %.2fms | warm %.0f req/s p50 \
+                                   %.2fms p99 %.2fms  (%d ok, %d partial, \
+                                   %d shed, %d errors)\n\
+                                   %!"
+                                  shards push workers queue_depth
+                                  cold.throughput cold.p50_ms cold.p99_ms
+                                  warm.throughput warm.p50_ms warm.p99_ms
+                                  (cold.ok + warm.ok)
+                                  (cold.partial + warm.partial)
+                                  (cold.overloaded + warm.overloaded)
+                                  (cold.errors + warm.errors);
+                                [
+                                  ("shards", Wp_json.Json.Int shards);
+                                  ("bound_push", Wp_json.Json.Bool push);
+                                  ("workers", Wp_json.Json.Int workers);
+                                  ("queue_depth", Wp_json.Json.Int queue_depth);
+                                  ("corpus_open_ms", Wp_json.Json.Float open_ms);
+                                  ( "cold",
+                                    Wp_serve.Loadgen.point_to_json cold );
+                                  ( "warm",
+                                    Wp_serve.Loadgen.point_to_json warm );
+                                  ( "server_metrics",
+                                    Wp_serve.Service.metrics_json service );
+                                ]))
+                      queue_depths)
+                  workers_list)
+              push_list)
+          shards_list
   in
   let report =
     Wp_json.Json.Obj
@@ -1269,6 +1432,32 @@ let loadgen_cmd =
       & info [ "queue-depth" ] ~docv:"N"
           ~doc:"Admission bound to sweep (repeatable; spawn mode).")
   in
+  let shards_list =
+    Arg.(
+      value & opt_all int [ 1 ]
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Catalog shard count to sweep (repeatable; spawn mode). \
+             Multi-shard points scatter each request across the shard \
+             groups and gather a merged top-k.")
+  in
+  let push_list =
+    Arg.(
+      value & opt_all bool [ true ]
+      & info [ "push" ] ~docv:"BOOL"
+          ~doc:
+            "Cross-shard bound pushing on/off to sweep (repeatable; \
+             spawn mode).  $(b,--push true --push false) measures the \
+             pushing win against the scatter-only baseline.")
+  in
+  let relax_content =
+    Arg.(
+      value & flag
+      & info [ "relax-content" ]
+          ~doc:
+            "Token-relax content predicates server-side (spawn mode), \
+             as $(b,wp_cli serve --relax-content).")
+  in
   let out =
     Arg.(
       value & opt string "BENCH_serve.json"
@@ -1299,7 +1488,8 @@ let loadgen_cmd =
        ())
     Term.(
       const loadgen_run $ connect $ corpus $ queries $ clients $ duration
-      $ workers_list $ queue_depths $ out)
+      $ workers_list $ queue_depths $ shards_list $ push_list
+      $ relax_content $ out)
 
 let () =
   let doc = "adaptive top-k XPath matching (Whirlpool)" in
@@ -1309,8 +1499,8 @@ let () =
          (Cmd.info "wp_cli" ~version ~exits ~doc)
          [
            generate_cmd; query_cmd; explain_cmd; relax_cmd; snapshot_cmd;
-           lint_cmd; race_cmd; check_cmd; profile_cmd; serve_cmd; ctl_cmd;
-           loadgen_cmd;
+           index_cmd; lint_cmd; race_cmd; check_cmd; profile_cmd; serve_cmd;
+           ctl_cmd; loadgen_cmd;
          ])
   in
   (* Uniform exit vocabulary: cmdliner reports its own parse and

@@ -10,6 +10,9 @@ let never_stop () = false
 
 let now_ns = Clock.now_ns
 
+let no_bound () = Float.neg_infinity
+let no_publish (_ : float) = ()
+
 module Config = struct
   type t = {
     routing : Strategy.routing;
@@ -20,6 +23,9 @@ module Config = struct
     should_stop : unit -> bool;
     trace : Trace.t;
     obs : Obs.t;
+    cache : Candidate_cache.t option;
+    prune_bound : unit -> float;
+    publish_threshold : float -> unit;
   }
 
   let default =
@@ -32,14 +38,20 @@ module Config = struct
       should_stop = never_stop;
       trace = Trace.ignore_tracer;
       obs = Obs.disabled;
+      cache = None;
+      prune_bound = no_bound;
+      publish_threshold = no_publish;
     }
 
   let with_routing routing t = { t with routing }
   let with_queue_policy queue_policy t = { t with queue_policy }
   let with_batch batch t = { t with batch }
   let with_use_cache use_cache t = { t with use_cache }
+  let with_cache cache t = { t with cache }
   let with_threads_per_server threads_per_server t = { t with threads_per_server }
   let with_should_stop should_stop t = { t with should_stop }
+  let with_prune_bound prune_bound t = { t with prune_bound }
+  let with_publish_threshold publish_threshold t = { t with publish_threshold }
   let with_trace trace t = { t with trace }
   let with_obs obs t = { t with obs }
 end
@@ -53,12 +65,28 @@ let validate_plan (plan : Plan.t) =
   if Invariants.enabled () then Invariants.check_table plan.scores
 
 let run ?(config = Config.default) (plan : Plan.t) ~k =
-  let { Config.routing; queue_policy; batch; use_cache; should_stop; obs; _ } =
+  let {
+    Config.routing;
+    queue_policy;
+    batch;
+    use_cache;
+    should_stop;
+    obs;
+    prune_bound;
+    publish_threshold;
+    _;
+  } =
     config
   in
   if batch < 1 then invalid_arg "Engine.run: batch >= 1";
   validate_plan plan;
-  let cache = if use_cache then Some (Candidate_cache.create ()) else None in
+  (* [config.cache] lets a caller share one (plan-scoped) candidate
+     cache across runs — the serve tier's cross-request cache; absent,
+     each run memoizes privately as before. *)
+  let cache =
+    if not use_cache then None
+    else match config.cache with Some _ as c -> c | None -> Some (Candidate_cache.create ())
+  in
   let stats = Stats.create () in
   let t0 = now_ns () in
   (* Observability: a root span for the run, a child per iteration
@@ -93,6 +121,20 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
       (Strategy.priority queue_policy plan ~seq:!seq ~server:None pm)
       pm
   in
+  (* External bound pushing (scatter–gather): [prune_bound] is a floor
+     published by the other shards' gathered top-k — a match that cannot
+     strictly beat it can never enter the merged answer, so the strict
+     [<] keeps ties alive and sharded answers identical to unsharded.
+     [publish] reports this run's own threshold whenever it tightens. *)
+  let xpruned (pm : Partial_match.t) = pm.max_possible < prune_bound () in
+  let published = ref Float.neg_infinity in
+  let publish () =
+    let th = Topk_set.threshold topk in
+    if th > !published then begin
+      published := th;
+      publish_threshold th
+    end
+  in
   let single_node = plan.n_servers = 1 in
   let checking = Invariants.enabled () in
   List.iter
@@ -100,10 +142,11 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
       if checking then Invariants.check_root plan pm;
       Topk_set.consider topk ~complete:single_node pm;
       if single_node then stats.completed <- stats.completed + 1
-      else if Topk_set.should_prune topk pm then
+      else if Topk_set.should_prune topk pm || xpruned pm then
         stats.matches_pruned <- stats.matches_pruned + 1
       else enqueue pm)
     (Server.initial_matches plan stats ~next_id);
+  publish ();
   let process_here (pm : Partial_match.t) server =
     let { Server.extensions; died } =
       Server.process ?cache plan stats ~next_id pm ~server
@@ -130,7 +173,7 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
           trace (Trace.Completed { id = ext.id; score = ext.score });
           stats.completed <- stats.completed + 1
         end
-        else if Topk_set.should_prune topk ext then begin
+        else if Topk_set.should_prune topk ext || xpruned ext then begin
           trace (Trace.Pruned { id = ext.id });
           stats.matches_pruned <- stats.matches_pruned + 1
         end
@@ -171,7 +214,7 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
         trace
           (Trace.Popped
              { id = pm.id; score = pm.score; max_possible = pm.max_possible });
-        if Topk_set.should_prune topk pm then begin
+        if Topk_set.should_prune topk pm || xpruned pm then begin
           trace (Trace.Pruned { id = pm.id });
           stats.matches_pruned <- stats.matches_pruned + 1
         end
@@ -209,7 +252,7 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
                              score = next.score;
                              max_possible = next.max_possible;
                            });
-                      if Topk_set.should_prune topk next then begin
+                      if Topk_set.should_prune topk next || xpruned next then begin
                         trace (Trace.Pruned { id = next.id });
                         stats.matches_pruned <- stats.matches_pruned + 1
                       end
@@ -227,6 +270,7 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
             cur_span := qspan
           end
         end;
+        publish ();
         loop ()
   in
   loop ();
@@ -245,7 +289,10 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
 let run_above ?(config = Config.default) (plan : Plan.t) ~threshold =
   let { Config.routing; queue_policy; use_cache; should_stop; _ } = config in
   validate_plan plan;
-  let cache = if use_cache then Some (Candidate_cache.create ()) else None in
+  let cache =
+    if not use_cache then None
+    else match config.cache with Some _ as c -> c | None -> Some (Candidate_cache.create ())
+  in
   let stats = Stats.create () in
   let t0 = now_ns () in
   let queue : Partial_match.t Pqueue.t = Pqueue.create () in

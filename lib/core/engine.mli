@@ -59,6 +59,28 @@ module Config : sig
         (** observability context (spans + per-server cost profile),
             default {!Wp_obs.Obs.disabled}; a disabled context leaves
             the run's counters and answers bit-identical *)
+    cache : Candidate_cache.t option;
+        (** an external candidate cache to use instead of a fresh
+            run-local one, default [None].  The serve tier passes its
+            per-(shard, document) cache here so memoized candidate
+            derivations persist across requests; honored only when
+            [use_cache] is true.  The caller owns synchronization (the
+            cache's [lock]/[unlock] hooks) when the same cache is
+            shared across threads. *)
+    prune_bound : unit -> float;
+        (** an external score floor read at every prune decision,
+            default a constant [neg_infinity] (never prunes).  Scatter–
+            gather serving publishes the merged top-k's k-th score
+            here: a partial match whose [max_possible] is {e strictly}
+            below the floor can never enter the merged answer, so
+            pruning against it with [<] leaves sharded answers
+            identical to unsharded.  Must be cheap and monotone
+            non-decreasing; a stale read is always sound. *)
+    publish_threshold : float -> unit;
+        (** called (outside any engine lock) whenever this run's own
+            top-k threshold tightens, with the new threshold; default a
+            no-op.  The scatter–gather layer feeds it back into the
+            other shards' [prune_bound]. *)
   }
 
   val default : t
@@ -71,6 +93,9 @@ module Config : sig
   val with_should_stop : (unit -> bool) -> t -> t
   val with_trace : Trace.t -> t -> t
   val with_obs : Wp_obs.Obs.t -> t -> t
+  val with_cache : Candidate_cache.t option -> t -> t
+  val with_prune_bound : (unit -> float) -> t -> t
+  val with_publish_threshold : (float -> unit) -> t -> t
 end
 
 val validate_plan : Plan.t -> unit

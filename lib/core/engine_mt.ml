@@ -110,6 +110,9 @@ module Make (S : Sync.S) = struct
     stop : S.atomic_int;
     partial : S.atomic_int;  (* set when should_stop cut the run short *)
     should_stop : unit -> bool;
+    prune_bound : unit -> float;  (* external score floor; read outside locks *)
+    publish_threshold : float -> unit;  (* invoked outside the topk lock *)
+    mutable published : float;  (* last published threshold; topk_mutex *)
     next_id : S.atomic_int;
     trace : Trace.t;  (* already serialized; see [run] *)
     tracing : bool;  (* false iff [trace] is the no-op tracer *)
@@ -181,10 +184,14 @@ module Make (S : Sync.S) = struct
                    score = pm.score;
                    max_possible = pm.max_possible;
                  });
+          (* External bound read before (outside) the topk lock: the
+             bound is monotone, so a stale read only under-prunes. *)
+          let xb = shared.prune_bound () in
           let pruned, threshold =
             with_topk shared (fun topk ->
                 (Topk_set.should_prune topk pm, Topk_set.threshold topk))
           in
+          let pruned = pruned || pm.Partial_match.max_possible < xb in
           if pruned then begin
             if shared.tracing then
               shared.trace (Trace.Pruned { id = pm.Partial_match.id });
@@ -218,8 +225,10 @@ module Make (S : Sync.S) = struct
       | Some _ when check_deadline shared -> loop ()
       | Some pm ->
           S.note_write stats_loc;
+          let xb = shared.prune_bound () in
           let pruned =
-            with_topk shared (fun topk -> Topk_set.should_prune topk pm)
+            pm.Partial_match.max_possible < xb
+            || with_topk shared (fun topk -> Topk_set.should_prune topk pm)
           in
           if pruned then begin
             if shared.tracing then
@@ -275,10 +284,31 @@ module Make (S : Sync.S) = struct
                            server;
                            bound = Partial_match.bound ext server <> None;
                          });
-                  let keep =
+                  let keep, to_publish =
                     with_topk shared (fun topk ->
                         Topk_set.consider topk ~complete ext;
-                        (not complete) && not (Topk_set.should_prune topk ext))
+                        let keep =
+                          (not complete)
+                          && not (Topk_set.should_prune topk ext)
+                        in
+                        let th = Topk_set.threshold topk in
+                        let pub =
+                          if th > shared.published then begin
+                            shared.published <- th;
+                            Some th
+                          end
+                          else None
+                        in
+                        (keep, pub))
+                  in
+                  (* Publish after releasing the topk lock: the gather
+                     side takes its own lock and must stay below rank 1
+                     territory held here. *)
+                  (match to_publish with
+                  | Some th -> shared.publish_threshold th
+                  | None -> ());
+                  let keep =
+                    keep && not (ext.Partial_match.max_possible < xb)
                   in
                   if complete then begin
                     if shared.tracing then
@@ -322,6 +352,8 @@ module Make (S : Sync.S) = struct
       threads_per_server;
       should_stop;
       obs;
+      prune_bound;
+      publish_threshold;
       _;
     } =
       config
@@ -364,11 +396,17 @@ module Make (S : Sync.S) = struct
         routing;
         queue_policy;
         cache =
-          Candidate_cache.create
-            ~lock:(fun () -> S.lock cache_mutex)
-            ~unlock:(fun () -> S.unlock cache_mutex)
-            ~note:(fun () -> S.note_write Candidate_cache.state_loc)
-            ();
+          (* An externally supplied cache (the serve tier's persistent
+             per-shard cache) brings its own lock hooks; otherwise the
+             run creates a private one under this sync layer's mutex. *)
+          (match config.Engine.Config.cache with
+          | Some cache -> cache
+          | None ->
+              Candidate_cache.create
+                ~lock:(fun () -> S.lock cache_mutex)
+                ~unlock:(fun () -> S.unlock cache_mutex)
+                ~note:(fun () -> S.note_write Candidate_cache.state_loc)
+                ());
         topk =
           Topk_set.create ~k ~admit_partial:(Plan.admits_partial_answers plan);
         topk_mutex = S.mutex "topk.mutex";
@@ -380,6 +418,9 @@ module Make (S : Sync.S) = struct
         stop = S.atomic "stop" 0;
         partial = S.atomic "partial" 0;
         should_stop;
+        prune_bound;
+        publish_threshold;
+        published = Float.neg_infinity;
         next_id = S.atomic "next_id" 1;
         trace;
         tracing;
@@ -394,6 +435,9 @@ module Make (S : Sync.S) = struct
     let next_id () = S.fetch_and_add shared.next_id 1 in
     let initial = Server.initial_matches plan main_stats ~next_id in
     let single_node = plan.n_servers = 1 in
+    (* Pre-spawn: single-threaded, so the topk set and [published] are
+       touched without the mutex here. *)
+    let xb0 = prune_bound () in
     let to_route =
       List.filter_map
         (fun pm ->
@@ -403,13 +447,21 @@ module Make (S : Sync.S) = struct
             main_stats.completed <- main_stats.completed + 1;
             None
           end
-          else if Topk_set.should_prune shared.topk pm then begin
+          else if
+            Topk_set.should_prune shared.topk pm
+            || pm.Partial_match.max_possible < xb0
+          then begin
             main_stats.matches_pruned <- main_stats.matches_pruned + 1;
             None
           end
           else Some pm)
         initial
     in
+    let th0 = Topk_set.threshold shared.topk in
+    if th0 > shared.published then begin
+      shared.published <- th0;
+      publish_threshold th0
+    end;
     if to_route = [] then S.set shared.stop 1
     else begin
       S.set shared.pending (List.length to_route);

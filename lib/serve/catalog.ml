@@ -1,16 +1,32 @@
+type source = Xml | Snapshot | Mapped
+
 type doc = {
   name : string;
   path : string;
   index : Wp_xml.Index.t;
   nodes : int;
-  snapshot : bool;
+  source : source;
+  shard : int;
+}
+
+(* A compiled plan travels with its own candidate cache: cache entries
+   are keyed (server, root) and their contents depend on the plan's
+   specs and score table, so the cache is sound exactly at plan
+   granularity — (query, document), which also pins it to one shard.
+   The cache carries a real mutex of its own (rank 0, leaf-only, the
+   same discipline as an engine-private cache) because concurrent
+   requests for the same warm plan share it. *)
+type cached_plan = {
+  plan : Whirlpool.Plan.t;
+  cache : Whirlpool.Candidate_cache.t;
 }
 
 type t = {
   mutex : Mutex.t;
+  shards : int;
   docs : (string, doc) Hashtbl.t;
   mutable order : string list;  (* newest first *)
-  plans : (string * string, Whirlpool.Plan.t) Lru.t;  (* (query, doc name) *)
+  plans : (string * string, cached_plan) Lru.t;  (* (query, doc name) *)
   config : Wp_relax.Relaxation.config;
 }
 
@@ -23,55 +39,69 @@ type cache_stats = {
   hit_rate : float;
 }
 
-let create ?(plan_cache = 128) ?(config = Wp_relax.Relaxation.all) () =
+let create ?(shards = 1) ?(plan_cache = 128) ?(config = Wp_relax.Relaxation.all)
+    () =
+  if shards < 1 then invalid_arg "Catalog.create: shards >= 1";
   {
     mutex = Mutex.create ();
+    shards;
     docs = Hashtbl.create 16;
     order = [];
     plans = Lru.create ~capacity:plan_cache;
     config;
   }
 
+let shards t = t.shards
+
+(* Stable shard assignment by document name: the same corpus loads into
+   the same shards in any order, and a reload lands where it was. *)
+let shard_of t name = Hashtbl.hash name mod t.shards
+
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-(* Documents load from XML or from a binary snapshot (.wpdoc), detected
-   by content — the sniffing the CLI's one-shot loader used to inline. *)
+(* Documents load from XML, from a binary snapshot (.wpdoc) or from a
+   compacted on-disk index (.wpidx, memory-mapped), detected by
+   content — the sniffing the CLI's one-shot loader used to inline. *)
 let read_index path =
   match open_in_bin path with
   | exception Sys_error m -> Error m
   | ic ->
+      let probe_len =
+        max
+          (String.length Wp_xml.Doc_io.magic)
+          (String.length Wp_storage.Index_file.magic)
+      in
       let probe =
-        try really_input_string ic (String.length Wp_xml.Doc_io.magic)
-        with End_of_file -> ""
+        try really_input_string ic probe_len with End_of_file -> ""
       in
       close_in_noerr ic;
-      let is_snapshot = String.equal probe Wp_xml.Doc_io.magic in
-      let doc =
-        if is_snapshot then
-          match Wp_xml.Doc_io.load path with
-          | d -> Ok d
-          | exception Failure m -> Error (Printf.sprintf "%s: %s" path m)
-        else
-          match Wp_xml.Doc.of_tree (Wp_xml.Parser.parse_file path) with
-          | d -> Ok d
-          | exception Wp_xml.Parser.Error { position; message } ->
-              Error
-                (Printf.sprintf "%s: parse error at byte %d: %s" path position
-                   message)
-          | exception Sys_error m -> Error m
-      in
-      Result.map (fun d -> (Wp_xml.Index.build d, is_snapshot)) doc
+      if String.starts_with ~prefix:Wp_storage.Index_file.magic probe then
+        match Wp_storage.Index_file.open_index path with
+        | Ok h -> Ok (Wp_storage.Index_file.index h, Mapped)
+        | Error e -> Error (Wp_storage.Index_file.error_message e)
+      else if String.starts_with ~prefix:Wp_xml.Doc_io.magic probe then
+        match Wp_xml.Doc_io.load path with
+        | d -> Ok (Wp_xml.Index.build d, Snapshot)
+        | exception Failure m -> Error (Printf.sprintf "%s: %s" path m)
+      else
+        match Wp_xml.Doc.of_tree (Wp_xml.Parser.parse_file path) with
+        | d -> Ok (Wp_xml.Index.build d, Xml)
+        | exception Wp_xml.Parser.Error { position; message } ->
+            Error
+              (Printf.sprintf "%s: parse error at byte %d: %s" path position
+                 message)
+        | exception Sys_error m -> Error m
 
 let load_file t ?name path =
   let name = match name with Some n -> n | None -> Filename.basename path in
   match read_index path with
   | Error _ as e -> e
-  | Ok (index, snapshot) ->
+  | Ok (index, source) ->
       let doc =
         { name; path; index; nodes = Wp_xml.Doc.size (Wp_xml.Index.doc index);
-          snapshot }
+          source; shard = shard_of t name }
       in
       with_lock t (fun () ->
           if not (Hashtbl.mem t.docs name) then t.order <- name :: t.order;
@@ -79,7 +109,9 @@ let load_file t ?name path =
       Ok doc
 
 let corpus_file f =
-  Filename.check_suffix f ".xml" || Filename.check_suffix f ".wpdoc"
+  Filename.check_suffix f ".xml"
+  || Filename.check_suffix f ".wpdoc"
+  || Filename.check_suffix f ".wpidx"
 
 let load_dir t dir =
   match Sys.readdir dir with
@@ -89,7 +121,7 @@ let load_dir t dir =
         Array.to_list entries |> List.filter corpus_file |> List.sort compare
       in
       if files = [] then
-        Error (Printf.sprintf "%s: no .xml or .wpdoc files" dir)
+        Error (Printf.sprintf "%s: no .xml, .wpdoc or .wpidx files" dir)
       else
         let rec go acc = function
           | [] -> Ok (List.rev acc)
@@ -104,6 +136,9 @@ let docs t =
   with_lock t (fun () ->
       List.rev_map (fun name -> Hashtbl.find t.docs name) t.order)
 
+let docs_in_shard t shard =
+  List.filter (fun d -> d.shard = shard) (docs t)
+
 let find t name = with_lock t (fun () -> Hashtbl.find_opt t.docs name)
 
 type plan_error =
@@ -115,7 +150,7 @@ let plan_error_message = function Bad_query m | Rejected m -> m
 let plan_for t doc query =
   with_lock t (fun () ->
       match Lru.find t.plans (query, doc.name) with
-      | Some plan -> Ok plan
+      | Some cached -> Ok cached
       | None -> (
           match Wp_pattern.Xpath_parser.parse_opt query with
           | None ->
@@ -129,8 +164,16 @@ let plan_for t doc query =
                      plan never occupies a cache slot. *)
                   (match Whirlpool.Engine.validate_plan plan with
                   | () ->
-                      Lru.add t.plans (query, doc.name) plan;
-                      Ok plan
+                      let m = Mutex.create () in
+                      let cache =
+                        Whirlpool.Candidate_cache.create
+                          ~lock:(fun () -> Mutex.lock m)
+                          ~unlock:(fun () -> Mutex.unlock m)
+                          ()
+                      in
+                      let cached = { plan; cache } in
+                      Lru.add t.plans (query, doc.name) cached;
+                      Ok cached
                   | exception Wp_analysis.Lint.Rejected diags ->
                       Error
                         (Rejected

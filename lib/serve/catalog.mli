@@ -1,38 +1,62 @@
 (** The corpus catalog — documents loaded once, plans compiled once.
 
-    A long-lived query service amortizes the two expensive per-query
-    steps of the one-shot CLI: parsing/indexing the document, and
-    compiling the (query, document) plan with its sampled routing
-    estimates.  The catalog keeps every document's {!Wp_xml.Index}
-    warm for the life of the process and memoizes compiled plans in a
-    bounded {!Lru} cache keyed by (query text, document name).
+    A long-lived query service amortizes the expensive per-query steps
+    of the one-shot CLI: parsing/indexing the document (or O(1)
+    memory-mapping a compacted [.wpidx] index), and compiling the
+    (query, document) plan with its sampled routing estimates.  The
+    catalog keeps every document's {!Wp_xml.Index} warm for the life of
+    the process and memoizes compiled plans — each with a persistent
+    {!Whirlpool.Candidate_cache} shared by every request that reuses
+    the plan — in a bounded {!Lru} cache keyed by (query text, document
+    name).
+
+    Documents are statically partitioned into [shards] shards by a hash
+    of their name; {!Wp_serve.Service} runs a query as a scatter over
+    the non-empty shards and a gather that merges their top-k answers
+    (pushing the merged k-th score back to still-running shards as a
+    prune bound).
 
     All operations are thread-safe: worker domains resolve documents
     and plans concurrently under the catalog's internal mutex
     (compilation is serialized, which keeps a thundering herd on a cold
     plan from compiling it once per worker). *)
 
+(** How a document entered the corpus: parsed from XML, restored from a
+    [.wpdoc] binary snapshot, or memory-mapped from a compacted
+    [.wpidx] on-disk index ({!Wp_storage.Index_file}). *)
+type source = Xml | Snapshot | Mapped
+
 type doc = {
   name : string;  (** corpus-unique name clients address (file basename) *)
   path : string;
   index : Wp_xml.Index.t;
   nodes : int;
-  snapshot : bool;  (** loaded from a [.wpdoc] binary snapshot *)
+  source : source;
+  shard : int;  (** [Hashtbl.hash name mod shards] — stable across loads *)
 }
 
 type t
 
 val create :
+  ?shards:int ->
   ?plan_cache:int ->
   ?config:Wp_relax.Relaxation.config ->
   unit ->
   t
-(** [plan_cache] (default 128) bounds the compiled-plan LRU; [config]
-    (default all relaxations) applies to every compiled plan. *)
+(** [shards] (default 1) partitions the corpus for scatter–gather
+    serving; [plan_cache] (default 128) bounds the compiled-plan LRU;
+    [config] (default all relaxations) applies to every compiled plan.
+    @raise Invalid_argument if [shards < 1]. *)
 
-val read_index : string -> (Wp_xml.Index.t * bool, string) result
-(** Load and index a document from an XML file or a binary snapshot
-    (detected by content); the flag is true for a snapshot.  The
+val shards : t -> int
+
+val shard_of : t -> string -> int
+(** The shard a document of the given name belongs (or would belong)
+    to. *)
+
+val read_index : string -> (Wp_xml.Index.t * source, string) result
+(** Load and index a document from an XML file, a binary snapshot or a
+    [.wpidx] on-disk index (detected by content).  The
     catalog-independent loader the CLI also uses; [Error] carries a
     printable message. *)
 
@@ -41,12 +65,15 @@ val load_file : t -> ?name:string -> string -> (doc, string) result
     basename; reloading an existing name replaces the document. *)
 
 val load_dir : t -> string -> (doc list, string) result
-(** Load every [*.xml] and [*.wpdoc] file of a directory, in name
-    order.  [Error] on an unreadable directory or if any file fails to
-    load; on success the list of loaded documents. *)
+(** Load every [*.xml], [*.wpdoc] and [*.wpidx] file of a directory, in
+    name order.  [Error] on an unreadable directory or if any file
+    fails to load; on success the list of loaded documents. *)
 
 val docs : t -> doc list
 (** Loaded documents, in load order. *)
+
+val docs_in_shard : t -> int -> doc list
+(** The documents of one shard, in load order. *)
 
 val find : t -> string -> doc option
 
@@ -61,9 +88,21 @@ type plan_error =
 
 val plan_error_message : plan_error -> string
 
-val plan_for : t -> doc -> string -> (Whirlpool.Plan.t, plan_error) result
-(** Compiled plan for a query string against a document, served from
-    the plan cache when warm; rejected plans are not cached. *)
+(** A memoized plan and the candidate cache that persists with it
+    across requests.  Cache entries are (server, root)-keyed and
+    plan-dependent, so plan granularity — (query, document) — is
+    exactly the scope at which sharing them is sound; the cache
+    synchronizes itself (own leaf-rank mutex) for concurrent requests
+    on the same warm plan. *)
+type cached_plan = {
+  plan : Whirlpool.Plan.t;
+  cache : Whirlpool.Candidate_cache.t;
+}
+
+val plan_for : t -> doc -> string -> (cached_plan, plan_error) result
+(** Compiled plan (and its persistent candidate cache) for a query
+    string against a document, served from the plan cache when warm;
+    rejected plans are not cached. *)
 
 type cache_stats = {
   size : int;

@@ -1,0 +1,113 @@
+let mutex_name = "serve.gather.mutex"
+let state_loc = "serve.gather.state"
+
+(* Serving-layer extension of the declared lock hierarchy, alongside
+   the pool's: the gather mutex is leaf-only — taken (briefly) to read
+   or advance the merged bound and never while any other lock is held;
+   the engines invoke [publish] outside their top-k lock, and shard
+   threads never call into the gather from inside an engine lock. *)
+let lock_rank name =
+  if String.equal name mutex_name then Some 0 else Pool.lock_rank name
+
+module Make (S : Whirlpool.Sync.S) = struct
+  type t = {
+    k : int;
+    push : bool;
+    mutex : S.mutex;
+    (* All three fields below are guarded by [mutex] ([state_loc]). *)
+    mutable bound : float;  (* max score floor published so far *)
+    mutable top_scores : float list;  (* merged best-k so far, descending *)
+    mutable n_scores : int;
+    mutable publishes : int;  (* times [bound] tightened *)
+  }
+
+  let create ?(push = true) ~k () =
+    if k < 1 then invalid_arg "Gather.create: k >= 1";
+    {
+      k;
+      push;
+      mutex = S.mutex mutex_name;
+      bound = Float.neg_infinity;
+      top_scores = [];
+      n_scores = 0;
+      publishes = 0;
+    }
+
+  let with_lock t f =
+    S.lock t.mutex;
+    Fun.protect ~finally:(fun () -> S.unlock t.mutex) f
+
+  let tighten_locked t th =
+    if th > t.bound then begin
+      t.bound <- th;
+      t.publishes <- t.publishes + 1
+    end
+
+  (* The engines' [publish_threshold] hook: a shard's own top-k
+     threshold is a floor on the merged k-th score (its k answers are
+     candidates of the merged query), so the maximum over every
+     published threshold is itself a valid floor. *)
+  let publish t th =
+    if t.push then
+      with_lock t (fun () ->
+          S.note_write state_loc;
+          tighten_locked t th)
+
+  (* Fold a completed run's answer scores into the merged best-k; once
+     k scores are known, the merged k-th is a floor that is never
+     weaker than any single shard's threshold. *)
+  let note_scores t scores =
+    if t.push && scores <> [] then
+      with_lock t (fun () ->
+          S.note_write state_loc;
+          let merged =
+            List.merge
+              (fun a b -> Float.compare b a)
+              (List.sort (fun a b -> Float.compare b a) scores)
+              t.top_scores
+          in
+          let rec take n = function
+            | x :: rest when n > 0 -> x :: take (n - 1) rest
+            | _ -> []
+          in
+          t.top_scores <- take t.k merged;
+          t.n_scores <- min t.k (t.n_scores + List.length scores);
+          if t.n_scores >= t.k then
+            match List.nth_opt t.top_scores (t.k - 1) with
+            | Some kth -> tighten_locked t kth
+            | None -> ())
+
+  (* A per-shard-thread bound reader for the engines' [prune_bound]
+     hook.  The bound is monotone, so a stale read only under-prunes:
+     the closure caches the last value and takes the mutex every 64th
+     call, keeping the hot prune path off the lock.  Each shard thread
+     gets its own closure — the counter is thread-local state. *)
+  let bound_reader t =
+    if not t.push then Whirlpool.Engine.Config.default.prune_bound
+    else begin
+      let last = ref Float.neg_infinity in
+      let tick = ref 0 in
+      fun () ->
+        (if !tick land 63 = 0 then
+           let b =
+             with_lock t (fun () ->
+                 S.note_read state_loc;
+                 t.bound)
+           in
+           if b > !last then last := b);
+        incr tick;
+        !last
+    end
+
+  let bound t =
+    with_lock t (fun () ->
+        S.note_read state_loc;
+        t.bound)
+
+  let publishes t =
+    with_lock t (fun () ->
+        S.note_read state_loc;
+        t.publishes)
+end
+
+include Make (Whirlpool.Sync.Real)

@@ -1,0 +1,68 @@
+(** Scatter–gather bound sharing for sharded top-k serving.
+
+    One [Gather.t] lives for the duration of one scattered query.  Each
+    shard thread runs the engine over its documents with two hooks
+    wired here: [publish_threshold] feeds the shard's own top-k
+    threshold in, and [prune_bound] reads the tightest floor any shard
+    has established — so a partial match anywhere in the corpus whose
+    maximum possible score cannot strictly beat the merged k-th score
+    is pruned without being processed, the paper's adaptive pruning
+    lifted across shards.
+
+    Soundness: a shard's threshold means "k candidate answers of the
+    merged query score at least this", so the merged k-th score can
+    only be higher — pruning with strict [<] against the maximum of
+    all published floors never removes a merged-top-k answer (ties
+    survive), leaving sharded answers identical to unsharded.  The
+    bound is monotone non-decreasing, which is what makes the relaxed
+    (throttled, stale-tolerant) reads of {!Make.bound_reader} safe.
+
+    Functorized over {!Whirlpool.Sync.S} like the engine and the pool,
+    so Raceway schedules can drive shard interleavings
+    deterministically; the toplevel [include] instantiates
+    {!Whirlpool.Sync.Real} for production. *)
+
+val mutex_name : string
+(** ["serve.gather.mutex"] — the gather's mutex in race findings. *)
+
+val state_loc : string
+(** ["serve.gather.state"] — the guarded bound/top-scores state. *)
+
+val lock_rank : string -> int option
+(** {!Pool.lock_rank} extended with the gather mutex at leaf rank 0
+    (it is never held while acquiring any other lock). *)
+
+module Make (S : Whirlpool.Sync.S) : sig
+  type t
+
+  val create : ?push:bool -> k:int -> unit -> t
+  (** A gather for one query with merge arity [k].  [push] (default
+      true) false disables bound sharing: {!publish} and {!note_scores}
+      become no-ops and {!bound_reader} never prunes — the
+      scatter-only baseline the benches compare against.
+      @raise Invalid_argument if [k < 1]. *)
+
+  val publish : t -> float -> unit
+  (** Tighten the merged floor with a shard's top-k threshold (engine
+      [publish_threshold] hook).  Monotone: a value below the current
+      floor is a no-op. *)
+
+  val note_scores : t -> float list -> unit
+  (** Fold a completed run's answer scores into the merged best-k; once
+      [k] scores are known the merged k-th becomes the floor. *)
+
+  val bound_reader : t -> unit -> float
+  (** A fresh bound-reading closure for one shard thread (engine
+      [prune_bound] hook): caches the last value, refreshing under the
+      mutex every 64th call — stale reads under-prune, never
+      over-prune. *)
+
+  val bound : t -> float
+  (** The current floor, read under the mutex. *)
+
+  val publishes : t -> int
+  (** How many times the floor tightened — observability for tests and
+      metrics. *)
+end
+
+include module type of Make (Whirlpool.Sync.Real)

@@ -23,12 +23,17 @@ type point = {
 }
 
 val run :
+  ?bound_push:bool ->
   socket:string ->
   queries:string list ->
   clients:int ->
   duration_s:float ->
+  unit ->
   (point, string) result
-(** [Error] when no client can connect or [queries] is empty. *)
+(** [Error] when no client can connect or [queries] is empty.
+    [bound_push] is forwarded on every request (omitted when [None]):
+    [Some false] turns cross-shard bound pushing off server-side, the
+    scatter-only baseline for the sharding benchmarks. *)
 
 val point_to_json : point -> Wp_json.Json.t
 

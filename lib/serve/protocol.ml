@@ -10,6 +10,7 @@ type query = {
   routing : string option;
   batch : int option;
   use_cache : bool option;
+  bound_push : bool option;
 }
 
 type metrics_format = Json_format | Prometheus
@@ -192,7 +193,8 @@ let request_to_json req =
         @ opt "algo" q.algo (fun s -> String s)
         @ opt "routing" q.routing (fun s -> String s)
         @ opt "batch" q.batch (fun b -> Int b)
-        @ opt "use_cache" q.use_cache (fun b -> Bool b))
+        @ opt "use_cache" q.use_cache (fun b -> Bool b)
+        @ opt "bound_push" q.bound_push (fun b -> Bool b))
   | Metrics { id; format } ->
       Obj
         ([ ("op", String "metrics"); ("id", Int id) ]
@@ -216,9 +218,21 @@ let request_of_json json =
       let* routing = opt_string "routing" json in
       let* batch = opt_int "batch" json in
       let* use_cache = opt_bool "use_cache" json in
+      let* bound_push = opt_bool "bound_push" json in
       Result.Ok
         (Query
-           { id; query; doc; k; deadline_ms; algo; routing; batch; use_cache })
+           {
+             id;
+             query;
+             doc;
+             k;
+             deadline_ms;
+             algo;
+             routing;
+             batch;
+             use_cache;
+             bound_push;
+           })
   | "metrics" ->
       let* fmt = opt_string "format" json in
       let* format =

@@ -34,6 +34,9 @@ type query = {
           [None] = service default *)
   use_cache : bool option;
       (** candidate-cache toggle; [None] = service default *)
+  bound_push : bool option;
+      (** cross-shard bound pushing toggle for scattered queries;
+          [None] = on (the scatter-only baseline is [Some false]) *)
 }
 
 type metrics_format = Json_format | Prometheus

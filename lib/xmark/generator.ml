@@ -42,6 +42,55 @@ let default_profile =
     people_per_item = 0.4;
   }
 
+(* Skewed profiles for the sharding benchmarks: a corpus mixing one
+   [rich_profile] shard with several [sparse_profile] shards gives the
+   cross-shard bound real work to do — the rich shard dominates the
+   merged top-k and its threshold prunes the sparse shards' speculative
+   matches.  A uniform corpus ties every shard's k-th score (the
+   structural queries' integer score lattice) and the bound buys
+   nothing. *)
+let rich_profile =
+  {
+    default_profile with
+    p_description_parlist = 0.9;
+    p_parlist_recursion = 0.7;
+    max_parlist_depth = 4;
+    min_listitems = 2;
+    max_listitems = 5;
+    p_mailbox = 0.95;
+    min_mails = 2;
+    max_mails = 5;
+    p_mail_text = 0.95;
+    p_text_bold = 0.8;
+    p_text_keyword = 0.8;
+    p_incategory = 0.95;
+    max_incategories = 4;
+    p_item_name = 0.95;
+  }
+
+let sparse_profile =
+  {
+    default_profile with
+    p_description_parlist = 0.03;
+    p_parlist_recursion = 0.05;
+    max_parlist_depth = 2;
+    p_mailbox = 0.1;
+    min_mails = 1;
+    max_mails = 1;
+    p_mail_text = 0.3;
+    p_text_bold = 0.05;
+    p_text_keyword = 0.05;
+    p_incategory = 0.15;
+    max_incategories = 1;
+    p_item_name = 0.5;
+  }
+
+let profile_of_string = function
+  | "default" -> Some default_profile
+  | "rich" -> Some rich_profile
+  | "sparse" -> Some sparse_profile
+  | _ -> None
+
 (* A [text] element: prose plus optional bold/keyword/emph children, as in
    XMark's mixed content. *)
 let text p rng =

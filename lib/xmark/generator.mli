@@ -44,6 +44,18 @@ type profile = {
 
 val default_profile : profile
 
+val rich_profile : profile
+(** Content-dense items (deep parlists, full mailboxes, frequent
+    keywords): the shard that dominates a merged top-k in the sharding
+    benchmarks. *)
+
+val sparse_profile : profile
+(** Structure-poor items: shards whose speculative matches the
+    cross-shard bound prunes. *)
+
+val profile_of_string : string -> profile option
+(** ["default"], ["rich"] or ["sparse"]. *)
+
 val item : profile -> Rng.t -> Wp_xml.Tree.t
 (** One random [item] element. *)
 

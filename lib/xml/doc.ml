@@ -1,12 +1,37 @@
 type node_id = int
 
-type t = {
+(* Two physical representations behind one interface:
+
+   - [Mem]: the classical frozen arrays, built by [of_tree] and friends —
+     everything materialized, including Dewey labels.
+   - [Ext]: an externally-backed view (in practice: a memory-mapped
+     on-disk index from [Wp_storage]); per-node facts are fetched through
+     accessor closures over the mapped columns, and Dewey labels are
+     reconstructed on demand from the stored child ranks.  Nothing here
+     depends on how the backing store is implemented, which keeps this
+     library free of [Unix] and lets tests back a document with plain
+     functions. *)
+
+type ext = {
+  ext_size : int;
+  ext_tag : int -> string;
+  ext_value : int -> string option;
+  ext_parent : int -> int;  (* -1 for the root *)
+  ext_subtree_end : int -> int;  (* exclusive *)
+  ext_depth : int -> int;
+  ext_rank : int -> int;  (* 1-based child rank; 0 for the root *)
+  ext_tags : string list;  (* distinct tags, first-occurrence order *)
+}
+
+type mem = {
   tags : string array;
   values : string option array;
   deweys : Dewey.t array;
   parents : int array;  (* -1 for the root *)
   subtree_ends : int array;  (* exclusive *)
 }
+
+type t = Mem of mem | Ext of ext
 
 let of_tree tree =
   let n = Tree.size tree in
@@ -30,7 +55,7 @@ let of_tree tree =
     subtree_ends.(id) <- !next
   in
   assign (-1) Dewey.root tree;
-  { tags; values; deweys; parents; subtree_ends }
+  Mem { tags; values; deweys; parents; subtree_ends }
 
 let of_forest ?(root_tag = "doc-root") trees =
   of_tree (Tree.el root_tag trees)
@@ -62,59 +87,101 @@ let of_components ~tags ~values ~parents =
     next_rank.(p) <- next_rank.(p) + 1;
     deweys.(i) <- Dewey.child deweys.(p) next_rank.(p)
   done;
-  {
-    tags = Array.copy tags;
-    values = Array.copy values;
-    deweys;
-    parents = Array.copy parents;
-    subtree_ends;
-  }
+  Mem
+    {
+      tags = Array.copy tags;
+      values = Array.copy values;
+      deweys;
+      parents = Array.copy parents;
+      subtree_ends;
+    }
+
+let of_ext ~size ~tag ~value ~parent ~subtree_end ~depth ~rank ~distinct_tags =
+  if size < 1 then invalid_arg "Doc.of_ext: empty document";
+  Ext
+    {
+      ext_size = size;
+      ext_tag = tag;
+      ext_value = value;
+      ext_parent = parent;
+      ext_subtree_end = subtree_end;
+      ext_depth = depth;
+      ext_rank = rank;
+      ext_tags = distinct_tags;
+    }
 
 let root _ = 0
-let size d = Array.length d.tags
-let tag d i = d.tags.(i)
-let value d i = d.values.(i)
-let dewey d i = d.deweys.(i)
-let parent d i = if d.parents.(i) < 0 then None else Some d.parents.(i)
-let depth d i = Dewey.depth d.deweys.(i)
-let subtree_end d i = d.subtree_ends.(i)
+let size = function Mem d -> Array.length d.tags | Ext e -> e.ext_size
+let tag t i = match t with Mem d -> d.tags.(i) | Ext e -> e.ext_tag i
+let value t i = match t with Mem d -> d.values.(i) | Ext e -> e.ext_value i
 
-let children d i =
-  let stop = d.subtree_ends.(i) in
+(* Reconstruct a mapped node's Dewey label by collecting child ranks up
+   the parent chain — O(depth), only paid on answer rendering and axis
+   diagnostics, never in the engines' structural hot path (which uses
+   [depth]/[subtree_end]/[is_ancestor]). *)
+let ext_dewey e i =
+  let d = e.ext_depth i in
+  let ranks = Array.make d 0 in
+  let rec fill j lvl =
+    if lvl >= 0 then begin
+      ranks.(lvl) <- e.ext_rank j;
+      fill (e.ext_parent j) (lvl - 1)
+    end
+  in
+  fill i (d - 1);
+  Dewey.of_array ranks
+
+let dewey t i = match t with Mem d -> d.deweys.(i) | Ext e -> ext_dewey e i
+
+let parent t i =
+  let p = match t with Mem d -> d.parents.(i) | Ext e -> e.ext_parent i in
+  if p < 0 then None else Some p
+
+let depth t i =
+  match t with Mem d -> Dewey.depth d.deweys.(i) | Ext e -> e.ext_depth i
+
+let subtree_end t i =
+  match t with Mem d -> d.subtree_ends.(i) | Ext e -> e.ext_subtree_end i
+
+let children t i =
+  let stop = subtree_end t i in
   let rec loop j acc =
-    if j >= stop then List.rev acc
-    else loop d.subtree_ends.(j) (j :: acc)
+    if j >= stop then List.rev acc else loop (subtree_end t j) (j :: acc)
   in
   loop (i + 1) []
 
-let is_parent d ~parent:p ~child:c = d.parents.(c) = p
-let is_ancestor d ~anc ~desc = anc < desc && desc < d.subtree_ends.(anc)
+let is_parent t ~parent:p ~child:c =
+  (match t with Mem d -> d.parents.(c) | Ext e -> e.ext_parent c) = p
 
-let rec to_tree d i =
-  let cs = List.map (to_tree d) (children d i) in
-  { Tree.tag = d.tags.(i); value = d.values.(i); children = cs }
+let is_ancestor t ~anc ~desc = anc < desc && desc < subtree_end t anc
 
-let fold f d acc =
+let rec to_tree t i =
+  let cs = List.map (to_tree t) (children t i) in
+  { Tree.tag = tag t i; value = value t i; children = cs }
+
+let fold f t acc =
   let r = ref acc in
-  for i = 0 to size d - 1 do
+  for i = 0 to size t - 1 do
     r := f i !r
   done;
   !r
 
-let distinct_tags d =
-  let seen = Hashtbl.create 16 in
-  let out = ref [] in
-  Array.iter
-    (fun t ->
-      if not (Hashtbl.mem seen t) then begin
-        Hashtbl.add seen t ();
-        out := t :: !out
-      end)
-    d.tags;
-  List.rev !out
+let distinct_tags = function
+  | Ext e -> e.ext_tags
+  | Mem d ->
+      let seen = Hashtbl.create 16 in
+      let out = ref [] in
+      Array.iter
+        (fun t ->
+          if not (Hashtbl.mem seen t) then begin
+            Hashtbl.add seen t ();
+            out := t :: !out
+          end)
+        d.tags;
+      List.rev !out
 
-let pp_node d ppf i =
-  Format.fprintf ppf "%s[%a]" d.tags.(i) Dewey.pp d.deweys.(i);
-  match d.values.(i) with
+let pp_node t ppf i =
+  Format.fprintf ppf "%s[%a]" (tag t i) Dewey.pp (dewey t i);
+  match value t i with
   | None -> ()
   | Some v -> Format.fprintf ppf "(%s)" v

@@ -27,6 +27,27 @@ val of_components :
     @raise Invalid_argument if the arrays are not a valid preorder
     encoding. *)
 
+val of_ext :
+  size:int ->
+  tag:(node_id -> string) ->
+  value:(node_id -> string option) ->
+  parent:(node_id -> node_id) ->
+  subtree_end:(node_id -> node_id) ->
+  depth:(node_id -> int) ->
+  rank:(node_id -> int) ->
+  distinct_tags:string list ->
+  t
+(** An externally-backed document view: every per-node fact is fetched
+    through the given accessors instead of materialized arrays.
+    [Wp_storage] uses this to present a memory-mapped on-disk index as
+    a [Doc.t] without loading it — pages fault in on demand.  [parent]
+    must return [-1] for the root, [rank] the 1-based child rank ([0]
+    for the root); Dewey labels are reconstructed on demand from
+    [rank]/[parent] in O(depth).  The accessors must describe a valid
+    preorder encoding — this constructor performs no validation beyond
+    [size >= 1]; the storage layer validates before mapping.
+    @raise Invalid_argument if [size < 1]. *)
+
 val root : t -> node_id
 val size : t -> int
 

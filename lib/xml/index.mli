@@ -15,13 +15,34 @@ val wildcard : string
 
 val build : Doc.t -> t
 
+type int32_view =
+  (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The element type of a memory-mapped postings section. *)
+
+val of_mapped :
+  doc:Doc.t ->
+  postings:int32_view ->
+  extents:(string * int * int) list ->
+  t
+(** An index whose per-tag postings are [(offset, length)] windows into
+    one shared [Int32] bigarray — the postings section of a
+    memory-mapped on-disk index ([Wp_storage]).  Lookups read the
+    mapped pages directly; {!ids} materializes an [int array] copy per
+    call on this backend (the range functions below never do).  Each
+    extent's window must hold that tag's node ids in document order —
+    the storage layer guarantees this; only window bounds are checked
+    here.
+    @raise Invalid_argument if an extent exceeds the postings view. *)
+
 val doc : t -> Doc.t
 (** The document this index was built from. *)
 
 val ids : t -> string -> int array
-(** All nodes with the given tag, in document order.  The returned array
-    is owned by the index and must not be mutated; it is empty for tags
-    absent from the document. *)
+(** All nodes with the given tag, in document order; empty for tags
+    absent from the document.  On the in-memory backend the array is
+    owned by the index and must not be mutated; on a mapped backend it
+    is a fresh copy per call — prefer the range functions below on hot
+    paths. *)
 
 val count : t -> string -> int
 

@@ -65,6 +65,7 @@ let test_protocol_request_roundtrip () =
          routing = Some "max_score";
          batch = Some 4;
          use_cache = Some false;
+         bound_push = Some false;
        });
   roundtrip_request
     (Protocol.Query
@@ -78,6 +79,7 @@ let test_protocol_request_roundtrip () =
          routing = None;
          batch = None;
          use_cache = None;
+         bound_push = None;
        });
   roundtrip_request (Protocol.Metrics { id = 2; format = Protocol.Json_format });
   roundtrip_request (Protocol.Metrics { id = 2; format = Protocol.Prometheus });
@@ -359,6 +361,7 @@ let query id ?doc ?k ?deadline_ms ?algo q =
     routing = None;
     batch = None;
     use_cache = None;
+    bound_push = None;
   }
 
 let test_service_matches_engine () =
@@ -374,7 +377,7 @@ let test_service_matches_engine () =
             (fun (doc : Catalog.doc) ->
               let plan =
                 match Catalog.plan_for catalog doc q with
-                | Ok p -> p
+                | Ok p -> p.Catalog.plan
                 | Error e ->
                     Alcotest.failf "plan %s: %s" q
                       (Catalog.plan_error_message e)
@@ -424,6 +427,163 @@ let test_service_merged_corpus () =
       let scores = List.map (fun (a : Protocol.answer) -> a.score) r.answers in
       Alcotest.(check bool) "sorted desc" true
         (List.sort (fun a b -> Float.compare b a) scores = scores))
+
+(* --- sharding: scatter–gather equals the single-catalog answers --- *)
+
+(* A larger multi-document corpus (xmark slices) so the shard split is
+   non-trivial and the merged top-k spans documents. *)
+let with_xmark_corpus_dir n f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wp-shard-test-%d-%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Unix.mkdir dir 0o700;
+  for i = 1 to n do
+    let tree =
+      Wp_xmark.Generator.generate ~seed:(100 + i) ~target_bytes:30_000 ()
+    in
+    write_tree (Filename.concat dir (Printf.sprintf "doc%d.xml" i)) tree
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let shard_queries =
+  [ "//item[./name]"; "//item[./description/parlist]"; "//keyword" ]
+
+let service_with dir ~shards =
+  let catalog = Catalog.create ~shards () in
+  (match Catalog.load_dir catalog dir with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "load_dir: %s" m);
+  Service.create ~catalog ()
+
+let answer_list (r : Protocol.response) =
+  List.map
+    (fun (a : Protocol.answer) -> (a.doc, a.root, a.score, a.dewey))
+    r.answers
+
+let test_sharded_matches_unsharded () =
+  with_xmark_corpus_dir 5 (fun dir ->
+      (* Pick a shard count that actually splits these document names. *)
+      let shards =
+        List.find
+          (fun s ->
+            let c = Catalog.create ~shards:s () in
+            List.length
+              (List.sort_uniq compare
+                 (List.init 5 (fun i ->
+                      Catalog.shard_of c (Printf.sprintf "doc%d.xml" (i + 1)))))
+            > 1)
+          [ 2; 3; 4; 5 ]
+      in
+      let single = service_with dir ~shards:1 in
+      let sharded = service_with dir ~shards in
+      List.iter
+        (fun q ->
+          let base = Service.handle_query single (query 1 ~k:8 q) in
+          Alcotest.(check bool) (q ^ " single ok") true
+            (base.status = Protocol.Ok);
+          (* Bound pushing on (default) and off must both reproduce the
+             single-catalog answers exactly — pushing only removes
+             work, never answers (strict-< floor keeps ties). *)
+          List.iter
+            (fun bound_push ->
+              let r =
+                Service.handle_query sharded
+                  { (query 2 ~k:8 q) with bound_push }
+              in
+              Alcotest.(check bool) (q ^ " sharded ok") true
+                (r.status = Protocol.Ok);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s sharded answers (push=%b)" q
+                   (bound_push <> Some false))
+                true
+                (answer_list base = answer_list r))
+            [ None; Some true; Some false ])
+        shard_queries)
+
+(* The persistent per-plan candidate cache: a repeated request hits. *)
+let test_persistent_cache_hits () =
+  with_xmark_corpus_dir 2 (fun dir ->
+      let service = service_with dir ~shards:1 in
+      let q = query 1 ~k:5 "//item[./name and ./incategory]" in
+      let r1 = Service.handle_query service q in
+      Alcotest.(check bool) "first ok" true (r1.status = Protocol.Ok);
+      let r2 = Service.handle_query service q in
+      Alcotest.(check bool) "second ok" true (r2.status = Protocol.Ok);
+      let hits_of (r : Protocol.response) =
+        match r.stats with
+        | Some s -> (
+            match Json.member "cache_hits" s with
+            | Some (Json.Int h) -> h
+            | _ -> Alcotest.fail "stats lack cache_hits")
+        | None -> Alcotest.fail "no stats"
+      in
+      (* The second request reuses the first one's memoized candidate
+         derivations: its own run begins with a warm cache. *)
+      Alcotest.(check bool) "second request hits warm cache" true
+        (hits_of r2 > hits_of r1);
+      (* And the service-level metrics surface a nonzero hit rate. *)
+      match Json.member "engine_cache" (Service.metrics_json service) with
+      | Some ec -> (
+          match Json.member "hit_rate" ec with
+          | Some (Json.Float rate) ->
+              Alcotest.(check bool) "hit_rate > 0" true (rate > 0.0)
+          | _ -> Alcotest.fail "engine_cache lacks hit_rate")
+      | None -> Alcotest.fail "metrics lack engine_cache")
+
+(* Sharded serving over a mapped (.wpidx) corpus: build index files,
+   load them, and compare against the same corpus parsed from XML. *)
+let test_sharded_mapped_corpus () =
+  with_xmark_corpus_dir 3 (fun dir ->
+      let mapped_dir = Filename.concat dir "mapped" in
+      Unix.mkdir mapped_dir 0o700;
+      Fun.protect
+        ~finally:(fun () ->
+          Array.iter
+            (fun f ->
+              try Sys.remove (Filename.concat mapped_dir f)
+              with Sys_error _ -> ())
+            (Sys.readdir mapped_dir);
+          try Unix.rmdir mapped_dir with Unix.Unix_error _ -> ())
+        (fun () ->
+          List.iter
+            (fun f ->
+              if Filename.check_suffix f ".xml" then begin
+                let d =
+                  Wp_xml.Doc.of_tree
+                    (Wp_xml.Parser.parse_file (Filename.concat dir f))
+                in
+                let out =
+                  Filename.concat mapped_dir
+                    (Filename.remove_extension f ^ ".xml")
+                in
+                (* Keep the catalog names identical (.xml) so shard
+                   assignment and answer tagging line up; content
+                   sniffing, not the extension, picks the loader. *)
+                let (_ : int) = Wp_storage.Index_file.write out d in
+                ()
+              end)
+            (Array.to_list (Sys.readdir dir));
+          let xml_service = service_with dir ~shards:2 in
+          let mapped_service = service_with mapped_dir ~shards:2 in
+          List.iter
+            (fun q ->
+              let a = Service.handle_query xml_service (query 1 ~k:6 q) in
+              let b = Service.handle_query mapped_service (query 2 ~k:6 q) in
+              Alcotest.(check bool) (q ^ " xml ok") true
+                (a.status = Protocol.Ok);
+              Alcotest.(check bool) (q ^ " mapped ok") true
+                (b.status = Protocol.Ok);
+              Alcotest.(check bool) (q ^ " identical answers") true
+                (answer_list a = answer_list b))
+            shard_queries))
 
 let test_service_errors () =
   with_corpus_dir (fun dir ->
@@ -742,6 +902,12 @@ let suite =
       test_service_expired_deadline_partial;
     Alcotest.test_case "service merged corpus" `Quick
       test_service_merged_corpus;
+    Alcotest.test_case "sharded matches unsharded" `Quick
+      test_sharded_matches_unsharded;
+    Alcotest.test_case "persistent cache hits" `Quick
+      test_persistent_cache_hits;
+    Alcotest.test_case "sharded mapped corpus" `Quick
+      test_sharded_mapped_corpus;
     Alcotest.test_case "service errors" `Quick test_service_errors;
     Alcotest.test_case "service metrics json" `Quick
       test_service_metrics_json;

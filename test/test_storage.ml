@@ -1,0 +1,227 @@
+(* The .wpidx on-disk index: differential equivalence against the
+   in-memory backend, and Doc_io-style rejection of corrupt files.
+
+   The tentpole property is bit-for-bit interchangeability: a document
+   written to a .wpidx file and memory-mapped back must give every
+   query the same answers AND the same visit/comparison counters as
+   the in-memory index it was compacted from — the engines cannot tell
+   the backends apart. *)
+
+module Doc = Wp_xml.Doc
+module Index = Wp_xml.Index
+module If = Wp_storage.Index_file
+
+let queries =
+  [
+    "//item[./description/parlist]";
+    "//item[./mailbox/mail/text]";
+    "//item[./name and ./incategory]";
+    "//item[./description/parlist and ./mailbox/mail/text]";
+    "//keyword";
+  ]
+
+let temp_wpidx () = Filename.temp_file "wp-storage-test" ".wpidx"
+
+let with_written doc f =
+  let path = temp_wpidx () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let (_ : int) = If.write path doc in
+      f path)
+
+let open_ok path =
+  match If.open_index path with
+  | Ok h -> h
+  | Error e -> Alcotest.failf "open_index: %s" (If.error_message e)
+
+let gen_doc seed =
+  Wp_xmark.Generator.generate_doc ~seed ~target_bytes:60_000 ()
+
+(* --- structural round-trip --- *)
+
+let check_doc_equal ~ctx (a : Doc.t) (b : Doc.t) =
+  let n = Doc.size a in
+  Alcotest.(check int) (ctx ^ " size") n (Doc.size b);
+  for i = 0 to n - 1 do
+    let c msg = Printf.sprintf "%s node %d %s" ctx i msg in
+    Alcotest.(check string) (c "tag") (Doc.tag a i) (Doc.tag b i);
+    Alcotest.(check (option string)) (c "value") (Doc.value a i) (Doc.value b i);
+    Alcotest.(check (option int)) (c "parent") (Doc.parent a i) (Doc.parent b i);
+    Alcotest.(check int) (c "subtree_end") (Doc.subtree_end a i)
+      (Doc.subtree_end b i);
+    Alcotest.(check int) (c "depth") (Doc.depth a i) (Doc.depth b i);
+    Alcotest.(check string) (c "dewey")
+      (Wp_xml.Dewey.to_string (Doc.dewey a i))
+      (Wp_xml.Dewey.to_string (Doc.dewey b i))
+  done;
+  Alcotest.(check (list string)) (ctx ^ " distinct tags") (Doc.distinct_tags a)
+    (Doc.distinct_tags b)
+
+let check_index_equal ~ctx (a : Index.t) (b : Index.t) =
+  List.iter
+    (fun tag ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s ids(%s)" ctx tag)
+        (Index.ids a tag) (Index.ids b tag))
+    (Index.wildcard :: Doc.distinct_tags (Index.doc a))
+
+let test_roundtrip_structure () =
+  List.iter
+    (fun seed ->
+      let doc = gen_doc seed in
+      let mem_idx = Index.build doc in
+      with_written doc (fun path ->
+          let h = open_ok path in
+          let mapped = If.index h in
+          let ctx = Printf.sprintf "seed %d" seed in
+          check_doc_equal ~ctx doc (Index.doc mapped);
+          check_index_equal ~ctx mem_idx mapped))
+    [ 1; 7; 23 ]
+
+(* --- engine-level differential: answers AND counters --- *)
+
+let run_all idx =
+  List.map
+    (fun q ->
+      let pattern = Wp_pattern.Xpath_parser.parse q in
+      let plan = Whirlpool.Run.compile idx pattern in
+      let r = Whirlpool.Engine.run plan ~k:10 in
+      (q, r))
+    queries
+
+let test_roundtrip_engine () =
+  List.iter
+    (fun seed ->
+      let doc = gen_doc seed in
+      let mem = run_all (Index.build doc) in
+      with_written doc (fun path ->
+          let h = open_ok path in
+          let mapped = run_all (If.index h) in
+          List.iter2
+            (fun (q, (m : Whirlpool.Engine.result))
+                 (_, (p : Whirlpool.Engine.result)) ->
+              let c msg = Printf.sprintf "seed %d %s %s" seed q msg in
+              Alcotest.(check (list (pair int (float 0.0))))
+                (c "answers")
+                (List.map
+                   (fun (e : Whirlpool.Topk_set.entry) -> (e.root, e.score))
+                   m.answers)
+                (List.map
+                   (fun (e : Whirlpool.Topk_set.entry) -> (e.root, e.score))
+                   p.answers);
+              Alcotest.(check int) (c "comparisons") m.stats.comparisons
+                p.stats.comparisons;
+              Alcotest.(check int) (c "server_ops") m.stats.server_ops
+                p.stats.server_ops;
+              Alcotest.(check int) (c "matches_created")
+                m.stats.matches_created p.stats.matches_created;
+              Alcotest.(check int) (c "matches_pruned") m.stats.matches_pruned
+                p.stats.matches_pruned)
+            mem mapped))
+    [ 3; 11 ]
+
+(* --- term dictionary --- *)
+
+let test_lookup_term () =
+  let doc = gen_doc 5 in
+  with_written doc (fun path ->
+      let h = open_ok path in
+      (* Every node's full value must be findable through the term
+         dictionary, and the posting list must contain the node. *)
+      let checked = ref 0 in
+      for i = 0 to Doc.size doc - 1 do
+        match Doc.value doc i with
+        | Some v when v <> "" && !checked < 50 ->
+            incr checked;
+            let hits = If.lookup_term h v in
+            Alcotest.(check bool)
+              (Printf.sprintf "node %d findable by its value" i)
+              true
+              (Array.exists (fun n -> n = i) hits)
+        | _ -> ()
+      done;
+      Alcotest.(check bool) "some values checked" true (!checked > 0);
+      Alcotest.(check (array int)) "unknown term empty" [||]
+        (If.lookup_term h "no-such-term-xyzzy"))
+
+(* --- corruption fixtures --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let expect_error ~what path pred =
+  match If.open_index path with
+  | Ok _ -> Alcotest.failf "%s: opened a corrupt file" what
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rejected with the right error (%s)" what
+           (If.error_message e))
+        true (pred e)
+
+let test_corrupt_headers () =
+  let doc = gen_doc 9 in
+  with_written doc (fun path ->
+      let valid = read_file path in
+      let mutate f =
+        let b = Bytes.of_string valid in
+        f b;
+        write_file path (Bytes.to_string b)
+      in
+      (* Bad magic. *)
+      mutate (fun b -> Bytes.set b 0 'X');
+      expect_error ~what:"bad magic" path (function
+        | If.Not_index_file _ -> true
+        | _ -> false);
+      (* Version skew. *)
+      mutate (fun b -> Bytes.set b 5 (Char.chr 99));
+      expect_error ~what:"version skew" path (function
+        | If.Version_skew { found = 99; _ } -> true
+        | _ -> false);
+      (* Truncations at every section of the layout. *)
+      List.iter
+        (fun frac ->
+          let cut = String.length valid * frac / 100 in
+          write_file path (String.sub valid 0 cut);
+          expect_error
+            ~what:(Printf.sprintf "truncated to %d%%" frac)
+            path
+            (function If.Truncated _ | If.Corrupt _ -> true
+              | If.Not_index_file _ -> cut < String.length If.magic
+              | _ -> false))
+        [ 0; 1; 10; 50; 99 ];
+      (* A flipped byte inside the 64-byte checksummed header region. *)
+      mutate (fun b -> Bytes.set b 16 (Char.chr (Char.code (Bytes.get b 16) lxor 0xFF)));
+      expect_error ~what:"checksum mismatch" path (function
+        | If.Corrupt _ | If.Truncated _ -> true
+        | _ -> false);
+      (* A section offset pointing past the end of the file. *)
+      mutate (fun b ->
+          (* First section-table slot lives at offset 72. *)
+          Bytes.set_int64_le b 72 0x7FFFFF00L);
+      expect_error ~what:"out-of-range section" path (function
+        | If.Corrupt _ | If.Truncated _ -> true
+        | _ -> false);
+      (* Restore for the final sanity check: the pristine bytes open. *)
+      write_file path valid;
+      let h = open_ok path in
+      Alcotest.(check int) "restored file opens" (Doc.size doc)
+        (If.info h).If.nodes)
+
+let suite =
+  [
+    Alcotest.test_case "structure round-trip" `Quick test_roundtrip_structure;
+    Alcotest.test_case "engine differential (answers + counters)" `Quick
+      test_roundtrip_engine;
+    Alcotest.test_case "content-term lookup" `Quick test_lookup_term;
+    Alcotest.test_case "corrupt files rejected" `Quick test_corrupt_headers;
+  ]
