@@ -101,6 +101,101 @@ let exhibits (scale : Common.scale) ~runs ~trace =
         (Printf.sprintf "fig8/static/%s" qname)
         (run_workload ~runs ~trace ~routing:(Whirlpool.Strategy.Static order) plan ~k))
     Common.queries;
+  (* backend comparison: the twig-join competitor and prefilter over
+     the same fig8-style workload.  k is pinned to the twig-join's
+     exact-match count, so the twig-seeded floor is active and every
+     backend must return the identical top-k (the harness aborts on any
+     disagreement).  For twig-seeded the gated measurement is the MAIN
+     whirlpool pass running under the twig-published floor, and the
+     pair runs under the Fifo queue policy: under the default
+     max-possible-final-score priority the queue itself already defers
+     every sub-floor partial past the k-th completion, so the floor
+     prunes nothing extra — Fifo isolates what the seeded floor buys
+     when the queue order does not (the fig6/fig8 exhibits document
+     what the best-first queue buys).  The acceptance claim is that the
+     seeded main pass's visits and comparisons come in below the plain
+     Fifo whirlpool run's; the twig prefilter itself is its own
+     exhibit.  The [uncached] slot holds the cache-off re-run except
+     for twig-seeded-main, where it holds the plain whirlpool run it is
+     measured against (so [speedup] reads as the seeded wall-time
+     win). *)
+  Printf.printf
+    "backend comparison (whirlpool vs lockstep vs twig vs twig-seeded)\n%!";
+  List.iter
+    (fun (qname, q) ->
+      let plan = Common.plan_for ~size:scale.default_size q in
+      let m = Wp_twig.Twig_join.match_count plan in
+      let k = max 1 m in
+      let go algo use_cache () =
+        let config =
+          Whirlpool.Engine.Config.(
+            default |> with_algo algo |> with_use_cache use_cache)
+        in
+        (Wp_twig.Backend.run ~config plan ~k).Whirlpool.Engine.stats
+      in
+      let entries (r : Whirlpool.Engine.result) =
+        List.map
+          (fun (e : Whirlpool.Topk_set.entry) -> (e.root, e.score))
+          r.answers
+      in
+      let plain = Whirlpool.Engine.run plan ~k in
+      let max_total = Wp_score.Score_table.max_total plan.Whirlpool.Plan.scores in
+      List.iter
+        (fun (aname, algo) ->
+          let r =
+            Wp_twig.Backend.run
+              ~config:Whirlpool.Engine.Config.(default |> with_algo algo)
+              plan ~k
+          in
+          (* Plain twig is exact-only: zero-penalty relaxations can tie
+             [max_total] and displace exact roots in the relaxed
+             engines' top-k, so the guard for it is exactness (count
+             and score), not entry equality. *)
+          (if algo = Whirlpool.Engine.Config.Twig then begin
+             if List.length r.Whirlpool.Engine.answers <> min k m then
+               failwith
+                 (Printf.sprintf "backend/%s/twig: expected %d exact answers"
+                    qname (min k m));
+             List.iter
+               (fun (e : Whirlpool.Topk_set.entry) ->
+                 if e.score <> max_total then
+                   failwith
+                     (Printf.sprintf
+                        "backend/%s/twig: non-exact score in answers" qname))
+               r.Whirlpool.Engine.answers
+           end
+           else if m > 0 && entries r <> entries plain then
+             failwith
+               (Printf.sprintf "backend/%s/%s: top-k diverged from whirlpool"
+                  qname aname));
+          add
+            (Printf.sprintf "backend/%s/%s" qname aname)
+            (measure ~runs (go algo true), measure ~runs (go algo false)))
+        [
+          ("whirlpool", Whirlpool.Engine.Config.Whirlpool);
+          ("lockstep", Whirlpool.Engine.Config.Lockstep);
+          ("twig", Whirlpool.Engine.Config.Twig);
+        ];
+      let fifo =
+        Whirlpool.Engine.Config.(
+          default |> with_queue_policy Whirlpool.Strategy.Fifo)
+      in
+      let plain_fifo = Whirlpool.Engine.run ~config:fifo plan ~k in
+      let seeded_main () =
+        let s = Wp_twig.Backend.run_seeded ~config:fifo plan ~k in
+        if entries s.Wp_twig.Backend.main <> entries plain_fifo then
+          failwith
+            (Printf.sprintf
+               "backend/%s/twig-seeded: top-k diverged from whirlpool" qname);
+        s.Wp_twig.Backend.main.Whirlpool.Engine.stats
+      in
+      add
+        (Printf.sprintf "backend/%s/twig-seeded-main" qname)
+        ( measure ~runs seeded_main,
+          measure ~runs (fun () ->
+              (Whirlpool.Engine.run ~config:fifo plan ~k).Whirlpool.Engine.stats)
+        ))
+    Common.queries;
   (* cache exhibit: k x document size x routing strategy over Q2. *)
   Printf.printf "cache sweep (Q2, k x size x routing)\n%!";
   List.iter
@@ -222,7 +317,59 @@ let exhibits (scale : Common.scale) ~runs ~trace =
           let independent = measure ~runs (go false) in
           add (Printf.sprintf "serve/bound-push/%s" qname)
             (pushed, independent))
-        serve_queries);
+        serve_queries;
+      (* dataguide build vs one cold query over the same mapped corpus:
+         the twig backend's catalog cost.  Counters are meaningless
+         here; the [cached] slot holds the per-corpus dataguide build
+         wall time and [uncached] one uncached Q2 pass over every
+         shard, so [speedup] reads "cold queries per dataguide build"
+         and the acceptance bar is a value above 1. *)
+      let wall_only wall_ns =
+        {
+          wall_ns;
+          comparisons = 0;
+          server_ops = 0;
+          matches_created = 0;
+          cache_hit_rate = 0.0;
+        }
+      in
+      let median xs = List.nth (List.sort compare xs) (List.length xs / 2) in
+      let timed f =
+        let t0 = Whirlpool.Clock.now_ns () in
+        f ();
+        Int64.to_int (Int64.sub (Whirlpool.Clock.now_ns ()) t0)
+      in
+      let build_ns () =
+        timed (fun () ->
+            List.iter
+              (fun idx ->
+                ignore
+                  (Sys.opaque_identity
+                     (Wp_stats.Dataguide.build (Wp_xml.Index.doc idx))))
+              indexes)
+      in
+      let q2_plans =
+        List.map
+          (fun idx ->
+            Whirlpool.Run.compile ~config:Wp_relax.Relaxation.with_content idx
+              (Wp_pattern.Xpath_parser.parse Common.q2))
+          indexes
+      in
+      let cold_ns () =
+        timed (fun () ->
+            List.iter
+              (fun plan ->
+                let config =
+                  Whirlpool.Engine.Config.(default |> with_use_cache false)
+                in
+                ignore
+                  (Sys.opaque_identity (Whirlpool.Engine.run ~config plan ~k)))
+              q2_plans)
+      in
+      let samples f = List.init (max 1 runs) (fun _ -> f ()) in
+      add "serve/dataguide/build-vs-cold-query"
+        ( wall_only (median (samples build_ns)),
+          wall_only (median (samples cold_ns)) ));
   List.rev !out
 
 let measurement_to_json m =

@@ -187,7 +187,7 @@ let local_query path q k threshold algo routing exact explain json =
   let idx = load_index path in
   let pattern = parse_query q in
   let algo =
-    match Whirlpool.Run.algorithm_of_string algo with
+    match Whirlpool.Engine.Config.algo_of_string algo with
     | Some a -> a
     | None ->
         prerr_endline ("unknown algorithm: " ^ algo);
@@ -204,7 +204,10 @@ let local_query path q k threshold algo routing exact explain json =
     if exact then Wp_relax.Relaxation.exact else Wp_relax.Relaxation.all
   in
   let plan = Whirlpool.Run.compile ~config idx pattern in
-  let engine_config = Whirlpool.Engine.Config.(default |> with_routing routing) in
+  let engine_config =
+    Whirlpool.Engine.Config.(
+      default |> with_routing routing |> with_algo algo)
+  in
   let r =
     match threshold with
     | Some threshold ->
@@ -213,7 +216,7 @@ let local_query path q k threshold algo routing exact explain json =
         Whirlpool.Engine.run_above ~config:engine_config plan ~threshold
     | None ->
         Printf.printf "Top-%d for %s:\n" k (Wp_pattern.Pattern.to_string pattern);
-        Whirlpool.Run.run ~config:engine_config algo plan ~k
+        Wp_twig.Backend.run ~config:engine_config plan ~k
   in
   let doc = Wp_xml.Index.doc idx in
   if json then
@@ -292,7 +295,9 @@ let query_cmd =
     Arg.(
       value & opt string "whirlpool-s"
       & info [ "algo" ]
-          ~doc:"whirlpool-s, whirlpool-m, lockstep or lockstep-noprun.")
+          ~doc:
+            "whirlpool-s, whirlpool-m, lockstep, lockstep-noprun, twig \
+             or twig-seeded.")
   in
   let routing =
     Arg.(
@@ -865,11 +870,18 @@ let relax_config relax_content =
   else Wp_relax.Relaxation.all
 
 let serve_run corpus socket workers queue_depth default_k deadline_ms
-    plan_cache slow_query_ms shards relax_content =
+    plan_cache slow_query_ms shards relax_content algo =
   if shards < 1 then begin
     prerr_endline "--shards must be >= 1";
     exit 2
   end;
+  let algo =
+    match Whirlpool.Engine.Config.algo_of_string algo with
+    | Some a -> a
+    | None ->
+        prerr_endline ("unknown algorithm: " ^ algo);
+        exit 2
+  in
   let catalog =
     Wp_serve.Catalog.create ~shards ~plan_cache
       ~config:(relax_config relax_content) ()
@@ -877,7 +889,9 @@ let serve_run corpus socket workers queue_depth default_k deadline_ms
   load_corpus catalog corpus;
   let service =
     Wp_serve.Service.create ~default_k ?default_deadline_ms:deadline_ms
-      ?slow_query_ms ~catalog ()
+      ?slow_query_ms
+      ~engine_config:Whirlpool.Engine.Config.(default |> with_algo algo)
+      ~catalog ()
   in
   let on_ready server =
     let stop _ = Wp_serve.Wire.request_stop server in
@@ -969,6 +983,15 @@ let serve_cmd =
              matches earn a fractional tf-idf weight instead of being \
              rejected, spreading the score distribution.")
   in
+  let algo =
+    Arg.(
+      value & opt string "whirlpool-s"
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:
+            "Default backend for requests that omit one: whirlpool-s, \
+             whirlpool-m, lockstep, lockstep-noprun, twig or \
+             twig-seeded.")
+  in
   Cmd.v
     (cmd_info "serve"
        ~doc:"serve top-k queries over a Unix-domain socket"
@@ -990,7 +1013,7 @@ let serve_cmd =
     Term.(
       const serve_run $ corpus $ socket_arg $ workers $ queue_depth
       $ default_k $ deadline_ms $ plan_cache $ slow_query_ms $ shards
-      $ relax_content)
+      $ relax_content $ algo)
 
 (* --- ctl --- *)
 
@@ -1264,11 +1287,16 @@ let spawn_server ~socket ~service ~workers ~queue_depth =
 let obj_fields = function Wp_json.Json.Obj fields -> fields | j -> [ ("value", j) ]
 
 let loadgen_run connect corpus queries clients duration workers_list
-    queue_depths shards_list push_list relax_content out =
+    queue_depths shards_list push_list relax_content algo out =
   if queries = [] then begin
     prerr_endline "at least one -q query is required";
     exit 2
   end;
+  (match algo with
+  | Some a when Whirlpool.Engine.Config.algo_of_string a = None ->
+      prerr_endline ("unknown algorithm: " ^ a);
+      exit 2
+  | _ -> ());
   if List.exists (fun s -> s < 1) shards_list then begin
     prerr_endline "--shards must be >= 1";
     exit 2
@@ -1279,8 +1307,8 @@ let loadgen_run connect corpus queries clients duration workers_list
         (* External server: one point, its pool shape is whatever the
            server was started with. *)
         match
-          Wp_serve.Loadgen.report ~socket ~queries ~client_counts:[ clients ]
-            ~duration_s:duration
+          Wp_serve.Loadgen.report ?algo ~socket ~queries
+            ~client_counts:[ clients ] ~duration_s:duration ()
         with
         | Ok report -> [ obj_fields report ]
         | Error e ->
@@ -1330,7 +1358,7 @@ let loadgen_run connect corpus queries clients duration workers_list
                             exit 2
                         | Ok (server, thread) -> (
                             let window () =
-                              Wp_serve.Loadgen.run ?bound_push ~socket
+                              Wp_serve.Loadgen.run ?algo ?bound_push ~socket
                                 ~queries ~clients ~duration_s:duration ()
                             in
                             let cold = window () in
@@ -1358,6 +1386,10 @@ let loadgen_run connect corpus queries clients duration workers_list
                                   (cold.errors + warm.errors);
                                 [
                                   ("shards", Wp_json.Json.Int shards);
+                                  ( "algo",
+                                    Wp_json.Json.String
+                                      (Option.value algo
+                                         ~default:"whirlpool-s") );
                                   ("bound_push", Wp_json.Json.Bool push);
                                   ("workers", Wp_json.Json.Int workers);
                                   ("queue_depth", Wp_json.Json.Int queue_depth);
@@ -1471,6 +1503,16 @@ let loadgen_cmd =
           ~doc:"Benchmark an already running server instead of \
                 spawning one per point.")
   in
+  let algo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:
+            "Backend sent with every request (whirlpool-s, whirlpool-m, \
+             lockstep, lockstep-noprun, twig, twig-seeded); omitted, \
+             the server default applies.")
+  in
   Cmd.v
     (cmd_info "loadgen"
        ~doc:"benchmark the server, writing BENCH_serve.json"
@@ -1489,7 +1531,7 @@ let loadgen_cmd =
     Term.(
       const loadgen_run $ connect $ corpus $ queries $ clients $ duration
       $ workers_list $ queue_depths $ shards_list $ push_list
-      $ relax_content $ out)
+      $ relax_content $ algo $ out)
 
 let () =
   let doc = "adaptive top-k XPath matching (Whirlpool)" in

@@ -14,7 +14,36 @@ let no_bound () = Float.neg_infinity
 let no_publish (_ : float) = ()
 
 module Config = struct
+  type algo =
+    | Whirlpool
+    | Whirlpool_mt
+    | Lockstep
+    | Lockstep_noprun
+    | Twig
+    | Twig_seeded
+
+  let all_algos =
+    [ Whirlpool; Whirlpool_mt; Lockstep; Lockstep_noprun; Twig; Twig_seeded ]
+
+  let algo_to_string = function
+    | Whirlpool -> "whirlpool-s"
+    | Whirlpool_mt -> "whirlpool-m"
+    | Lockstep -> "lockstep"
+    | Lockstep_noprun -> "lockstep-noprun"
+    | Twig -> "twig"
+    | Twig_seeded -> "twig-seeded"
+
+  let algo_of_string = function
+    | "whirlpool-s" | "ws" -> Some Whirlpool
+    | "whirlpool-m" | "wm" -> Some Whirlpool_mt
+    | "lockstep" -> Some Lockstep
+    | "lockstep-noprun" | "noprun" -> Some Lockstep_noprun
+    | "twig" -> Some Twig
+    | "twig-seeded" -> Some Twig_seeded
+    | _ -> None
+
   type t = {
+    algo : algo;
     routing : Strategy.routing;
     queue_policy : Strategy.queue_policy;
     batch : int;
@@ -30,6 +59,7 @@ module Config = struct
 
   let default =
     {
+      algo = Whirlpool;
       routing = Strategy.Min_alive;
       queue_policy = Strategy.Max_final_score;
       batch = 1;
@@ -43,6 +73,7 @@ module Config = struct
       publish_threshold = no_publish;
     }
 
+  let with_algo algo t = { t with algo }
   let with_routing routing t = { t with routing }
   let with_queue_policy queue_policy t = { t with queue_policy }
   let with_batch batch t = { t with batch }

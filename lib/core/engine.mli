@@ -42,7 +42,35 @@ val never_stop : unit -> bool
       Engine.run ~config plan ~k:10
     ]} *)
 module Config : sig
+  (** Backend selector — the engine family a run should use.  The
+      whirlpool engines ignore it (calling {!Engine.run} always runs
+      Whirlpool-S); dispatch over the full axis lives in
+      [Wp_twig.Backend.run], which the CLI and the serve tier go
+      through.  [Twig] is the exact-only holistic twig join;
+      [Twig_seeded] runs the twig join first and folds its exact-match
+      scores into the prune floor before adaptive matching starts. *)
+  type algo =
+    | Whirlpool
+    | Whirlpool_mt
+    | Lockstep
+    | Lockstep_noprun
+    | Twig
+    | Twig_seeded
+
+  val all_algos : algo list
+  (** Every constructor, in declaration order. *)
+
+  val algo_to_string : algo -> string
+  (** Canonical wire name ("whirlpool-s", "whirlpool-m", "lockstep",
+      "lockstep-noprun", "twig", "twig-seeded"); distinct per
+      constructor and accepted back by {!algo_of_string}. *)
+
+  val algo_of_string : string -> algo option
+  (** Inverse of {!algo_to_string}, also accepting the historical
+      aliases "ws", "wm" and "noprun". *)
+
   type t = {
+    algo : algo;  (** default [Whirlpool] *)
     routing : Strategy.routing;  (** default [Min_alive] *)
     queue_policy : Strategy.queue_policy;  (** default [Max_final_score] *)
     batch : int;
@@ -85,6 +113,7 @@ module Config : sig
 
   val default : t
 
+  val with_algo : algo -> t -> t
   val with_routing : Strategy.routing -> t -> t
   val with_queue_policy : Strategy.queue_policy -> t -> t
   val with_batch : int -> t -> t

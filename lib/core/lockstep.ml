@@ -58,7 +58,7 @@ let run ?order ?(queue_policy = Strategy.Max_final_score) ?(prune = true)
             pm)
         !current;
       let survivors = ref [] in
-      let rec drain () =
+      (let rec drain () =
         match Pqueue.pop stage with
         | None -> ()
         | Some pm ->
@@ -79,7 +79,10 @@ let run ?order ?(queue_policy = Strategy.Max_final_score) ?(prune = true)
             end;
             drain ()
       in
-      drain ();
+      drain ())
+      [@wp.bounded
+        "every pass pops one staged match and extensions accumulate in \
+         [survivors], never back into [stage]"];
       current := List.rev !survivors)
     order;
   let answers =

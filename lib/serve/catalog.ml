@@ -7,6 +7,7 @@ type doc = {
   nodes : int;
   source : source;
   shard : int;
+  dataguide : Wp_stats.Dataguide.t Lazy.t;
 }
 
 (* A compiled plan travels with its own candidate cache: cache entries
@@ -101,7 +102,8 @@ let load_file t ?name path =
   | Ok (index, source) ->
       let doc =
         { name; path; index; nodes = Wp_xml.Doc.size (Wp_xml.Index.doc index);
-          source; shard = shard_of t name }
+          source; shard = shard_of t name;
+          dataguide = lazy (Wp_stats.Dataguide.of_index index) }
       in
       with_lock t (fun () ->
           if not (Hashtbl.mem t.docs name) then t.order <- name :: t.order;

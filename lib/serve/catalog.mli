@@ -33,6 +33,10 @@ type doc = {
   nodes : int;
   source : source;
   shard : int;  (** [Hashtbl.hash name mod shards] — stable across loads *)
+  dataguide : Wp_stats.Dataguide.t Lazy.t;
+      (** the document's annotated strong dataguide, built on first
+          force (a twig-backend query) and cached next to the warm
+          index for the life of the catalog entry *)
 }
 
 type t

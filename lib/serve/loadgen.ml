@@ -25,7 +25,7 @@ type worker_acc = {
 
 let now_ns = Whirlpool.Clock.now_ns
 
-let client_loop client queries ~bound_push ~t_end acc =
+let client_loop client queries ~algo ~bound_push ~t_end acc =
   let nq = Array.length queries in
   let i = ref 0 in
   let id = ref 0 in
@@ -42,7 +42,7 @@ let client_loop client queries ~bound_push ~t_end acc =
           doc = None;
           k = None;
           deadline_ms = None;
-          algo = None;
+          algo;
           routing = None;
           batch = None;
           use_cache = None;
@@ -66,7 +66,7 @@ let client_loop client queries ~bound_push ~t_end acc =
         continue := false)
   done
 
-let run ?bound_push ~socket ~queries ~clients ~duration_s () =
+let run ?algo ?bound_push ~socket ~queries ~clients ~duration_s () =
   if queries = [] then Result.Error "no queries to issue"
   else if clients < 1 then Result.Error "need at least one client"
   else begin
@@ -95,7 +95,7 @@ let run ?bound_push ~socket ~queries ~clients ~duration_s () =
           List.map2
             (fun client acc ->
               Thread.create
-                (fun () -> client_loop client queries ~bound_push ~t_end acc)
+                (fun () -> client_loop client queries ~algo ~bound_push ~t_end acc)
                 ())
             conns accs
         in
@@ -157,12 +157,12 @@ let fetch_metrics ~socket =
   | Some m -> Result.Ok m
   | None -> Result.Error "metrics reply carried no metrics object"
 
-let report ~socket ~queries ~client_counts ~duration_s =
+let report ?algo ~socket ~queries ~client_counts ~duration_s () =
   let* points =
     List.fold_left
       (fun acc clients ->
         let* acc = acc in
-        let* p = run ~socket ~queries ~clients ~duration_s () in
+        let* p = run ?algo ~socket ~queries ~clients ~duration_s () in
         Result.Ok (p :: acc))
       (Result.Ok []) client_counts
   in

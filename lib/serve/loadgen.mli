@@ -23,6 +23,7 @@ type point = {
 }
 
 val run :
+  ?algo:string ->
   ?bound_push:bool ->
   socket:string ->
   queries:string list ->
@@ -31,6 +32,8 @@ val run :
   unit ->
   (point, string) result
 (** [Error] when no client can connect or [queries] is empty.
+    [algo] is the backend wire name forwarded on every request
+    (omitted when [None], leaving the server's default).
     [bound_push] is forwarded on every request (omitted when [None]):
     [Some false] turns cross-shard bound pushing off server-side, the
     scatter-only baseline for the sharding benchmarks. *)
@@ -38,10 +41,12 @@ val run :
 val point_to_json : point -> Wp_json.Json.t
 
 val report :
+  ?algo:string ->
   socket:string ->
   queries:string list ->
   client_counts:int list ->
   duration_s:float ->
+  unit ->
   (Wp_json.Json.t, string) result
 (** Run one {!point} per entry of [client_counts] sequentially and
     wrap them with the sweep parameters, plus the server's own metrics

@@ -27,7 +27,11 @@ type query = {
   doc : string option;  (** catalog name; [None] = merged corpus *)
   k : int option;  (** [None] = service default *)
   deadline_ms : float option;  (** [None] = service default *)
-  algo : string option;  (** "whirlpool-s" (default) or "whirlpool-m" *)
+  algo : string option;
+      (** a {!Whirlpool.Engine.Config.algo} wire name ("whirlpool-s",
+          "whirlpool-m", "lockstep", "lockstep-noprun", "twig",
+          "twig-seeded"); [None] = the server's configured default.
+          Unknown names are a typed [Bad_request]. *)
   routing : string option;  (** as {!Whirlpool.Strategy.routing_of_string} *)
   batch : int option;
       (** bulk-adaptivity width ({!Whirlpool.Engine.Config.t}[.batch]);

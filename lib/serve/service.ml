@@ -111,14 +111,18 @@ let resolve_k t (q : Protocol.query) =
   if k < 1 then bad (Printf.sprintf "k must be >= 1 (got %d)" k)
   else Result.Ok (min k t.max_k)
 
-let resolve_algo (q : Protocol.query) =
-  match Option.value q.algo ~default:"whirlpool-s" with
-  | "whirlpool-s" | "ws" -> Result.Ok `S
-  | "whirlpool-m" | "wm" -> Result.Ok `M
-  | other ->
-      bad
-        (Printf.sprintf
-           "unknown algo %S (serveable: whirlpool-s, whirlpool-m)" other)
+let resolve_algo t (q : Protocol.query) =
+  match q.algo with
+  | None -> Result.Ok t.base_config.Whirlpool.Engine.Config.algo
+  | Some s -> (
+      match Whirlpool.Engine.Config.algo_of_string s with
+      | Some a -> Result.Ok a
+      | None ->
+          bad
+            (Printf.sprintf "unknown algo %S (serveable: %s)" s
+               (String.concat ", "
+                  (List.map Whirlpool.Engine.Config.algo_to_string
+                     Whirlpool.Engine.Config.all_algos))))
 
 let resolve_routing (q : Protocol.query) =
   match q.routing with
@@ -178,12 +182,19 @@ let run_doc t ~config ~algo ~k (doc : Catalog.doc) (q : Protocol.query) =
       (Catalog.plan_for t.catalog doc q.query)
   in
   let config =
-    Whirlpool.Engine.Config.with_cache (Some cached.Catalog.cache) config
+    Whirlpool.Engine.Config.(
+      config |> with_cache (Some cached.Catalog.cache) |> with_algo algo)
   in
+  (* The twig backends read the catalog's per-document guide (built
+     lazily on first twig query, shared thereafter); the adaptive
+     engines never force it. *)
   let result =
     match algo with
-    | `S -> Whirlpool.Engine.run ~config cached.Catalog.plan ~k
-    | `M -> Whirlpool.Engine_mt.run ~config cached.Catalog.plan ~k
+    | Whirlpool.Engine.Config.Twig | Whirlpool.Engine.Config.Twig_seeded ->
+        Wp_twig.Backend.run ~config
+          ~guide:(Lazy.force doc.Catalog.dataguide)
+          cached.Catalog.plan ~k
+    | _ -> Wp_twig.Backend.run ~config cached.Catalog.plan ~k
   in
   note_totals t result.stats;
   Result.Ok result
@@ -291,7 +302,7 @@ let shard_groups docs =
 let run_query t (q : Protocol.query) ~t0 ~obs =
   let* docs = resolve_docs t q in
   let* k = resolve_k t q in
-  let* algo = resolve_algo q in
+  let* algo = resolve_algo t q in
   let* routing = resolve_routing q in
   let* batch = resolve_batch q in
   let should_stop = deadline_hook t q ~t0 in

@@ -48,8 +48,13 @@ let section_name = function
   | 13 -> "term_extents"
   | _ -> "content_postings"
 
-(* magic+version block, 8 u64 count fields, then the section table. *)
-let header_size = 8 + (8 * 8) + (n_sections * 16)
+(* magic+version block, 8 u64 count fields, then the section table.
+   Bytes 6-7 of the magic block carry the section count as a u16 (0 is
+   read as the legacy 15): a future version can append sections — e.g.
+   a persisted dataguide — and old readers skip the entries they do not
+   know while new readers still open old files. *)
+let header_size_of sections = 8 + (8 * 8) + (sections * 16)
+let header_size = header_size_of n_sections
 let align8 v = (v + 7) land lnot 7
 
 type error =
@@ -244,6 +249,7 @@ let write path doc =
   let header = Bytes.make header_size '\000' in
   Bytes.blit_string magic 0 header 0 (String.length magic);
   Bytes.set header 5 (Char.chr version);
+  Bytes.set_uint16_le header 6 n_sections;
   let set_u64 slot v = Bytes.set_int64_le header (8 + (8 * slot)) (Int64.of_int v) in
   set_u64 0 n;
   set_u64 1 tag_count;
@@ -309,17 +315,20 @@ type header = {
   h_lengths : int array;
 }
 
-(* Parse and cross-check the fixed header: magic, version, checksum,
-   declared file size, and every section's (offset, length) against the
-   actual file — all before a single byte is mapped or any count-sized
-   allocation happens. *)
-let parse_header path ~actual_size bytes =
+(* Parse and cross-check the header: magic, version, checksum, declared
+   file size, and every section's (offset, length) against the actual
+   file — all before a single byte is mapped or any count-sized
+   allocation happens.  [sections] is the section-table size announced
+   by the prelude; entries beyond the [n_sections] this build knows are
+   range-checked and skipped (forward compatibility). *)
+let parse_header path ~actual_size ~sections bytes =
   let fail detail = raise (Invalid (Corrupt { path; detail })) in
   if not (String.equal (Bytes.sub_string bytes 0 5) magic) then
     raise (Invalid (Not_index_file { path }));
   let v = Char.code (Bytes.get bytes 5) in
   if v <> version then
     raise (Invalid (Version_skew { path; found = v; expected = version }));
+  let header_size = header_size_of sections in
   let stored_sum = Bytes.get_int64_le bytes (8 + (8 * 7)) in
   Bytes.set_int64_le bytes (8 + (8 * 7)) 0L;
   if not (Int64.equal (fnv64 bytes) stored_sum) then fail "header checksum mismatch";
@@ -352,7 +361,7 @@ let parse_header path ~actual_size bytes =
   if h_file_size < actual_size then fail "trailing bytes after declared size";
   let h_offsets = Array.make n_sections 0 in
   let h_lengths = Array.make n_sections 0 in
-  for i = 0 to n_sections - 1 do
+  for i = 0 to sections - 1 do
     let off = Bytes.get_int64_le bytes (72 + (16 * i)) in
     let len = Bytes.get_int64_le bytes (72 + (16 * i) + 8) in
     let out_of_range v =
@@ -361,12 +370,19 @@ let parse_header path ~actual_size bytes =
     if out_of_range off || out_of_range len then
       fail (Printf.sprintf "section %s out of range" (section_name i));
     let off = Int64.to_int off and len = Int64.to_int len in
-    if
-      off < header_size || off land 7 <> 0 || off > h_file_size
-      || len > h_file_size - off
-    then fail (Printf.sprintf "section %s out of range" (section_name i));
-    h_offsets.(i) <- off;
-    h_lengths.(i) <- len
+    if i < n_sections then begin
+      if
+        off < header_size || off land 7 <> 0 || off > h_file_size
+        || len > h_file_size - off
+      then fail (Printf.sprintf "section %s out of range" (section_name i));
+      h_offsets.(i) <- off;
+      h_lengths.(i) <- len
+    end
+    (* Entries this build does not know about are tolerated as long as
+       they point inside the file: a newer writer appended data we can
+       simply not map. *)
+    else if off > h_file_size || len > h_file_size - off then
+      fail (Printf.sprintf "unknown section %d out of range" i)
   done;
   (* Fixed-width sections must be exactly as large as the counts say. *)
   let expect i bytes_wanted =
@@ -458,13 +474,33 @@ let open_index path =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           let actual_size = in_channel_length ic in
+          if actual_size < 8 then
+            raise
+              (Invalid
+                 (Truncated { path; detail = "file shorter than the header" }));
+          (* Prelude first: the section count at bytes 6-7 sizes the
+             header (0 = the legacy fixed table; fewer sections than
+             this build requires cannot be a valid file). *)
+          let pre = Bytes.create 8 in
+          really_input ic pre 0 8;
+          if not (String.equal (Bytes.sub_string pre 0 5) magic) then
+            raise (Invalid (Not_index_file { path }));
+          let sections =
+            match Bytes.get_uint16_le pre 6 with 0 -> n_sections | c -> c
+          in
+          if sections < n_sections then
+            raise
+              (Invalid
+                 (Corrupt { path; detail = "section table too small" }));
+          let header_size = header_size_of sections in
           if actual_size < header_size then
             raise
               (Invalid
                  (Truncated { path; detail = "file shorter than the header" }));
+          seek_in ic 0;
           let hb = Bytes.create header_size in
           really_input ic hb 0 header_size;
-          let header = parse_header path ~actual_size hb in
+          let header = parse_header path ~actual_size ~sections hb in
           let tags, extents = read_tag_table path ic header in
           (header, tags, extents))
     in

@@ -19,15 +19,21 @@
     {2 Layout}
 
     All integers are little-endian; data u32 slots are capped at
-    [2^31 - 1].  The fixed 312-byte header holds the magic ["WPIDX"],
-    a format version byte, eight u64 fields (node/tag/term counts,
-    byte sizes, declared file size, FNV-1a header checksum) and an
-    (offset, length) pair for each of the 15 sections, every section
-    starting 8-byte aligned.  Corruption — bad magic, version skew,
-    checksum mismatch, truncation, out-of-range or misaligned section
-    extents, tag extents that do not tile the postings — is rejected
-    with a typed {!error} before anything is mapped or any count-sized
-    allocation happens, in the style of {!Wp_xml.Doc_io}. *)
+    [2^31 - 1].  The header holds the magic ["WPIDX"], a format
+    version byte, a u16 section count (0 is read as the baseline 15,
+    for files written before the count existed), eight u64 fields
+    (node/tag/term counts, byte sizes, declared file size, FNV-1a
+    header checksum over the whole variable-size header) and an
+    (offset, length) pair for each section, every section starting
+    8-byte aligned — 312 bytes at the baseline count.  Readers
+    validate the 15 sections they know and skip any trailing entries a
+    newer writer appended (e.g. a persisted dataguide), so the format
+    can grow without breaking old files; a count below 15 is rejected.
+    Corruption — bad magic, version skew, checksum mismatch,
+    truncation, out-of-range or misaligned section extents, tag
+    extents that do not tile the postings — is rejected with a typed
+    {!error} before anything is mapped or any count-sized allocation
+    happens, in the style of {!Wp_xml.Doc_io}. *)
 
 val magic : string
 (** First bytes of every [.wpidx] file (["WPIDX"]), for sniffing. *)

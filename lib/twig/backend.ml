@@ -1,0 +1,56 @@
+module Engine = Whirlpool.Engine
+module Config = Whirlpool.Engine.Config
+module Stats = Whirlpool.Stats
+
+type seeded = {
+  twig : Engine.result;
+  floor : float;
+  main : Engine.result;
+}
+
+let run_seeded ?(config = Config.default) ?guide plan ~k =
+  let twig = Twig_join.run ~config ?guide plan ~k in
+  let floor =
+    match List.nth_opt twig.Engine.answers (k - 1) with
+    | Some e -> e.Whirlpool.Topk_set.score
+    | None -> Float.neg_infinity
+  in
+  let config =
+    if floor = Float.neg_infinity then config
+    else begin
+      (* Let the other shards of a scatter–gather run prune against the
+         twig floor too. *)
+      config.Config.publish_threshold floor;
+      let base = config.Config.prune_bound in
+      Config.with_prune_bound (fun () -> Float.max (base ()) floor) config
+    end
+  in
+  let main = Engine.run ~config plan ~k in
+  { twig; floor; main }
+
+let combine { twig; floor = _; main } =
+  let stats = Stats.create () in
+  Stats.add stats twig.Engine.stats;
+  Stats.add stats main.Engine.stats;
+  (* The phases ran back to back: their wall times add (Stats.add takes
+     the max, which is right for parallel shards, wrong here). *)
+  stats.Stats.wall_ns <-
+    Int64.add twig.Engine.stats.Stats.wall_ns main.Engine.stats.Stats.wall_ns;
+  {
+    Engine.answers = main.Engine.answers;
+    stats;
+    partial = twig.Engine.partial || main.Engine.partial;
+  }
+
+let run ?(config = Config.default) ?guide plan ~k =
+  match config.Config.algo with
+  | Config.Whirlpool -> Engine.run ~config plan ~k
+  | Config.Whirlpool_mt -> Whirlpool.Engine_mt.run ~config plan ~k
+  | Config.Lockstep ->
+      Whirlpool.Lockstep.run ~queue_policy:config.Config.queue_policy
+        ~prune:true plan ~k
+  | Config.Lockstep_noprun ->
+      Whirlpool.Lockstep.run ~queue_policy:config.Config.queue_policy
+        ~prune:false plan ~k
+  | Config.Twig -> Twig_join.run ~config ?guide plan ~k
+  | Config.Twig_seeded -> combine (run_seeded ~config ?guide plan ~k)

@@ -43,6 +43,18 @@ let test_race () =
   check_exit "unknown fault exits 2" 2
     [ "race"; "-q"; q; books; "--inject"; "no-such-fault" ]
 
+let test_query_algo () =
+  let books = Lazy.force books_file in
+  List.iter
+    (fun algo ->
+      check_exit
+        (Printf.sprintf "query --algo %s exits 0" algo)
+        0
+        [ "query"; books; "-q"; "/book[./title]"; "--algo"; algo ])
+    [ "twig"; "twig-seeded"; "lockstep"; "whirlpool-s" ];
+  check_exit "unknown algo exits 2" 2
+    [ "query"; books; "-q"; "/book[./title]"; "--algo"; "quicksort" ]
+
 let test_check () =
   check_exit "clean tree exits 0" 0 [ "check"; "--root"; build_root ];
   check_exit "fixture findings exit 1" 1
@@ -54,5 +66,6 @@ let suite =
   [
     Alcotest.test_case "lint exit codes" `Quick test_lint;
     Alcotest.test_case "race exit codes" `Quick test_race;
+    Alcotest.test_case "query --algo exit codes" `Quick test_query_algo;
     Alcotest.test_case "check exit codes" `Quick test_check;
   ]

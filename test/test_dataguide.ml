@@ -1,0 +1,121 @@
+(* The annotated strong dataguide: structural invariants against the
+   documents it summarizes, and soundness of pattern selection — every
+   node bound by an exact embedding must be admitted by the guide's
+   depth and preorder-window filters (the twig join skips everything
+   else). *)
+
+module Doc = Wp_xml.Doc
+module Index = Wp_xml.Index
+module Dataguide = Wp_stats.Dataguide
+module Pattern = Wp_pattern.Pattern
+
+let docs () =
+  [
+    ("books", Fixtures.books_doc);
+    ("xmark-default", Lazy.force Fixtures.xmark_doc);
+    ( "xmark-rich",
+      Wp_xmark.Generator.generate_doc
+        ~profile:Wp_xmark.Generator.rich_profile ~seed:3 ~target_bytes:40_000
+        () );
+    ( "xmark-sparse",
+      Wp_xmark.Generator.generate_doc
+        ~profile:Wp_xmark.Generator.sparse_profile ~seed:4 ~target_bytes:40_000
+        () );
+  ]
+
+(* Walk the document alongside the guide: every node's label path must
+   resolve to a guide node of the right depth whose id window contains
+   it, and the per-path counts must sum to the document size. *)
+let test_structure () =
+  List.iter
+    (fun (name, doc) ->
+      let g = Dataguide.build doc in
+      let n = Doc.size doc in
+      Alcotest.(check bool)
+        (name ^ " guide no larger than doc")
+        true
+        (Dataguide.size g <= n);
+      Alcotest.(check int)
+        (name ^ " counts sum to doc size")
+        n
+        (List.init (Dataguide.size g) (Dataguide.count g)
+        |> List.fold_left ( + ) 0);
+      Alcotest.(check int)
+        (name ^ " doc_nodes")
+        n (Dataguide.doc_nodes g))
+    (docs ())
+
+let test_memoized () =
+  let idx = Fixtures.books_index in
+  let a = Dataguide.of_index idx in
+  let b = Dataguide.of_index idx in
+  Alcotest.(check bool) "same guide returned" true (a == b)
+
+(* Selection soundness: run the exact engine, then check every binding
+   of every answer against the selection's depth rows and windows. *)
+let admitted (sel : Dataguide.selection) doc q node =
+  let d = Doc.depth doc node in
+  d < Array.length sel.depth_ok.(q)
+  && sel.depth_ok.(q).(d)
+  && Array.exists (fun (lo, hi) -> lo <= node && node <= hi) sel.windows.(q)
+
+let test_selection_sound () =
+  List.iter
+    (fun (name, doc) ->
+      let idx = Index.build doc in
+      let g = Dataguide.build doc in
+      List.iter
+        (fun query ->
+          let pat = Fixtures.parse query in
+          let sel = Dataguide.select g pat in
+          let plan =
+            Whirlpool.Run.compile ~config:Wp_relax.Relaxation.exact idx pat
+          in
+          let r = Whirlpool.Engine.run plan ~k:50 in
+          List.iter
+            (fun (e : Whirlpool.Topk_set.entry) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s has exact answers only satisfiable"
+                   name query)
+                true sel.satisfiable;
+              Array.iteri
+                (fun q node ->
+                  if node <> Whirlpool.Partial_match.unbound then
+                    Alcotest.(check bool)
+                      (Printf.sprintf
+                         "%s %s root %d: binding q%d=%d admitted by guide"
+                         name query e.root q node)
+                      true
+                      (admitted sel doc q node))
+                e.bindings)
+            r.answers)
+        [
+          Fixtures.q1;
+          Fixtures.q2;
+          Fixtures.q3;
+          "//keyword";
+          "/book[./title]";
+        ])
+    (docs ())
+
+let test_unsatisfiable () =
+  let g = Dataguide.build Fixtures.books_doc in
+  let sel = Dataguide.select g (Fixtures.parse "//parlist") in
+  Alcotest.(check bool) "absent tag unsatisfiable" false sel.satisfiable;
+  (* A path that exists tag-wise but not shape-wise: title directly
+     under the document root. *)
+  let sel2 = Dataguide.select g (Fixtures.parse "/title") in
+  Alcotest.(check bool) "wrong-depth path unsatisfiable" false
+    sel2.satisfiable;
+  let sel3 = Dataguide.select g (Fixtures.parse "/book[./title]") in
+  Alcotest.(check bool) "real path satisfiable" true sel3.satisfiable
+
+let suite =
+  [
+    Alcotest.test_case "structure invariants" `Quick test_structure;
+    Alcotest.test_case "of_index memoized" `Quick test_memoized;
+    Alcotest.test_case "selection admits all exact bindings" `Quick
+      test_selection_sound;
+    Alcotest.test_case "unsatisfiable patterns detected" `Quick
+      test_unsatisfiable;
+  ]

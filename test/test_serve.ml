@@ -81,6 +81,20 @@ let test_protocol_request_roundtrip () =
          use_cache = None;
          bound_push = None;
        });
+  roundtrip_request
+    (Protocol.Query
+       {
+         id = 8;
+         query = "/book[./title]";
+         doc = None;
+         k = Some 3;
+         deadline_ms = None;
+         algo = Some "twig-seeded";
+         routing = None;
+         batch = None;
+         use_cache = None;
+         bound_push = None;
+       });
   roundtrip_request (Protocol.Metrics { id = 2; format = Protocol.Json_format });
   roundtrip_request (Protocol.Metrics { id = 2; format = Protocol.Prometheus });
   roundtrip_request (Protocol.Ping { id = 3 });
@@ -874,6 +888,94 @@ let test_wire_frame_roundtrip () =
       | Ok p -> Alcotest.(check string) "frame payload" payload p
       | Error e -> Alcotest.failf "read: %s" e)
 
+(* --- the algo axis over the service and the wire --- *)
+
+(* Per-document, with k past every exact match, every full backend must
+   return the same answer list; plain twig is exact-only, so its
+   answers are the exact prefix of the default backend's (the relaxed
+   tail is absent).  With k past the exact-match count the twig-seeded
+   floor stays inactive, so it degenerates to the plain run.  The twig
+   backends also force the catalog's lazy dataguide. *)
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let test_service_algo_backends () =
+  with_corpus_dir (fun dir ->
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      let docs =
+        List.map
+          (fun (d : Catalog.doc) -> d.name)
+          (Catalog.docs (Service.catalog service))
+      in
+      List.iter
+        (fun doc ->
+          let base =
+            Service.handle_query service (query 1 ~doc ~k:10 "/book[./isbn]")
+          in
+          Alcotest.(check bool) (doc ^ " base ok") true
+            (base.status = Protocol.Ok);
+          List.iter
+            (fun algo ->
+              let r =
+                Service.handle_query service
+                  {
+                    (query 2 ~doc ~k:10 "/book[./isbn]") with
+                    algo = Some algo;
+                  }
+              in
+              let c msg = Printf.sprintf "%s --algo %s %s" doc algo msg in
+              Alcotest.(check bool) (c "ok") true (r.status = Protocol.Ok);
+              if String.equal algo "twig" then
+                Alcotest.(check bool)
+                  (c "answers are the exact prefix of the default's")
+                  true
+                  (answer_list r <> [] && is_prefix (answer_list r) (answer_list base))
+              else
+                Alcotest.(check bool)
+                  (c "answers match default backend")
+                  true
+                  (answer_list r = answer_list base))
+            [ "twig"; "twig-seeded"; "lockstep"; "whirlpool-s"; "ws" ])
+        docs)
+
+let test_algo_over_wire () =
+  with_corpus_dir (fun dir ->
+      let socket = temp_socket () in
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      let thread = start_server ~socket ~service in
+      let client =
+        match Wire.connect socket with
+        | Ok c -> c
+        | Error e -> Alcotest.failf "connect: %s" e
+      in
+      (match
+         Wire.call client
+           (Protocol.Query
+              { (query 1 ~k:3 "/book[./title]") with algo = Some "twig-seeded" })
+       with
+      | Ok r ->
+          Alcotest.(check bool) "twig-seeded over the wire ok" true
+            (r.status = Protocol.Ok);
+          Alcotest.(check bool) "twig-seeded has answers" true
+            (r.answers <> [])
+      | Error e -> Alcotest.failf "twig-seeded query: %s" e);
+      (match
+         Wire.call client
+           (Protocol.Query { (query 2 "/book") with algo = Some "quicksort" })
+       with
+      | Ok r ->
+          Alcotest.(check bool) "unknown algo -> error reply" true
+            (r.status = Protocol.Error);
+          Alcotest.(check bool) "unknown algo typed bad_request" true
+            (r.code = Some Protocol.Bad_request)
+      | Error e -> Alcotest.failf "unknown-algo query: %s" e);
+      ignore (Wire.call client (Protocol.Stop { id = 3 }));
+      Wire.close client;
+      Thread.join thread)
+
 let suite =
   [
     Alcotest.test_case "lru basics" `Quick test_lru_basics;
@@ -919,4 +1021,7 @@ let suite =
     Alcotest.test_case "wire end to end" `Quick test_wire_end_to_end;
     Alcotest.test_case "wire deadline over socket" `Quick
       test_wire_deadline_over_socket;
+    Alcotest.test_case "algo axis over the service" `Quick
+      test_service_algo_backends;
+    Alcotest.test_case "algo axis over the wire" `Quick test_algo_over_wire;
   ]

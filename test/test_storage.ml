@@ -217,6 +217,98 @@ let test_corrupt_headers () =
       Alcotest.(check int) "restored file opens" (Doc.size doc)
         (If.info h).If.nodes)
 
+(* --- forward compatibility --- *)
+
+(* FNV-1a 64, mirroring the writer's header checksum (not exported). *)
+let fnv64 bytes =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  Bytes.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    bytes;
+  !h
+
+(* Rewrite a valid .wpidx as a future writer with [sections] table
+   entries would have laid it out: the header grows by one 16-byte slot
+   per extra entry (the table stays 8-aligned, so every known section
+   shifts by exactly that much), each extra entry points at a dummy
+   payload appended past the old end, and the checksum is recomputed
+   over the whole grown header. *)
+let with_sections ~sections valid =
+  let old_header = 312 in
+  let grow = (sections - 15) * 16 in
+  let new_header = old_header + grow in
+  let old_size = String.length valid in
+  let dummy_len = 8 in
+  let extra = max 0 (sections - 15) in
+  let new_size = old_size + grow + (extra * dummy_len) in
+  let b = Bytes.make new_size 'D' in
+  Bytes.blit_string valid 0 b 0 8;
+  Bytes.set_uint16_le b 6 sections;
+  Bytes.blit_string valid 8 b 8 64;
+  Bytes.set_int64_le b (8 + (8 * 6)) (Int64.of_int new_size);
+  for i = 0 to min 14 (sections - 1) do
+    Bytes.set_int64_le b
+      (72 + (16 * i))
+      (Int64.add (String.get_int64_le valid (72 + (16 * i))) (Int64.of_int grow));
+    Bytes.set_int64_le b
+      (72 + (16 * i) + 8)
+      (String.get_int64_le valid (72 + (16 * i) + 8))
+  done;
+  for e = 0 to extra - 1 do
+    Bytes.set_int64_le b
+      (72 + (16 * (15 + e)))
+      (Int64.of_int (old_size + grow + (e * dummy_len)));
+    Bytes.set_int64_le b (72 + (16 * (15 + e)) + 8) (Int64.of_int dummy_len)
+  done;
+  Bytes.blit_string valid old_header b new_header (old_size - old_header);
+  Bytes.set_int64_le b (8 + (8 * 7)) 0L;
+  Bytes.set_int64_le b (8 + (8 * 7)) (fnv64 (Bytes.sub b 0 new_header));
+  Bytes.to_string b
+
+let test_forward_compat () =
+  let doc = gen_doc 11 in
+  let mem = run_all (Index.build doc) in
+  with_written doc (fun path ->
+      let valid = read_file path in
+      (* A 16-section file from a future writer opens, skips the entry
+         it does not know, and answers every query identically. *)
+      write_file path (with_sections ~sections:16 valid);
+      let h = open_ok path in
+      Alcotest.(check int) "16-section node count" (Doc.size doc)
+        (If.info h).If.nodes;
+      List.iter2
+        (fun (q, (m : Whirlpool.Engine.result))
+             (_, (p : Whirlpool.Engine.result)) ->
+          Alcotest.(check (list (pair int (float 0.0))))
+            (q ^ " answers via 16-section file")
+            (List.map
+               (fun (e : Whirlpool.Topk_set.entry) -> (e.root, e.score))
+               m.answers)
+            (List.map
+               (fun (e : Whirlpool.Topk_set.entry) -> (e.root, e.score))
+               p.answers))
+        mem
+        (run_all (If.index h));
+      (* Fewer sections than this build requires cannot be valid. *)
+      write_file path (with_sections ~sections:14 valid);
+      expect_error ~what:"14-section table" path (function
+        | If.Corrupt _ | If.Truncated _ -> true
+        | _ -> false);
+      (* An unknown entry pointing past the end of the file is still
+         corruption, not something to silently ignore. *)
+      let grown = Bytes.of_string (with_sections ~sections:16 valid) in
+      Bytes.set_int64_le grown (72 + (16 * 15)) 0x7FFFFF00L;
+      Bytes.set_int64_le grown (8 + (8 * 7)) 0L;
+      Bytes.set_int64_le grown
+        (8 + (8 * 7))
+        (fnv64 (Bytes.sub grown 0 328));
+      write_file path (Bytes.to_string grown);
+      expect_error ~what:"out-of-range unknown section" path (function
+        | If.Corrupt _ | If.Truncated _ -> true
+        | _ -> false))
+
 let suite =
   [
     Alcotest.test_case "structure round-trip" `Quick test_roundtrip_structure;
@@ -224,4 +316,6 @@ let suite =
       test_roundtrip_engine;
     Alcotest.test_case "content-term lookup" `Quick test_lookup_term;
     Alcotest.test_case "corrupt files rejected" `Quick test_corrupt_headers;
+    Alcotest.test_case "unknown sections skipped (forward compat)" `Quick
+      test_forward_compat;
   ]
