@@ -126,15 +126,21 @@ let generate_cmd =
 
 (* Remote mode: ship the query to a running server and print its
    reply.  Parsing, planning and deadline enforcement all happen
-   server-side. *)
-let remote_query socket q k deadline_ms algo routing doc json =
+   server-side.  With --stream (and an event-tier server, which
+   negotiates protocol v2) each certified answer prints the moment its
+   Part frame arrives, ahead of the final summary. *)
+let remote_query socket q k deadline_ms algo routing doc stream json =
   let client =
-    match Wp_serve.Wire.connect socket with
+    match Wp_serve.Client.connect socket with
     | Ok c -> c
     | Error e ->
-        prerr_endline e;
+        prerr_endline (Wp_serve.Client.error_to_string e);
         exit 2
   in
+  if stream && Wp_serve.Client.version client < 2 then
+    prerr_endline
+      "note: server negotiated protocol v1 (threaded tier?); nothing \
+       will stream";
   let req =
     Wp_serve.Protocol.Query
       {
@@ -150,11 +156,18 @@ let remote_query socket q k deadline_ms algo routing doc json =
         bound_push = None;
       }
   in
-  let reply = Wp_serve.Wire.call client req in
-  Wp_serve.Wire.close client;
+  let streamed = ref 0 in
+  let on_part (a : Wp_serve.Protocol.answer) =
+    incr streamed;
+    if stream && not json then
+      Printf.printf "  * %-20s %-16s score %.4f  (certified)\n%!" a.doc
+        a.dewey a.score
+  in
+  let reply = Wp_serve.Client.stream client ~on_part req in
+  Wp_serve.Client.close client;
   match reply with
   | Error e ->
-      prerr_endline e;
+      prerr_endline (Wp_serve.Client.error_to_string e);
       exit 2
   | Ok r -> (
       if json then
@@ -180,6 +193,10 @@ let remote_query socket q k deadline_ms algo routing doc json =
                 Printf.printf "%3d. %-20s %-16s score %.4f\n" (i + 1) a.doc
                   a.dewey a.score)
               r.answers;
+            if stream && !streamed > 0 then
+              Printf.printf "\n%d of %d answers streamed before the run \
+                             finished\n"
+                !streamed (List.length r.answers);
             Printf.printf "\nserver elapsed %.2f ms\n" r.elapsed_ms
           end)
 
@@ -236,8 +253,8 @@ let local_query path q k threshold algo routing exact explain json =
     Printf.printf "\n%s\n" (Format.asprintf "%a" Whirlpool.Stats.pp r.stats)
   end
 
-let query_run connect path q k threshold deadline_ms algo routing doc exact
-    explain json =
+let query_run connect path q k threshold deadline_ms algo routing doc stream
+    exact explain json =
   match connect with
   | Some socket ->
       if threshold <> None || exact || explain then begin
@@ -245,8 +262,12 @@ let query_run connect path q k threshold deadline_ms algo routing doc exact
           "--threshold, --exact and --explain do not apply with --connect";
         exit 2
       end;
-      remote_query socket q k deadline_ms algo routing doc json
+      remote_query socket q k deadline_ms algo routing doc stream json
   | None ->
+      if stream then begin
+        prerr_endline "--stream requires --connect";
+        exit 2
+      end;
       let path =
         match path with
         | Some p -> p
@@ -326,6 +347,15 @@ let query_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the answers and statistics as JSON.")
   in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "With --connect against an event-tier server: print each \
+             answer the moment the server certifies it (protocol v2 \
+             Part frames), before the final summary.")
+  in
   Cmd.v
     (cmd_info "query"
        ~doc:
@@ -334,7 +364,8 @@ let query_cmd =
        ())
     Term.(
       const query_run $ connect_arg $ path $ query_arg $ k $ threshold
-      $ deadline_ms $ algo $ routing $ doc_name $ exact $ explain $ json)
+      $ deadline_ms $ algo $ routing $ doc_name $ stream $ exact $ explain
+      $ json)
 
 (* --- snapshot --- *)
 
@@ -869,10 +900,18 @@ let relax_config relax_content =
   if relax_content then Wp_relax.Relaxation.with_content
   else Wp_relax.Relaxation.all
 
-let serve_run corpus socket workers queue_depth default_k deadline_ms
-    plan_cache slow_query_ms shards relax_content algo =
+let serve_run corpus socket tier http workers queue_depth default_k
+    deadline_ms plan_cache slow_query_ms shards relax_content algo =
   if shards < 1 then begin
     prerr_endline "--shards must be >= 1";
+    exit 2
+  end;
+  if tier <> "event" && tier <> "threaded" then begin
+    Printf.eprintf "unknown tier %S (known: event, threaded)\n" tier;
+    exit 2
+  end;
+  if http <> None && tier <> "event" then begin
+    prerr_endline "--http requires --tier event";
     exit 2
   end;
   let algo =
@@ -893,15 +932,31 @@ let serve_run corpus socket workers queue_depth default_k deadline_ms
       ~engine_config:Whirlpool.Engine.Config.(default |> with_algo algo)
       ~catalog ()
   in
-  let on_ready server =
-    let stop _ = Wp_serve.Wire.request_stop server in
+  let install_signals stop =
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-    Printf.printf "Listening on %s\n%!" socket
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
   in
-  match
-    Wp_serve.Wire.serve ?workers ~queue_depth ~on_ready ~socket ~service ()
-  with
+  let result =
+    match tier with
+    | "event" ->
+        let on_ready server =
+          install_signals (fun _ -> Wp_serve.Event.request_stop server);
+          Printf.printf "Listening on %s (event tier%s)\n%!" socket
+            (match Wp_serve.Event.http_port server with
+            | Some p -> Printf.sprintf ", http on 127.0.0.1:%d" p
+            | None -> "")
+        in
+        Wp_serve.Event.serve ?workers ~queue_depth ?http ~on_ready ~socket
+          ~service ()
+    | _ ->
+        let on_ready server =
+          install_signals (fun _ -> Wp_serve.Wire.request_stop server);
+          Printf.printf "Listening on %s (threaded tier)\n%!" socket
+        in
+        Wp_serve.Wire.serve ?workers ~queue_depth ~on_ready ~socket ~service
+          ()
+  in
+  match result with
   | Ok () -> print_endline "Server stopped."
   | Error m ->
       prerr_endline m;
@@ -921,6 +976,27 @@ let serve_cmd =
           ~doc:
             "Documents to serve: XML files, .wpdoc snapshots, .wpidx \
              memory-mapped indexes, or directories of them.")
+  in
+  let tier =
+    Arg.(
+      value & opt string "event"
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:
+            "Serve tier: $(b,event) (one select loop multiplexes every \
+             connection, speaks protocol v2 with streamed certified \
+             answers, can host the HTTP gateway) or $(b,threaded) (one \
+             blocking reader thread per connection, buffered v1 \
+             replies — the benchmark baseline).")
+  in
+  let http =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "http" ] ~docv:"PORT"
+          ~doc:
+            "Event tier only: also serve the HTTP/JSON gateway on \
+             127.0.0.1:PORT — GET /healthz, GET /metrics (Prometheus), \
+             GET /metrics.json, POST /query.")
   in
   let workers =
     Arg.(
@@ -1011,9 +1087,9 @@ let serve_cmd =
          ]
        ())
     Term.(
-      const serve_run $ corpus $ socket_arg $ workers $ queue_depth
-      $ default_k $ deadline_ms $ plan_cache $ slow_query_ms $ shards
-      $ relax_content $ algo)
+      const serve_run $ corpus $ socket_arg $ tier $ http $ workers
+      $ queue_depth $ default_k $ deadline_ms $ plan_cache $ slow_query_ms
+      $ shards $ relax_content $ algo)
 
 (* --- ctl --- *)
 
@@ -1037,17 +1113,19 @@ let ctl_run socket op format json =
         exit 2
   in
   let client =
-    match Wp_serve.Wire.connect socket with
+    (* Control ops have buffered replies on both tiers; v1 skips the
+       Hello round-trip. *)
+    match Wp_serve.Client.connect ~version:1 socket with
     | Ok c -> c
     | Error e ->
-        prerr_endline e;
+        prerr_endline (Wp_serve.Client.error_to_string e);
         exit 2
   in
-  let reply = Wp_serve.Wire.call client req in
-  Wp_serve.Wire.close client;
+  let reply = Wp_serve.Client.call client req in
+  Wp_serve.Client.close client;
   match reply with
   | Error e ->
-      prerr_endline e;
+      prerr_endline (Wp_serve.Client.error_to_string e);
       exit 2
   | Ok r -> (
       match (r.metrics_text, r.metrics) with
@@ -1243,9 +1321,9 @@ let profile_cmd =
 
 (* --- loadgen --- *)
 
-(* Run [Wire.serve] on a background thread and hand back the server
-   once the socket is listening (or the bind error). *)
-let spawn_server ~socket ~service ~workers ~queue_depth =
+(* Run a serve tier on a background thread and hand back a stop
+   function once the socket is listening (or the bind error). *)
+let spawn_server ~tier ~socket ~service ~workers ~queue_depth =
   let m = Mutex.create () in
   let c = Condition.create () in
   let state = ref `Pending in
@@ -1261,13 +1339,21 @@ let spawn_server ~socket ~service ~workers ~queue_depth =
   let thread =
     Thread.create
       (fun () ->
-        match
-          Wp_serve.Wire.serve ~workers ~queue_depth
-            ~on_ready:(fun server -> set (`Ready server))
-            ~socket ~service ()
-        with
-        | Ok () -> ()
-        | Error e -> set (`Failed e))
+        let r =
+          match tier with
+          | `Event ->
+              Wp_serve.Event.serve ~workers ~queue_depth
+                ~on_ready:(fun server ->
+                  set
+                    (`Ready (fun () -> Wp_serve.Event.request_stop server)))
+                ~socket ~service ()
+          | `Threaded ->
+              Wp_serve.Wire.serve ~workers ~queue_depth
+                ~on_ready:(fun server ->
+                  set (`Ready (fun () -> Wp_serve.Wire.request_stop server)))
+                ~socket ~service ()
+        in
+        match r with Ok () -> () | Error e -> set (`Failed e))
       ()
   in
   let outcome =
@@ -1278,7 +1364,7 @@ let spawn_server ~socket ~service ~workers ~queue_depth =
         !state)
   in
   match outcome with
-  | `Ready server -> Ok (server, thread)
+  | `Ready stop -> Ok (stop, thread)
   | `Failed e ->
       Thread.join thread;
       Error e
@@ -1286,12 +1372,23 @@ let spawn_server ~socket ~service ~workers ~queue_depth =
 
 let obj_fields = function Wp_json.Json.Obj fields -> fields | j -> [ ("value", j) ]
 
-let loadgen_run connect corpus queries clients duration workers_list
-    queue_depths shards_list push_list relax_content algo out =
+let loadgen_run connect corpus queries clients duration tier_list
+    workers_list queue_depths shards_list push_list relax_content algo
+    ttfa_query out =
   if queries = [] then begin
     prerr_endline "at least one -q query is required";
     exit 2
   end;
+  let tiers =
+    List.map
+      (function
+        | "event" -> `Event
+        | "threaded" -> `Threaded
+        | other ->
+            Printf.eprintf "unknown tier %S (known: event, threaded)\n" other;
+            exit 2)
+      tier_list
+  in
   (match algo with
   | Some a when Whirlpool.Engine.Config.algo_of_string a = None ->
       prerr_endline ("unknown algorithm: " ^ a);
@@ -1347,23 +1444,53 @@ let loadgen_run connect corpus queries clients duration workers_list
                 let bound_push = if push then None else Some false in
                 List.concat_map
                   (fun workers ->
-                    List.map
+                    List.concat_map
                       (fun queue_depth ->
+                        List.map
+                          (fun tier ->
+                        let tier_name =
+                          match tier with
+                          | `Event -> "event"
+                          | `Threaded -> "threaded"
+                        in
                         let service = Wp_serve.Service.create ~catalog () in
                         match
-                          spawn_server ~socket ~service ~workers ~queue_depth
+                          spawn_server ~tier ~socket ~service ~workers
+                            ~queue_depth
                         with
                         | Error e ->
                             prerr_endline e;
                             exit 2
-                        | Ok (server, thread) -> (
+                        | Ok (stop, thread) -> (
                             let window () =
                               Wp_serve.Loadgen.run ?algo ?bound_push ~socket
                                 ~queries ~clients ~duration_s:duration ()
                             in
                             let cold = window () in
                             let warm = Result.bind cold (fun _ -> window ()) in
-                            Wp_serve.Wire.request_stop server;
+                            (* Streamed time-to-first-answer, only
+                               meaningful on the event tier (v2).  Pin
+                               the first document: only single-document
+                               runs stream mid-query. *)
+                            let ttfa =
+                              match (tier, ttfa_query) with
+                              | `Event, Some q -> (
+                                  let doc =
+                                    match Wp_serve.Catalog.docs catalog with
+                                    | d :: _ -> Some d.Wp_serve.Catalog.name
+                                    | [] -> None
+                                  in
+                                  match
+                                    Wp_serve.Loadgen.ttfa_probe ?algo ?doc
+                                      ~socket ~query:q ()
+                                  with
+                                  | Ok j -> Some j
+                                  | Error e ->
+                                      Printf.eprintf "ttfa probe: %s\n" e;
+                                      None)
+                              | _ -> None
+                            in
+                            stop ();
                             Thread.join thread;
                             match (cold, warm) with
                             | Error e, _ | _, Error e ->
@@ -1371,13 +1498,13 @@ let loadgen_run connect corpus queries clients duration workers_list
                                 exit 2
                             | Ok cold, Ok warm ->
                                 Printf.printf
-                                  "shards=%d push=%b workers=%d \
+                                  "tier=%s shards=%d push=%b workers=%d \
                                    queue_depth=%d: cold %.0f req/s p50 \
                                    %.2fms p99 %.2fms | warm %.0f req/s p50 \
                                    %.2fms p99 %.2fms  (%d ok, %d partial, \
                                    %d shed, %d errors)\n\
                                    %!"
-                                  shards push workers queue_depth
+                                  tier_name shards push workers queue_depth
                                   cold.throughput cold.p50_ms cold.p99_ms
                                   warm.throughput warm.p50_ms warm.p99_ms
                                   (cold.ok + warm.ok)
@@ -1385,6 +1512,7 @@ let loadgen_run connect corpus queries clients duration workers_list
                                   (cold.overloaded + warm.overloaded)
                                   (cold.errors + warm.errors);
                                 [
+                                  ("tier", Wp_json.Json.String tier_name);
                                   ("shards", Wp_json.Json.Int shards);
                                   ( "algo",
                                     Wp_json.Json.String
@@ -1398,9 +1526,15 @@ let loadgen_run connect corpus queries clients duration workers_list
                                     Wp_serve.Loadgen.point_to_json cold );
                                   ( "warm",
                                     Wp_serve.Loadgen.point_to_json warm );
-                                  ( "server_metrics",
-                                    Wp_serve.Service.metrics_json service );
-                                ]))
+                                ]
+                                @ (match ttfa with
+                                  | Some j -> [ ("ttfa", j) ]
+                                  | None -> [])
+                                @ [
+                                    ( "server_metrics",
+                                      Wp_serve.Service.metrics_json service );
+                                  ]))
+                          tiers)
                       queue_depths)
                   workers_list)
               push_list)
@@ -1449,6 +1583,27 @@ let loadgen_cmd =
     Arg.(
       value & opt float 2.0
       & info [ "duration" ] ~docv:"SECONDS" ~doc:"Seconds per point.")
+  in
+  let tier_list =
+    Arg.(
+      value
+      & opt_all string [ "event" ]
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:
+            "Serve tier to sweep (repeatable; spawn mode): $(b,event) \
+             or $(b,threaded).  $(b,--tier event --tier threaded) pits \
+             the select loop against the thread-per-connection \
+             baseline on the same corpus and pool shape.")
+  in
+  let ttfa_query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ttfa-query" ] ~docv:"XPATH"
+          ~doc:
+            "After each event-tier point, stream this query once over \
+             protocol v2 and record the client-side time-to-first-answer \
+             in the point (field $(b,ttfa)).")
   in
   let workers_list =
     Arg.(
@@ -1530,8 +1685,8 @@ let loadgen_cmd =
        ())
     Term.(
       const loadgen_run $ connect $ corpus $ queries $ clients $ duration
-      $ workers_list $ queue_depths $ shards_list $ push_list
-      $ relax_content $ algo $ out)
+      $ tier_list $ workers_list $ queue_depths $ shards_list $ push_list
+      $ relax_content $ algo $ ttfa_query $ out)
 
 let () =
   let doc = "adaptive top-k XPath matching (Whirlpool)" in

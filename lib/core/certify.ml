@@ -1,0 +1,97 @@
+(* Streaming certification — the machinery behind
+   [Engine.Config.on_certified].
+
+   The paper's top-k invariant makes an answer final the moment no
+   alive partial match can still beat it.  Operationally: let [ub] be
+   the maximum [max_possible] over every alive partial match; a top-k
+   entry whose score is strictly above [ub] can never be displaced,
+   evicted, re-scored or re-ordered, because
+
+   - any future entry descends from an alive match, so its score is
+     bounded by that match's [max_possible] <= ub < the entry's score;
+   - extensions inherit [max_possible] no greater than their parent's,
+     and parents are only removed after their extensions are
+     registered, so [ub] is non-increasing across certification points
+     and an emitted prefix stays emitted;
+   - an entry whose own match is still alive (partial admission) has
+     score <= that match's [max_possible] <= ub, so the strict [>]
+     keeps it un-streamed until the match completes, dies or is
+     pruned.
+
+   The alive set is a lazy max-heap of (max_possible, id) plus a table
+   of live ids: [remove] just drops the id, and [alive_bound] pops
+   stale heap tops on demand — the same lazy-deletion idiom as
+   {!Topk_set}'s threshold heap. *)
+
+type t = {
+  alive : int Pqueue.t;  (* priority = max_possible, payload = match id *)
+  alive_ids : (int, unit) Hashtbl.t;
+  emit : Topk_set.entry -> unit;
+  mutable streamed : int;  (* entries already handed to [emit] *)
+}
+
+let create ~emit =
+  {
+    alive = Pqueue.create ();
+    alive_ids = Hashtbl.create 64;
+    emit;
+    streamed = 0;
+  }
+
+let streamed t = t.streamed
+
+let add t (pm : Partial_match.t) =
+  Hashtbl.replace t.alive_ids pm.id ();
+  Pqueue.push t.alive pm.max_possible pm.id
+
+let remove t id = Hashtbl.remove t.alive_ids id
+
+let rec alive_bound t =
+  match Pqueue.peek t.alive with
+  | None -> Float.neg_infinity
+  | Some id when Hashtbl.mem t.alive_ids id -> (
+      match Pqueue.peek_priority t.alive with
+      | Some p -> p
+      | None -> Float.neg_infinity)
+  | Some _ ->
+      ignore (Pqueue.pop t.alive : int option);
+      alive_bound t
+[@@wp.bounded
+  "each recursive step pops one stale heap item; the heap size strictly \
+   decreases"]
+
+(* The entries newly certified since the last call, in final answer
+   order (the emitted stream is always a stable prefix of
+   [Topk_set.entries]).  Bumps [streamed]; the caller invokes [emit] —
+   outside any engine lock in the multi-threaded engine. *)
+let newly_certified t topk =
+  let ub = alive_bound t in
+  let rec take i acc = function
+    | (e : Topk_set.entry) :: rest when e.score > ub ->
+        take (i + 1) (if i >= t.streamed then e :: acc else acc) rest
+    | _ :: _ | [] -> List.rev acc
+  in
+  let fresh = take 0 [] (Topk_set.entries topk) in
+  t.streamed <- t.streamed + List.length fresh;
+  fresh
+[@@wp.bounded "take is structural recursion over the entries list"]
+
+let emit t entry = t.emit entry
+
+let flush t topk = List.iter t.emit (newly_certified t topk)
+
+(* End of a run that drained naturally: nothing is alive, so every
+   remaining entry is final.  (Not called on partial runs — answers a
+   deadline cut short stay in the buffered reply.) *)
+let flush_all t topk =
+  let rec skip i = function
+    | (e : Topk_set.entry) :: rest ->
+        if i >= t.streamed then begin
+          t.streamed <- t.streamed + 1;
+          t.emit e
+        end;
+        skip (i + 1) rest
+    | [] -> ()
+  in
+  skip 0 (Topk_set.entries topk)
+[@@wp.bounded "skip is structural recursion over the entries list"]

@@ -1,0 +1,49 @@
+(** Streaming certification of top-k answers.
+
+    The paper's invariant certifies an answer as final the moment no
+    alive partial match can beat it: with [ub] the maximum
+    [max_possible] over the alive set, every entry scoring {e strictly}
+    above [ub] is immutable — it can never be displaced, evicted or
+    re-ordered — so it can be pushed to a client mid-run.  Both engines
+    drive one {!t} when a run's [Engine.Config.on_certified] hook is
+    set: {!add} every enqueued partial match, {!remove} every consumed
+    one, and flush newly certified entries at iteration boundaries.
+    The emitted sequence is always a stable prefix of the final
+    [Topk_set.entries] order.
+
+    Single-threaded callers use {!flush}; the multi-threaded engine
+    computes {!newly_certified} under its top-k lock and emits outside
+    it (the callback may block on a socket). *)
+
+type t
+
+val create : emit:(Topk_set.entry -> unit) -> t
+
+val add : t -> Partial_match.t -> unit
+(** Register an alive partial match (call where it is enqueued). *)
+
+val remove : t -> int -> unit
+(** Drop a match id from the alive set (call where it is consumed:
+    popped for processing, or pruned). *)
+
+val alive_bound : t -> float
+(** The certification bar: max [max_possible] over the alive set,
+    [neg_infinity] when nothing is alive.  Non-increasing across
+    certification points. *)
+
+val streamed : t -> int
+(** Entries handed to [emit] so far. *)
+
+val newly_certified : t -> Topk_set.t -> Topk_set.entry list
+(** Entries certified since the last call, in answer order; bumps the
+    {!streamed} counter.  The caller must pass each to {!emit}. *)
+
+val emit : t -> Topk_set.entry -> unit
+
+val flush : t -> Topk_set.t -> unit
+(** {!newly_certified} + {!emit} in one step, for single-threaded
+    engines. *)
+
+val flush_all : t -> Topk_set.t -> unit
+(** Emit every remaining entry unconditionally — the end of a run that
+    drained naturally, when nothing is alive. *)

@@ -12,6 +12,7 @@ let now_ns = Clock.now_ns
 
 let no_bound () = Float.neg_infinity
 let no_publish (_ : float) = ()
+let no_certify (_ : Topk_set.entry) = ()
 
 module Config = struct
   type algo =
@@ -55,6 +56,7 @@ module Config = struct
     cache : Candidate_cache.t option;
     prune_bound : unit -> float;
     publish_threshold : float -> unit;
+    on_certified : Topk_set.entry -> unit;
   }
 
   let default =
@@ -71,6 +73,7 @@ module Config = struct
       cache = None;
       prune_bound = no_bound;
       publish_threshold = no_publish;
+      on_certified = no_certify;
     }
 
   let with_algo algo t = { t with algo }
@@ -83,6 +86,7 @@ module Config = struct
   let with_should_stop should_stop t = { t with should_stop }
   let with_prune_bound prune_bound t = { t with prune_bound }
   let with_publish_threshold publish_threshold t = { t with publish_threshold }
+  let with_on_certified on_certified t = { t with on_certified }
   let with_trace trace t = { t with trace }
   let with_obs obs t = { t with obs }
 end
@@ -138,6 +142,21 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
     else config.trace
   in
   let topk = Topk_set.create ~k ~admit_partial:(Plan.admits_partial_answers plan) in
+  (* Streaming certification: when the caller installed an
+     [on_certified] hook, track the alive set and push entries the
+     moment no alive match can beat them.  The physical-equality gate
+     (the [Trace.ignore_tracer] idiom) keeps the default path free. *)
+  let cert =
+    if config.on_certified == no_certify then None
+    else Some (Certify.create ~emit:config.on_certified)
+  in
+  let cert_add pm = match cert with Some c -> Certify.add c pm | None -> () in
+  let cert_remove (pm : Partial_match.t) =
+    match cert with Some c -> Certify.remove c pm.id | None -> ()
+  in
+  let certify () =
+    match cert with Some c -> Certify.flush c topk | None -> ()
+  in
   let queue : Partial_match.t Pqueue.t = Pqueue.create () in
   let seq = ref 0 in
   let next_id =
@@ -146,6 +165,7 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
   in
   let enqueue (pm : Partial_match.t) =
     incr seq;
+    cert_add pm;
     (* Equal priorities break toward the higher current score: matches
        closer to completion finish first, raising the threshold early. *)
     Pqueue.push queue ~tie:pm.score
@@ -178,6 +198,7 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
       else enqueue pm)
     (Server.initial_matches plan stats ~next_id);
   publish ();
+  certify ();
   let process_here (pm : Partial_match.t) server =
     let { Server.extensions; died } =
       Server.process ?cache plan stats ~next_id pm ~server
@@ -242,6 +263,7 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
            answers known so far, returned flagged [partial]. *)
         stopped := true
     | Some pm ->
+        cert_remove pm;
         trace
           (Trace.Popped
              { id = pm.id; score = pm.score; max_possible = pm.max_possible });
@@ -276,6 +298,7 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
                 when head.visited_mask = pm.visited_mask -> (
                   match Pqueue.pop queue with
                   | Some next ->
+                      cert_remove next;
                       trace
                         (Trace.Popped
                            {
@@ -302,9 +325,16 @@ let run ?(config = Config.default) (plan : Plan.t) ~k =
           end
         end;
         publish ();
+        certify ();
         loop ()
   in
   loop ();
+  (* A drained run holds no alive matches: everything left is final.
+     A stopped run emits nothing more — its remaining answers travel
+     only in the buffered (partial) reply. *)
+  (match cert with
+  | Some c when not !stopped -> Certify.flush_all c topk
+  | Some _ | None -> ());
   stats.wall_ns <- Int64.sub (now_ns ()) t0;
   let answers = Topk_set.entries topk in
   if obs_on then begin
@@ -402,34 +432,6 @@ let run_above ?(config = Config.default) (plan : Plan.t) ~threshold =
       (Hashtbl.fold (fun _ e acc -> e :: acc) answers [])
   in
   { answers = sorted; stats; partial = !stopped }
-
-(* Pre-redesign entry points, kept one release as thin wrappers; the
-   argument → Config field mapping is documented in DESIGN.md §8. *)
-
-let config_of_args ?routing ?queue_policy ?batch ?trace ?use_cache ?should_stop
-    () =
-  let d = Config.default in
-  {
-    d with
-    Config.routing = Option.value routing ~default:d.Config.routing;
-    queue_policy = Option.value queue_policy ~default:d.Config.queue_policy;
-    batch = Option.value batch ~default:d.Config.batch;
-    trace = Option.value trace ~default:d.Config.trace;
-    use_cache = Option.value use_cache ~default:d.Config.use_cache;
-    should_stop = Option.value should_stop ~default:d.Config.should_stop;
-  }
-
-let run_args ?routing ?queue_policy ?batch ?trace ?use_cache ?should_stop plan
-    ~k =
-  let config =
-    config_of_args ?routing ?queue_policy ?batch ?trace ?use_cache ?should_stop
-      ()
-  in
-  run ~config plan ~k
-
-let run_above_args ?routing ?queue_policy ?should_stop plan ~threshold =
-  let config = config_of_args ?routing ?queue_policy ?should_stop () in
-  run_above ~config plan ~threshold
 
 let pp_result ppf r =
   Format.fprintf ppf "@[<v>%a@," Stats.pp r.stats;

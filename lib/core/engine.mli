@@ -25,6 +25,12 @@ val never_stop : unit -> bool
     engines can default their hooks without allocating a closure per
     run. *)
 
+val no_certify : Topk_set.entry -> unit
+(** The default [on_certified] hook: a shared no-op.  The engines gate
+    all certification bookkeeping on physical inequality with this
+    value (the [Trace.ignore_tracer] idiom), so a run without a hook
+    pays nothing. *)
+
 (** Every engine knob in one record — the single seam through which the
     CLI, the benches and {!Wp_serve} configure a run, replacing the
     optional-argument signatures that used to drift between
@@ -109,6 +115,17 @@ module Config : sig
             top-k threshold tightens, with the new threshold; default a
             no-op.  The scatter–gather layer feeds it back into the
             other shards' [prune_bound]. *)
+    on_certified : Topk_set.entry -> unit;
+        (** called (outside any engine lock) the moment an answer is
+            {e certified} — no alive partial match's maximum possible
+            score can still beat it, so the entry is final and will
+            appear, unchanged and in this exact order, as the next
+            element of the run's answer list.  Default {!no_certify}
+            (no bookkeeping is paid).  The serve tier streams these to
+            protocol-v2 clients mid-run.  Emissions form a stable
+            prefix of [result.answers]; a run cut short by
+            [should_stop] stops emitting but never retracts.  Ignored
+            by {!run_above} (threshold mode has no top-k set). *)
   }
 
   val default : t
@@ -125,6 +142,7 @@ module Config : sig
   val with_cache : Candidate_cache.t option -> t -> t
   val with_prune_bound : (unit -> float) -> t -> t
   val with_publish_threshold : (float -> unit) -> t -> t
+  val with_on_certified : (Topk_set.entry -> unit) -> t -> t
 end
 
 val validate_plan : Plan.t -> unit
@@ -168,30 +186,11 @@ val run_above : ?config:Config.t -> Plan.t -> threshold:float -> result
     whose maximum possible final score cannot beat it.  The cardinality
     of the answer set is data-dependent rather than fixed at [k].
     Honors [config]'s routing, queue policy, cache and stop hook;
-    [batch], [trace] and [obs] do not apply to this mode. *)
+    [batch], [trace] and [obs] do not apply to this mode.
+    [config.on_certified] is ignored here.
 
-val run_args :
-  ?routing:Strategy.routing ->
-  ?queue_policy:Strategy.queue_policy ->
-  ?batch:int ->
-  ?trace:Trace.t ->
-  ?use_cache:bool ->
-  ?should_stop:(unit -> bool) ->
-  Plan.t ->
-  k:int ->
-  result
-[@@deprecated "use Engine.run ?config with Engine.Config.t"]
-(** Pre-redesign entry point, kept one release as a thin wrapper over
-    {!run}; DESIGN.md §8 documents the argument → {!Config.t} field
-    mapping. *)
-
-val run_above_args :
-  ?routing:Strategy.routing ->
-  ?queue_policy:Strategy.queue_policy ->
-  ?should_stop:(unit -> bool) ->
-  Plan.t ->
-  threshold:float ->
-  result
-[@@deprecated "use Engine.run_above ?config with Engine.Config.t"]
+    The pre-redesign [run_args]/[run_above_args] wrappers, deprecated
+    since the Observe release, are gone; {!Config.t} is the only
+    configuration surface. *)
 
 val pp_result : Format.formatter -> result -> unit

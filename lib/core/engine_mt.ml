@@ -113,6 +113,12 @@ module Make (S : Sync.S) = struct
     prune_bound : unit -> float;  (* external score floor; read outside locks *)
     publish_threshold : float -> unit;  (* invoked outside the topk lock *)
     mutable published : float;  (* last published threshold; topk_mutex *)
+    cert : Certify.t option;
+        (* streaming certification; the alive-set operations and
+           [newly_certified] run under topk_mutex, but only the router
+           thread emits (outside the lock), so the streamed order is
+           total and a blocking callback never stalls a worker holding
+           a lock *)
     next_id : S.atomic_int;
     trace : Trace.t;  (* already serialized; see [run] *)
     tracing : bool;  (* false iff [trace] is the no-op tracer *)
@@ -187,11 +193,26 @@ module Make (S : Sync.S) = struct
           (* External bound read before (outside) the topk lock: the
              bound is monotone, so a stale read only under-prunes. *)
           let xb = shared.prune_bound () in
-          let pruned, threshold =
+          let pruned, threshold, certified =
             with_topk shared (fun topk ->
-                (Topk_set.should_prune topk pm, Topk_set.threshold topk))
+                let pruned =
+                  Topk_set.should_prune topk pm
+                  || pm.Partial_match.max_possible < xb
+                in
+                let certified =
+                  match shared.cert with
+                  | Some c ->
+                      if pruned then Certify.remove c pm.Partial_match.id;
+                      Certify.newly_certified c topk
+                  | None -> []
+                in
+                (pruned, Topk_set.threshold topk, certified))
           in
-          let pruned = pruned || pm.Partial_match.max_possible < xb in
+          (* Stream outside the lock: the callback may block on a
+             socket.  Only this thread emits, so order is total. *)
+          (match shared.cert with
+          | Some c -> List.iter (Certify.emit c) certified
+          | None -> ());
           if pruned then begin
             if shared.tracing then
               shared.trace (Trace.Pruned { id = pm.Partial_match.id });
@@ -227,8 +248,15 @@ module Make (S : Sync.S) = struct
           S.note_write stats_loc;
           let xb = shared.prune_bound () in
           let pruned =
-            pm.Partial_match.max_possible < xb
-            || with_topk shared (fun topk -> Topk_set.should_prune topk pm)
+            with_topk shared (fun topk ->
+                let pruned =
+                  pm.Partial_match.max_possible < xb
+                  || Topk_set.should_prune topk pm
+                in
+                (match shared.cert with
+                | Some c when pruned -> Certify.remove c pm.Partial_match.id
+                | Some _ | None -> ());
+                pruned)
           in
           if pruned then begin
             if shared.tracing then
@@ -287,10 +315,19 @@ module Make (S : Sync.S) = struct
                   let keep, to_publish =
                     with_topk shared (fun topk ->
                         Topk_set.consider topk ~complete ext;
+                        (* The external-bound filter sits inside the
+                           lock so a surviving extension enters the
+                           certification alive set atomically with the
+                           keep decision ([xb] itself was read outside;
+                           a stale value only under-prunes). *)
                         let keep =
                           (not complete)
-                          && not (Topk_set.should_prune topk ext)
+                          && (not (Topk_set.should_prune topk ext))
+                          && not (ext.Partial_match.max_possible < xb)
                         in
+                        (match shared.cert with
+                        | Some c when keep -> Certify.add c ext
+                        | Some _ | None -> ());
                         let th = Topk_set.threshold topk in
                         let pub =
                           if th > shared.published then begin
@@ -307,9 +344,6 @@ module Make (S : Sync.S) = struct
                   (match to_publish with
                   | Some th -> shared.publish_threshold th
                   | None -> ());
-                  let keep =
-                    keep && not (ext.Partial_match.max_possible < xb)
-                  in
                   if complete then begin
                     if shared.tracing then
                       shared.trace
@@ -327,6 +361,17 @@ module Make (S : Sync.S) = struct
                   end)
                 extensions
             in
+            (* The consumed match leaves the certification alive set
+               only after its surviving extensions entered it (above,
+               under the consider lock) — the same
+               register-before-retire discipline as [pending], so the
+               certification bar never dips below a score that a
+               descendant could still reach. *)
+            (match shared.cert with
+            | Some c ->
+                with_topk shared (fun _ ->
+                    Certify.remove c pm.Partial_match.id)
+            | None -> ());
             (* Register the new in-flight matches before retiring the
                consumed one, so the count never dips to zero early.
                (The Retire_early / Skip_pending_incr faults break
@@ -388,6 +433,10 @@ module Make (S : Sync.S) = struct
       end
     in
     let tracing = not (trace == Trace.ignore_tracer) in
+    let cert =
+      if config.Engine.Config.on_certified == Engine.no_certify then None
+      else Some (Certify.create ~emit:config.Engine.Config.on_certified)
+    in
     let main_stats = Stats.create () in
     let cache_mutex = S.mutex Candidate_cache.mutex_name in
     let shared =
@@ -421,6 +470,7 @@ module Make (S : Sync.S) = struct
         prune_bound;
         publish_threshold;
         published = Float.neg_infinity;
+        cert;
         next_id = S.atomic "next_id" 1;
         trace;
         tracing;
@@ -454,7 +504,10 @@ module Make (S : Sync.S) = struct
             main_stats.matches_pruned <- main_stats.matches_pruned + 1;
             None
           end
-          else Some pm)
+          else begin
+            (match cert with Some c -> Certify.add c pm | None -> ());
+            Some pm
+          end)
         initial
     in
     let th0 = Topk_set.threshold shared.topk in
@@ -498,6 +551,12 @@ module Make (S : Sync.S) = struct
     in
     S.join router_handle;
     List.iter S.join server_handles;
+    (* Post-join: single-threaded again.  A drained run has an empty
+       alive set, so every remaining entry is final; a partial run
+       stops emitting (already-streamed answers stay valid). *)
+    (match cert with
+    | Some c when S.get shared.partial = 0 -> Certify.flush_all c shared.topk
+    | Some _ | None -> ());
     let stats = Stats.create () in
     Stats.add stats main_stats;
     Stats.add stats router_stats;
@@ -512,27 +571,8 @@ module Make (S : Sync.S) = struct
       Obs.finish obs qspan
     end;
     { Engine.answers; stats; partial = S.get shared.partial <> 0 }
-
-  let run_args ?faults ?routing ?queue_policy ?threads_per_server ?should_stop
-      plan ~k =
-    let d = Engine.Config.default in
-    let config =
-      {
-        d with
-        Engine.Config.routing = Option.value routing ~default:d.routing;
-        queue_policy = Option.value queue_policy ~default:d.queue_policy;
-        threads_per_server =
-          Option.value threads_per_server ~default:d.threads_per_server;
-        should_stop = Option.value should_stop ~default:d.should_stop;
-      }
-    in
-    run ?faults ~config plan ~k
 end
 
 module Default = Make (Sync.Real)
 
 let run ?config plan ~k = Default.run ?config plan ~k
-
-let run_args ?routing ?queue_policy ?threads_per_server ?should_stop plan ~k =
-  Default.run_args ?routing ?queue_policy ?threads_per_server ?should_stop plan
-    ~k

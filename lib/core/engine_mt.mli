@@ -56,17 +56,6 @@ module Make (S : Sync.S) : sig
     Engine.result
   (** As the top-level {!run}; [faults] (default none) injects the
       given defects for detector validation. *)
-
-  val run_args :
-    ?faults:Fault.t list ->
-    ?routing:Strategy.routing ->
-    ?queue_policy:Strategy.queue_policy ->
-    ?threads_per_server:int ->
-    ?should_stop:(unit -> bool) ->
-    Plan.t ->
-    k:int ->
-    Engine.result
-  [@@deprecated "use run ?config with Engine.Config.t"]
 end
 
 val run : ?config:Engine.Config.t -> Plan.t -> k:int -> Engine.result
@@ -97,17 +86,9 @@ val run : ?config:Engine.Config.t -> Plan.t -> k:int -> Engine.result
 
     [config.batch] and [config.use_cache] do not apply: the
     multi-threaded engine always shares one candidate cache and routes
-    match-at-a-time. *)
+    match-at-a-time.
 
-val run_args :
-  ?routing:Strategy.routing ->
-  ?queue_policy:Strategy.queue_policy ->
-  ?threads_per_server:int ->
-  ?should_stop:(unit -> bool) ->
-  Plan.t ->
-  k:int ->
-  Engine.result
-[@@deprecated "use Engine_mt.run ?config with Engine.Config.t"]
-(** Pre-redesign entry point, kept one release as a thin wrapper over
-    {!run}; DESIGN.md §8 documents the argument → {!Engine.Config.t}
-    field mapping. *)
+    [config.on_certified] streams certified answers exactly as in
+    {!Engine.run}; alive-set bookkeeping rides the existing top-k
+    critical sections, and only the router thread invokes the callback
+    (outside any lock), so emissions arrive in final answer order. *)

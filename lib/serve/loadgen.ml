@@ -50,7 +50,7 @@ let client_loop client queries ~algo ~bound_push ~t_end acc =
         }
     in
     let t0 = now_ns () in
-    (match Wire.call client req with
+    (match Client.call client req with
     | Result.Ok r -> (
         let ms = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6 in
         acc.latencies <- ms :: acc.latencies;
@@ -66,7 +66,11 @@ let client_loop client queries ~algo ~bound_push ~t_end acc =
         continue := false)
   done
 
-let run ?algo ?bound_push ~socket ~queries ~clients ~duration_s () =
+(* Latency points pin protocol v1 by default: a buffered reply is the
+   unit both tiers implement identically, so tier comparisons measure
+   the serve architecture, not the framing. *)
+let run ?algo ?bound_push ?(version = 1) ~socket ~queries ~clients
+    ~duration_s () =
   if queries = [] then Result.Error "no queries to issue"
   else if clients < 1 then Result.Error "need at least one client"
   else begin
@@ -74,9 +78,11 @@ let run ?algo ?bound_push ~socket ~queries ~clients ~duration_s () =
     let conns = ref [] in
     let connect_err = ref None in
     for _ = 1 to clients do
-      match Wire.connect socket with
+      match Client.connect ~version socket with
       | Result.Ok c -> conns := c :: !conns
-      | Result.Error e -> if !connect_err = None then connect_err := Some e
+      | Result.Error e ->
+          if !connect_err = None then
+            connect_err := Some (Client.error_to_string e)
     done;
     match (!conns, !connect_err) with
     | [], Some e ->
@@ -101,7 +107,7 @@ let run ?algo ?bound_push ~socket ~queries ~clients ~duration_s () =
         in
         List.iter Thread.join threads;
         let elapsed_s = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
-        List.iter Wire.close conns;
+        List.iter Client.close conns;
         let ok = List.fold_left (fun a c -> a + c.ok) 0 accs in
         let partial = List.fold_left (fun a c -> a + c.partial) 0 accs in
         let overloaded = List.fold_left (fun a c -> a + c.overloaded) 0 accs in
@@ -147,15 +153,76 @@ let point_to_json p =
     ]
 
 let ( let* ) = Result.bind
+let client_err r = Result.map_error Client.error_to_string r
 
 let fetch_metrics ~socket =
-  let* client = Wire.connect socket in
-  let reply = Wire.call client (Protocol.Metrics { id = 0; format = Protocol.Json_format }) in
-  Wire.close client;
+  let* client = client_err (Client.connect ~version:1 socket) in
+  let reply =
+    client_err
+      (Client.call client
+         (Protocol.Metrics { id = 0; format = Protocol.Json_format }))
+  in
+  Client.close client;
   let* r = reply in
   match r.metrics with
   | Some m -> Result.Ok m
   | None -> Result.Error "metrics reply carried no metrics object"
+
+(* One streamed query over protocol v2, timing the first [Part] frame
+   against the terminal [Done] — the client-side view of the
+   time-to-first-answer metric the server records. *)
+let ttfa_probe ?algo ?k ?doc ~socket ~query () =
+  let* client = client_err (Client.connect socket) in
+  if Client.version client < 2 then begin
+    Client.close client;
+    Result.Error "server negotiated v1: no streaming on this tier"
+  end
+  else begin
+    let req =
+      Protocol.Query
+        {
+          id = 1;
+          query;
+          doc;
+          k;
+          deadline_ms = None;
+          algo;
+          routing = None;
+          batch = None;
+          use_cache = Some false;
+          bound_push = None;
+        }
+    in
+    let t0 = now_ns () in
+    let first_ms = ref None in
+    let parts = ref 0 in
+    let on_part (_ : Protocol.answer) =
+      incr parts;
+      if !first_ms = None then
+        first_ms :=
+          Some (Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6)
+    in
+    let reply = client_err (Client.stream client ~on_part req) in
+    let total_ms = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6 in
+    Client.close client;
+    let* r = reply in
+    let open Json in
+    Result.Ok
+      (Obj
+         [
+           ("query", String query);
+           ("streamed", Int !parts);
+           ("answers", Int (List.length r.Protocol.answers));
+           ( "ttfa_ms",
+             match !first_ms with Some ms -> Float ms | None -> Null );
+           ("total_ms", Float total_ms);
+           ( "ttfa_before_done",
+             Bool
+               (match !first_ms with
+               | Some ms -> ms < total_ms
+               | None -> false) );
+         ])
+  end
 
 let report ?algo ~socket ~queries ~client_counts ~duration_s () =
   let* points =

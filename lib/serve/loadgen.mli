@@ -25,6 +25,7 @@ type point = {
 val run :
   ?algo:string ->
   ?bound_push:bool ->
+  ?version:int ->
   socket:string ->
   queries:string list ->
   clients:int ->
@@ -36,7 +37,26 @@ val run :
     (omitted when [None], leaving the server's default).
     [bound_push] is forwarded on every request (omitted when [None]):
     [Some false] turns cross-shard bound pushing off server-side, the
-    scatter-only baseline for the sharding benchmarks. *)
+    scatter-only baseline for the sharding benchmarks.
+    [version] (default [1]) pins the protocol version offered on every
+    connection: latency points default to buffered v1 replies so tier
+    comparisons measure the serve architecture, not the framing. *)
+
+val ttfa_probe :
+  ?algo:string ->
+  ?k:int ->
+  ?doc:string ->
+  socket:string ->
+  query:string ->
+  unit ->
+  (Wp_json.Json.t, string) result
+(** Issue one streamed query over protocol v2 and report the
+    client-side time-to-first-answer: [ttfa_ms] (first [Part] frame,
+    [null] when nothing streamed), [total_ms] (terminal [Done]),
+    [streamed] and [answers] counts, and [ttfa_before_done].  Only
+    single-document queries stream, so pass [doc] on a multi-document
+    corpus.  [Error] when the server negotiates the connection down to
+    v1 (the threaded tier), since nothing can stream there. *)
 
 val point_to_json : point -> Wp_json.Json.t
 

@@ -8,6 +8,9 @@ type t = {
   ring : float array;  (* latency samples, ms *)
   mutable ring_len : int;  (* samples stored, <= window *)
   mutable ring_pos : int;  (* next write position *)
+  ttfa_ring : float array;  (* time-to-first-answer samples, ms *)
+  mutable ttfa_len : int;
+  mutable ttfa_pos : int;
   mutable latency_hist : Wp_obs.Registry.histogram option;
       (* set by [register]; observed on every completed request *)
 }
@@ -25,6 +28,9 @@ let create () =
     ring = Array.make window 0.0;
     ring_len = 0;
     ring_pos = 0;
+    ttfa_ring = Array.make window 0.0;
+    ttfa_len = 0;
+    ttfa_pos = 0;
     latency_hist = None;
   }
 
@@ -52,6 +58,12 @@ let record t ~status ~latency_ms =
 
 let record_shed t = with_lock t (fun () -> t.shed <- t.shed + 1)
 
+let record_ttfa t ~ms =
+  with_lock t (fun () ->
+      t.ttfa_ring.(t.ttfa_pos) <- ms;
+      t.ttfa_pos <- (t.ttfa_pos + 1) mod window;
+      if t.ttfa_len < window then t.ttfa_len <- t.ttfa_len + 1)
+
 (* Nearest-rank percentile: the ceil(q*n)-th smallest sample. *)
 let percentile samples q =
   match samples with
@@ -65,13 +77,14 @@ let percentile samples q =
 
 let snapshot t ~extra =
   let open Wp_json.Json in
-  let ok, partial, errors, shed, samples =
+  let ok, partial, errors, shed, samples, ttfa =
     with_lock t (fun () ->
         ( t.ok,
           t.partial,
           t.errors,
           t.shed,
-          Array.to_list (Array.sub t.ring 0 t.ring_len) ))
+          Array.to_list (Array.sub t.ring 0 t.ring_len),
+          Array.to_list (Array.sub t.ttfa_ring 0 t.ttfa_len) ))
   in
   let requests = ok + partial + errors in
   let uptime_s =
@@ -104,6 +117,15 @@ let snapshot t ~extra =
              ("p99", Float (percentile samples 0.99));
              ("max", Float max_ms);
              ("mean", Float mean);
+           ] );
+       ( "ttfa_ms",
+         Obj
+           [
+             ("samples", Int (List.length ttfa));
+             ("p50", Float (percentile ttfa 0.50));
+             ("p95", Float (percentile ttfa 0.95));
+             ("p99", Float (percentile ttfa 0.99));
+             ("max", Float (List.fold_left Float.max 0.0 ttfa));
            ] );
      ]
     @ extra)
@@ -141,6 +163,19 @@ let register t reg =
           let samples =
             with_lock t (fun () ->
                 Array.to_list (Array.sub t.ring 0 t.ring_len))
+          in
+          percentile samples v))
+    [ ("0.5", 0.50); ("0.95", 0.95); ("0.99", 0.99) ];
+  List.iter
+    (fun (q, v) ->
+      R.pull_gauge reg
+        ~help:
+          "time to first certified answer percentile over the recent \
+           sample window"
+        ~labels:[ ("quantile", q) ] "wp_serve_ttfa_ms" (fun () ->
+          let samples =
+            with_lock t (fun () ->
+                Array.to_list (Array.sub t.ttfa_ring 0 t.ttfa_len))
           in
           percentile samples v))
     [ ("0.5", 0.50); ("0.95", 0.95); ("0.99", 0.99) ];

@@ -23,6 +23,12 @@ val record :
 val record_shed : t -> unit
 (** Account one request refused at admission. *)
 
+val record_ttfa : t -> ms:float -> unit
+(** Account a streamed query's time to first certified answer —
+    recorded once per query, at the moment its first [Part] frame is
+    handed to the connection.  Kept in its own ring; a query that
+    streams nothing records nothing. *)
+
 val percentile : float list -> float -> float
 (** [percentile samples q] with [q] in [0, 1] — nearest-rank percentile
     of the samples; [0.] on an empty list.  Exposed for the snapshot
@@ -30,14 +36,17 @@ val percentile : float list -> float -> float
 
 val snapshot : t -> extra:(string * Wp_json.Json.t) list -> Wp_json.Json.t
 (** JSON object: uptime, request counters by status, shed count, qps,
-    and p50/p95/p99/max/mean latency (milliseconds) over the sample
-    window, followed by the [extra] fields (cache and pool figures the
-    service contributes). *)
+    p50/p95/p99/max/mean latency (milliseconds) over the sample
+    window, and the time-to-first-answer percentiles ([ttfa_ms]),
+    followed by the [extra] fields (cache and pool figures the service
+    contributes). *)
 
 val register : t -> Wp_obs.Registry.t -> unit
 (** Publish this instance through a metrics registry:
-    [wp_serve_requests_total{status=...}], [wp_serve_shed_total] and
-    the latency percentiles are pull-style (read at snapshot time), and
+    [wp_serve_requests_total{status=...}], [wp_serve_shed_total], the
+    latency percentiles and the [wp_serve_ttfa_ms{quantile=...}]
+    time-to-first-answer percentiles are pull-style (read at snapshot
+    time), and
     a [wp_serve_latency_milliseconds] histogram starts receiving every
     subsequent {!record}'s latency.  The JSON {!snapshot} is unchanged;
     both read the same underlying state. *)

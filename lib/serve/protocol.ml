@@ -24,11 +24,17 @@ let metrics_format_of_string = function
   | "prometheus" -> Some Prometheus
   | _ -> None
 
+(* Highest protocol version this build speaks.  v1 is the original
+   buffered request/reply; v2 adds [Hello] negotiation and streamed
+   query replies (a sequence of [Part] frames closed by a [Done]). *)
+let current_version = 2
+
 type request =
   | Query of query
   | Metrics of { id : int; format : metrics_format }
   | Ping of { id : int }
   | Stop of { id : int }
+  | Hello of { id : int; version : int }
 
 type status = Ok | Partial | Overloaded | Error
 
@@ -91,10 +97,11 @@ type response = {
   metrics : Json.t option;
   metrics_text : string option;
   elapsed_ms : float;
+  version : int option;
 }
 
 let ok_response ?(answers = []) ?stats ?metrics ?metrics_text ?(partial = false)
-    ~id ~elapsed_ms () =
+    ?version ~id ~elapsed_ms () =
   {
     id;
     status = (if partial then Partial else Ok);
@@ -105,6 +112,7 @@ let ok_response ?(answers = []) ?stats ?metrics ?metrics_text ?(partial = false)
     metrics;
     metrics_text;
     elapsed_ms;
+    version;
   }
 
 let error_response ~id ?(elapsed_ms = 0.0) ?(code = Internal) msg =
@@ -118,6 +126,7 @@ let error_response ~id ?(elapsed_ms = 0.0) ?(code = Internal) msg =
     metrics = None;
     metrics_text = None;
     elapsed_ms;
+    version = None;
   }
 
 let overloaded_response ~id =
@@ -131,6 +140,7 @@ let overloaded_response ~id =
     metrics = None;
     metrics_text = None;
     elapsed_ms = 0.0;
+    version = None;
   }
 
 (* --- field accessors with typed errors --- *)
@@ -204,6 +214,8 @@ let request_to_json req =
         | f -> [ ("format", String (metrics_format_to_string f)) ])
   | Ping { id } -> Obj [ ("op", String "ping"); ("id", Int id) ]
   | Stop { id } -> Obj [ ("op", String "stop"); ("id", Int id) ]
+  | Hello { id; version } ->
+      Obj [ ("op", String "hello"); ("id", Int id); ("version", Int version) ]
 
 let request_of_json json =
   let* op = field_string "op" json in
@@ -249,6 +261,10 @@ let request_of_json json =
       Result.Ok (Metrics { id; format })
   | "ping" -> Result.Ok (Ping { id })
   | "stop" -> Result.Ok (Stop { id })
+  | "hello" ->
+      let* version = field_int "version" json in
+      if version < 1 then Result.Error "field \"version\" must be >= 1"
+      else Result.Ok (Hello { id; version })
   | other -> Result.Error (Printf.sprintf "unknown op %S" other)
 
 (* --- responses --- *)
@@ -293,7 +309,8 @@ let response_to_json r =
       | answers -> [ ("answers", List (List.map answer_to_json answers)) ])
     @ opt "stats" r.stats Fun.id
     @ opt "metrics" r.metrics Fun.id
-    @ opt "metrics_text" r.metrics_text (fun s -> String s))
+    @ opt "metrics_text" r.metrics_text (fun s -> String s)
+    @ opt "version" r.version (fun v -> Int v))
 
 let response_of_json json =
   let* id = field_int "id" json in
@@ -333,9 +350,10 @@ let response_of_json json =
   let stats = Json.member "stats" json in
   let metrics = Json.member "metrics" json in
   let* metrics_text = opt_string "metrics_text" json in
+  let* version = opt_int "version" json in
   Result.Ok
     { id; status; error; code; answers; stats; metrics; metrics_text;
-      elapsed_ms }
+      elapsed_ms; version }
 
 let parse_request s =
   let* json = Json.of_string s in
@@ -344,3 +362,48 @@ let parse_request s =
 let parse_response s =
   let* json = Json.of_string s in
   response_of_json json
+
+(* --- protocol-v2 streamed replies --- *)
+
+type stream_frame =
+  | Part of { id : int; seq : int; answer : answer }
+  | Done of response
+
+let frame_to_json = function
+  | Part { id; seq; answer } ->
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("frame", Json.String "part");
+          ("seq", Json.Int seq);
+          ("answer", answer_to_json answer);
+        ]
+  | Done r -> (
+      match response_to_json r with
+      | Json.Obj fields ->
+          Json.Obj (fields @ [ ("frame", Json.String "done") ])
+      | other -> other)
+
+let frame_of_json json =
+  match Json.member "frame" json with
+  | Some (Json.String "part") ->
+      let* id = field_int "id" json in
+      let* seq = field_int "seq" json in
+      let* answer =
+        match Json.member "answer" json with
+        | Some a -> answer_of_json a
+        | None -> Result.Error "missing field \"answer\""
+      in
+      Result.Ok (Part { id; seq; answer })
+  | Some (Json.String "done") | None ->
+      (* A frame-less object is a v1 buffered reply: the whole response
+         arrives as one terminal frame. *)
+      let* r = response_of_json json in
+      Result.Ok (Done r)
+  | Some (Json.String other) ->
+      Result.Error (Printf.sprintf "unknown frame kind %S" other)
+  | Some _ -> Result.Error "field \"frame\" must be a string"
+
+let parse_frame s =
+  let* json = Json.of_string s in
+  frame_of_json json

@@ -48,6 +48,11 @@ type metrics_format = Json_format | Prometheus
 val metrics_format_to_string : metrics_format -> string
 val metrics_format_of_string : string -> metrics_format option
 
+val current_version : int
+(** Highest protocol version this build speaks (2).  v1 is the
+    original buffered request/reply; v2 adds {!request.Hello}
+    negotiation and streamed query replies ({!stream_frame}). *)
+
 type request =
   | Query of query
   | Metrics of { id : int; format : metrics_format }
@@ -56,6 +61,12 @@ type request =
           object in [metrics] *)
   | Ping of { id : int }
   | Stop of { id : int }  (** graceful shutdown *)
+  | Hello of { id : int; version : int }
+      (** version negotiation: the client announces the highest
+          protocol version it speaks; the reply's [version] carries
+          [min (version, current_version)], which governs the
+          connection from then on.  A connection that never says hello
+          is a v1 connection and gets buffered replies. *)
 
 type status = Ok | Partial | Overloaded | Error
 
@@ -100,6 +111,8 @@ type response = {
   metrics_text : string option;
       (** Prometheus text exposition, for [Metrics] with [Prometheus] *)
   elapsed_ms : float;  (** server-side handling time *)
+  version : int option;
+      (** negotiated protocol version, set on [Hello] replies only *)
 }
 
 val ok_response :
@@ -108,6 +121,7 @@ val ok_response :
   ?metrics:Wp_json.Json.t ->
   ?metrics_text:string ->
   ?partial:bool ->
+  ?version:int ->
   id:int ->
   elapsed_ms:float ->
   unit ->
@@ -130,3 +144,22 @@ val parse_request : string -> (request, string) result
 (** [Wp_json.Json.of_string] composed with {!request_of_json}. *)
 
 val parse_response : string -> (response, string) result
+
+(** A protocol-v2 streamed query reply: zero or more [Part] frames —
+    one certified answer each, [seq] counting from 0 — closed by a
+    terminal [Done] carrying the full {!response}.  The [Done]'s
+    [answers] list is the {e complete} top-k (streamed prefix
+    included), so a client that ignored the parts still ends with the
+    exact buffered reply, and one that consumed them can check
+    [parts @ tail = done.answers].  Non-query replies and all v1
+    replies are a single [Done]. *)
+type stream_frame =
+  | Part of { id : int; seq : int; answer : answer }
+  | Done of response
+
+val frame_to_json : stream_frame -> Wp_json.Json.t
+val frame_of_json : Wp_json.Json.t -> (stream_frame, string) result
+
+val parse_frame : string -> (stream_frame, string) result
+(** Parse one frame of a streamed reply.  An object without a ["frame"]
+    member is a v1 buffered reply and parses as [Done]. *)

@@ -299,14 +299,31 @@ let shard_groups docs =
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.map snd
 
-let run_query t (q : Protocol.query) ~t0 ~obs =
+let run_query t (q : Protocol.query) ~t0 ~obs ~cancelled ~on_entry =
   let* docs = resolve_docs t q in
   let* k = resolve_k t q in
   let* algo = resolve_algo t q in
   let* routing = resolve_routing q in
   let* batch = resolve_batch q in
-  let should_stop = deadline_hook t q ~t0 in
+  let deadline = deadline_hook t q ~t0 in
+  (* The run must also stop when the client is gone: a vanished
+     connection cancels its in-flight query at the next iteration
+     boundary instead of burning a worker to completion. *)
+  let should_stop =
+    match cancelled with
+    | None -> deadline
+    | Some gone -> fun () -> deadline () || gone ()
+  in
   let config = request_config t q ~routing ~batch ~should_stop ~obs in
+  (* Streaming is sound only when one document answers the query: a
+     merged or scattered top-k can displace one document's certified
+     entry with another's, so those stay buffered. *)
+  let config =
+    match (on_entry, docs) with
+    | Some emit, [ (doc : Catalog.doc) ] ->
+        Whirlpool.Engine.Config.with_on_certified (emit doc) config
+    | _ -> config
+  in
   let groups = shard_groups docs in
   let* tagged, stats, partial =
     match groups with
@@ -365,7 +382,17 @@ let note_slow t (q : Protocol.query) ~elapsed_ms ~obs =
             entry :: List.filteri (fun i _ -> i < slow_log_cap - 1) t.slow_log)
   | Some _ | None -> ()
 
-let handle_query t (q : Protocol.query) =
+let entry_answer (doc : Catalog.doc) (e : Whirlpool.Topk_set.entry) =
+  let d = Wp_xml.Index.doc doc.Catalog.index in
+  {
+    Protocol.doc = doc.Catalog.name;
+    root = e.root;
+    dewey = Wp_xml.Dewey.to_string (Wp_xml.Doc.dewey d e.root);
+    score = e.score;
+    progress = e.progress;
+  }
+
+let handle_query_stream t ?cancelled ?on_part (q : Protocol.query) =
   let t0 = now_ns () in
   (* A context per request: the slow-query log wants the full span tree
      of exactly the offending request, so sampling is 1 and the cap
@@ -375,8 +402,20 @@ let handle_query t (q : Protocol.query) =
     | Some _ -> Obs.create ()
     | None -> Obs.disabled
   in
+  let streamed = ref 0 in
+  let on_entry =
+    match on_part with
+    | None -> None
+    | Some emit ->
+        Some
+          (fun doc e ->
+            if !streamed = 0 then
+              Metrics.record_ttfa t.metrics ~ms:(elapsed_ms_since t0);
+            incr streamed;
+            emit (entry_answer doc e))
+  in
   let outcome =
-    match run_query t q ~t0 ~obs with
+    match run_query t q ~t0 ~obs ~cancelled ~on_entry with
     | r -> r
     | exception exn ->
         Result.Error
@@ -385,17 +424,22 @@ let handle_query t (q : Protocol.query) =
   in
   let elapsed_ms = elapsed_ms_since t0 in
   note_slow t q ~elapsed_ms ~obs;
-  match outcome with
-  | Result.Ok (answers, stats, partial) ->
-      Metrics.record t.metrics
-        ~status:(if partial then `Partial else `Ok)
-        ~latency_ms:elapsed_ms;
-      Protocol.ok_response ~answers
-        ~stats:(Whirlpool.Stats.to_json stats)
-        ~partial ~id:q.id ~elapsed_ms ()
-  | Result.Error (code, msg) ->
-      Metrics.record t.metrics ~status:`Error ~latency_ms:elapsed_ms;
-      Protocol.error_response ~id:q.id ~elapsed_ms ~code msg
+  let response =
+    match outcome with
+    | Result.Ok (answers, stats, partial) ->
+        Metrics.record t.metrics
+          ~status:(if partial then `Partial else `Ok)
+          ~latency_ms:elapsed_ms;
+        Protocol.ok_response ~answers
+          ~stats:(Whirlpool.Stats.to_json stats)
+          ~partial ~id:q.id ~elapsed_ms ()
+    | Result.Error (code, msg) ->
+        Metrics.record t.metrics ~status:`Error ~latency_ms:elapsed_ms;
+        Protocol.error_response ~id:q.id ~elapsed_ms ~code msg
+  in
+  (response, !streamed)
+
+let handle_query t (q : Protocol.query) = fst (handle_query_stream t q)
 
 let slow_queries t =
   let entries = with_state t (fun () -> t.slow_log) in
@@ -471,5 +515,13 @@ let handle t (req : Protocol.request) =
            ())
   | Protocol.Ping { id } ->
       `Reply (Protocol.ok_response ~id ~elapsed_ms:0.0 ())
+  | Protocol.Hello { id; version } ->
+      (* Transport-agnostic negotiation: meet at the highest version
+         both sides speak.  A transport that cannot stream (the
+         threaded tier) intercepts Hello itself and caps at 1. *)
+      `Reply
+        (Protocol.ok_response
+           ~version:(min version Protocol.current_version)
+           ~id ~elapsed_ms:0.0 ())
   | Protocol.Stop { id } ->
       `Stop (Protocol.ok_response ~id ~elapsed_ms:0.0 ())

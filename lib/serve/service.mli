@@ -59,6 +59,28 @@ val handle_query : t -> Protocol.query -> Protocol.response
     {!metrics}.  Never raises: engine and catalog failures become
     [Error]-status replies carrying an {!Protocol.error_code}. *)
 
+val handle_query_stream :
+  t ->
+  ?cancelled:(unit -> bool) ->
+  ?on_part:(Protocol.answer -> unit) ->
+  Protocol.query ->
+  Protocol.response * int
+(** As {!handle_query}, plus streaming: when [on_part] is given and the
+    query resolves to a single document, each answer is passed to it
+    the instant the engine certifies it as final (see
+    [Engine.Config.on_certified]); merged and scattered queries never
+    stream — their per-document answers are not final until the merge.
+    Returns the buffered response (its [answers] {e include} the
+    streamed prefix, in the same order) and the number of answers
+    streamed.  The first streamed answer records the request's
+    time-to-first-answer in {!metrics}.
+
+    [cancelled] (default: never) is or-ed into the engine's
+    [should_stop] hook: the transport sets it when the client vanishes
+    mid-request, cancelling the in-flight run at the next iteration
+    boundary so a dead connection never holds a worker to
+    completion. *)
+
 val metrics_json : t -> Wp_json.Json.t
 (** Service-level snapshot: request counters and latency percentiles
     ({!Metrics.snapshot}) plus corpus size, plan-cache and

@@ -146,6 +146,13 @@ let handle_conn server fd =
               send (Protocol.overloaded_response ~id:q.id)
             end;
             loop ()
+        | Result.Ok (Protocol.Hello { id; version = _ }) ->
+            (* This tier reads with one blocking thread per connection
+               and cannot interleave stream frames with its own reads,
+               so it always negotiates down to v1 buffered replies.
+               The event tier ({!Event}) speaks v2. *)
+            send (Protocol.ok_response ~version:1 ~id ~elapsed_ms:0.0 ());
+            loop ()
         | Result.Ok req -> (
             match Service.handle server.service req with
             | `Reply r ->
@@ -234,30 +241,3 @@ let serve ?workers ?(queue_depth = 64) ?on_ready ~socket ~service () =
       (try Unix.close server.listener with Unix.Unix_error _ -> ());
       (try Unix.unlink socket with Unix.Unix_error _ -> ());
       Result.Ok ()
-
-(* --- client --- *)
-
-type client = { fd : Unix.file_descr }
-
-let connect path =
-  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-  | exception Unix.Unix_error (e, _, _) ->
-      Result.Error (Unix.error_message e)
-  | fd -> (
-      match Unix.connect fd (Unix.ADDR_UNIX path) with
-      | () -> Result.Ok { fd }
-      | exception Unix.Unix_error (e, _, _) ->
-          (try Unix.close fd with Unix.Unix_error _ -> ());
-          Result.Error
-            (Printf.sprintf "cannot connect to %s: %s" path
-               (Unix.error_message e)))
-
-let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
-
-let ( let* ) = Result.bind
-
-let call c req =
-  let payload = Json.to_string (Protocol.request_to_json req) in
-  let* () = write_frame c.fd payload in
-  let* reply = read_frame c.fd in
-  Protocol.parse_response reply

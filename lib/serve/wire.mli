@@ -11,7 +11,14 @@
 
     A [Stop] request (or {!request_stop}) triggers a graceful
     shutdown: stop accepting, drain every already accepted job, answer
-    it, then close connections and remove the socket file. *)
+    it, then close connections and remove the socket file.
+
+    This tier cannot interleave stream frames with its blocking
+    per-connection reads, so it answers [Hello] with version 1 — every
+    reply stays buffered.  The event-driven tier ({!Event}) serves the
+    same protocol at v2 with streaming; this one is kept as the
+    baseline the serve benchmarks compare against.  Client-side
+    helpers live in {!Client}. *)
 
 val max_frame : int
 (** Frame payload cap (16 MiB); longer frames are a protocol error. *)
@@ -45,14 +52,3 @@ val request_stop : server -> unit
 (** Begin a graceful shutdown from any thread (idempotent). *)
 
 val pool_stats : server -> Pool.stats
-
-(** {1 Client} *)
-
-type client
-
-val connect : string -> (client, string) result
-val close : client -> unit
-
-val call : client -> Protocol.request -> (Protocol.response, string) result
-(** Send one request and block for its reply.  Not thread-safe; use
-    one client per thread. *)

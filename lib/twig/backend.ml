@@ -8,8 +8,27 @@ type seeded = {
   main : Engine.result;
 }
 
+(* Buffering backends (the twig join and both lockstep variants)
+   certify nothing mid-run; when the caller asked for streaming, every
+   answer of a drained run is final at return, so emit them all then.
+   Partial runs emit nothing — their answers carry no certificate. *)
+let emit_all ~(config : Config.t) (result : Engine.result) =
+  if
+    (not (config.Config.on_certified == Engine.no_certify))
+    && not result.Engine.partial
+  then List.iter config.Config.on_certified result.Engine.answers;
+  result
+
 let run_seeded ?(config = Config.default) ?guide plan ~k =
-  let twig = Twig_join.run ~config ?guide plan ~k in
+  (* The twig phase's answers are only a seed — the adaptive phase
+     re-derives (and may displace) them — so strip the streaming hook
+     for that phase; the main phase streams normally and its answers
+     are the combined result's answers. *)
+  let twig =
+    Twig_join.run
+      ~config:(Config.with_on_certified Engine.no_certify config)
+      ?guide plan ~k
+  in
   let floor =
     match List.nth_opt twig.Engine.answers (k - 1) with
     | Some e -> e.Whirlpool.Topk_set.score
@@ -47,10 +66,12 @@ let run ?(config = Config.default) ?guide plan ~k =
   | Config.Whirlpool -> Engine.run ~config plan ~k
   | Config.Whirlpool_mt -> Whirlpool.Engine_mt.run ~config plan ~k
   | Config.Lockstep ->
-      Whirlpool.Lockstep.run ~queue_policy:config.Config.queue_policy
-        ~prune:true plan ~k
+      emit_all ~config
+        (Whirlpool.Lockstep.run ~queue_policy:config.Config.queue_policy
+           ~prune:true plan ~k)
   | Config.Lockstep_noprun ->
-      Whirlpool.Lockstep.run ~queue_policy:config.Config.queue_policy
-        ~prune:false plan ~k
-  | Config.Twig -> Twig_join.run ~config ?guide plan ~k
+      emit_all ~config
+        (Whirlpool.Lockstep.run ~queue_policy:config.Config.queue_policy
+           ~prune:false plan ~k)
+  | Config.Twig -> emit_all ~config (Twig_join.run ~config ?guide plan ~k)
   | Config.Twig_seeded -> combine (run_seeded ~config ?guide plan ~k)

@@ -268,9 +268,10 @@ let test_obs_does_not_change_runs () =
     [ Fixtures.q1; Fixtures.q2; Fixtures.q3 ]
 
 let test_config_default_is_old_default () =
-  (* The redesigned entry point under Config.default must be
-     bit-identical to the pre-redesign optional-argument defaults —
-     answers, counters and the trace event stream. *)
+  (* Spelling out every historical default through the setter chain
+     must stay bit-identical to Config.default — answers, counters and
+     the trace event stream.  (This test compared against the
+     deprecated [run_args] wrappers until they were removed.) *)
   List.iter
     (fun q ->
       let plan = Run.compile idx (parse q) in
@@ -280,7 +281,17 @@ let test_config_default_is_old_default () =
           plan ~k:4
       in
       let trace_b, events_b = Trace.collector () in
-      let b = (Engine.run_args ~trace:trace_b plan ~k:4 [@warning "-3"]) in
+      let config_b =
+        Engine.Config.(
+          default
+          |> with_routing Strategy.Min_alive
+          |> with_queue_policy Strategy.Max_final_score
+          |> with_batch 1 |> with_use_cache true
+          |> with_should_stop Engine.never_stop
+          |> with_on_certified Engine.no_certify
+          |> with_trace trace_b)
+      in
+      let b = Engine.run ~config:config_b plan ~k:4 in
       Alcotest.(check bool) (q ^ ": same answers") true
         (Fixtures.sorted_scores a.answers = Fixtures.sorted_scores b.answers);
       Alcotest.(check bool) (q ^ ": same counters") true

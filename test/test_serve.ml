@@ -788,25 +788,32 @@ let start_server ~socket ~service =
    the lock — none of which raise; a failure here ends the test binary \
    anyway"]
 
+let connect_exn ?version socket =
+  match Client.connect ?version socket with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" (Client.error_to_string e)
+
+let call_exn client req =
+  match Client.call client req with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "call: %s" (Client.error_to_string e)
+
 let test_wire_end_to_end () =
   with_corpus_dir (fun dir ->
       let socket = temp_socket () in
       let service = Service.create ~catalog:(loaded_catalog dir) () in
       let thread = start_server ~socket ~service in
-      let client =
-        match Wire.connect socket with
-        | Ok c -> c
-        | Error e -> Alcotest.failf "connect: %s" e
-      in
-      (match Wire.call client (Protocol.Ping { id = 1 }) with
-      | Ok r -> Alcotest.(check bool) "ping ok" true (r.status = Protocol.Ok)
-      | Error e -> Alcotest.failf "ping: %s" e);
-      (match Wire.call client (Protocol.Query (query 2 ~k:3 "/book[./title]")) with
-      | Ok r ->
-          Alcotest.(check bool) "query ok" true (r.status = Protocol.Ok);
-          Alcotest.(check bool) "has answers" true (r.answers <> []);
-          Alcotest.(check bool) "has stats" true (r.stats <> None)
-      | Error e -> Alcotest.failf "query: %s" e);
+      (* The default connect offers protocol v2; the threaded tier
+         always negotiates down to buffered v1. *)
+      let client = connect_exn socket in
+      Alcotest.(check int) "threaded tier negotiates v1" 1
+        (Client.version client);
+      let r = call_exn client (Protocol.Ping { id = 1 }) in
+      Alcotest.(check bool) "ping ok" true (r.status = Protocol.Ok);
+      let r = call_exn client (Protocol.Query (query 2 ~k:3 "/book[./title]")) in
+      Alcotest.(check bool) "query ok" true (r.status = Protocol.Ok);
+      Alcotest.(check bool) "has answers" true (r.answers <> []);
+      Alcotest.(check bool) "has stats" true (r.stats <> None);
       (* A malformed frame payload gets an error reply on its own
          connection; the server survives. *)
       (let raw = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -826,28 +833,24 @@ let test_wire_end_to_end () =
                      (r.status = Protocol.Error)
                | Error e -> Alcotest.failf "error reply unparsable: %s" e)
            | Error e -> Alcotest.failf "raw read: %s" e));
-      (match
-         Wire.call client (Protocol.Metrics { id = 5; format = Protocol.Prometheus })
-       with
-      | Ok r -> (
-          match r.metrics_text with
-          | Some page -> (
-              match Wp_obs.Registry.validate_exposition page with
-              | Ok () ->
-                  Alcotest.(check bool) "request counted in exposition" true
-                    (Test_stats.contains ~needle:"wp_serve_requests_total" page)
-              | Error m -> Alcotest.failf "invalid exposition: %s" m)
-          | None -> Alcotest.fail "prometheus reply lacks metrics_text")
-      | Error e -> Alcotest.failf "prometheus metrics: %s" e);
-      (match
-         Wire.call client (Protocol.Metrics { id = 3; format = Protocol.Json_format })
-       with
-      | Ok r -> Alcotest.(check bool) "metrics" true (r.metrics <> None)
-      | Error e -> Alcotest.failf "metrics: %s" e);
-      (match Wire.call client (Protocol.Stop { id = 4 }) with
-      | Ok r -> Alcotest.(check bool) "stop acked" true (r.status = Protocol.Ok)
-      | Error e -> Alcotest.failf "stop: %s" e);
-      Wire.close client;
+      (let r =
+         call_exn client (Protocol.Metrics { id = 5; format = Protocol.Prometheus })
+       in
+       match r.metrics_text with
+       | Some page -> (
+           match Wp_obs.Registry.validate_exposition page with
+           | Ok () ->
+               Alcotest.(check bool) "request counted in exposition" true
+                 (Test_stats.contains ~needle:"wp_serve_requests_total" page)
+           | Error m -> Alcotest.failf "invalid exposition: %s" m)
+       | None -> Alcotest.fail "prometheus reply lacks metrics_text");
+      (let r =
+         call_exn client (Protocol.Metrics { id = 3; format = Protocol.Json_format })
+       in
+       Alcotest.(check bool) "metrics" true (r.metrics <> None));
+      (let r = call_exn client (Protocol.Stop { id = 4 }) in
+       Alcotest.(check bool) "stop acked" true (r.status = Protocol.Ok));
+      Client.close client;
       Thread.join thread;
       Alcotest.(check bool) "socket removed" false (Sys.file_exists socket))
 
@@ -856,21 +859,15 @@ let test_wire_deadline_over_socket () =
       let socket = temp_socket () in
       let service = Service.create ~catalog:(loaded_catalog dir) () in
       let thread = start_server ~socket ~service in
-      let client =
-        match Wire.connect socket with
-        | Ok c -> c
-        | Error e -> Alcotest.failf "connect: %s" e
+      let client = connect_exn socket in
+      let r =
+        call_exn client
+          (Protocol.Query (query 1 ~deadline_ms:0.0 "/book[./title]"))
       in
-      (match
-         Wire.call client
-           (Protocol.Query (query 1 ~deadline_ms:0.0 "/book[./title]"))
-       with
-      | Ok r ->
-          Alcotest.(check bool) "partial over the wire" true
-            (r.status = Protocol.Partial)
-      | Error e -> Alcotest.failf "deadline query: %s" e);
-      ignore (Wire.call client (Protocol.Stop { id = 2 }));
-      Wire.close client;
+      Alcotest.(check bool) "partial over the wire" true
+        (r.status = Protocol.Partial);
+      ignore (Client.call client (Protocol.Stop { id = 2 }));
+      Client.close client;
       Thread.join thread)
 
 let test_wire_frame_roundtrip () =
@@ -946,34 +943,437 @@ let test_algo_over_wire () =
       let socket = temp_socket () in
       let service = Service.create ~catalog:(loaded_catalog dir) () in
       let thread = start_server ~socket ~service in
-      let client =
-        match Wire.connect socket with
-        | Ok c -> c
-        | Error e -> Alcotest.failf "connect: %s" e
-      in
-      (match
-         Wire.call client
+      let client = connect_exn socket in
+      (let r =
+         call_exn client
            (Protocol.Query
               { (query 1 ~k:3 "/book[./title]") with algo = Some "twig-seeded" })
-       with
-      | Ok r ->
-          Alcotest.(check bool) "twig-seeded over the wire ok" true
-            (r.status = Protocol.Ok);
-          Alcotest.(check bool) "twig-seeded has answers" true
-            (r.answers <> [])
-      | Error e -> Alcotest.failf "twig-seeded query: %s" e);
-      (match
-         Wire.call client
+       in
+       Alcotest.(check bool) "twig-seeded over the wire ok" true
+         (r.status = Protocol.Ok);
+       Alcotest.(check bool) "twig-seeded has answers" true (r.answers <> []));
+      (let r =
+         call_exn client
            (Protocol.Query { (query 2 "/book") with algo = Some "quicksort" })
+       in
+       Alcotest.(check bool) "unknown algo -> error reply" true
+         (r.status = Protocol.Error);
+       Alcotest.(check bool) "unknown algo typed bad_request" true
+         (r.code = Some Protocol.Bad_request));
+      ignore (Client.call client (Protocol.Stop { id = 3 }));
+      Client.close client;
+      Thread.join thread)
+
+(* --- protocol v2: frame codec and Hello negotiation --- *)
+
+let sample_answer =
+  { Protocol.doc = "a.xml"; root = 3; dewey = "0.1"; score = 0.5; progress = 2 }
+
+let roundtrip_frame frame =
+  match Protocol.parse_frame (Json.to_string (Protocol.frame_to_json frame)) with
+  | Ok f -> Alcotest.(check bool) "frame round-trip" true (f = frame)
+  | Error m -> Alcotest.failf "frame does not reparse: %s" m
+
+let test_protocol_v2_codec () =
+  Alcotest.(check int) "current version" 2 Protocol.current_version;
+  roundtrip_request (Protocol.Hello { id = 11; version = 2 });
+  roundtrip_request (Protocol.Hello { id = 0; version = 9 });
+  (* Version rides the response envelope. *)
+  roundtrip_response
+    (Protocol.ok_response ~version:2 ~id:1 ~elapsed_ms:0.25 ());
+  roundtrip_frame (Protocol.Part { id = 4; seq = 0; answer = sample_answer });
+  roundtrip_frame
+    (Protocol.Done
+       (Protocol.ok_response ~answers:[ sample_answer ] ~partial:true ~id:4
+          ~elapsed_ms:1.5 ()));
+  (* v1 compatibility: a frame-less response object parses as Done. *)
+  (match
+     Protocol.parse_frame
+       (Json.to_string
+          (Protocol.response_to_json
+             (Protocol.ok_response ~id:9 ~elapsed_ms:0.0 ())))
+   with
+  | Ok (Protocol.Done r) -> Alcotest.(check int) "plain = Done" 9 r.id
+  | Ok (Protocol.Part _) -> Alcotest.fail "plain response parsed as Part"
+  | Error m -> Alcotest.failf "plain response as frame: %s" m);
+  (* An unknown frame tag is a protocol error, not a silent Done. *)
+  match Protocol.parse_frame "{\"id\":1,\"frame\":\"warp\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown frame tag accepted"
+
+(* --- streaming certification: engine-level prefix property --- *)
+
+let stream_algos =
+  [ "whirlpool-s"; "whirlpool-m"; "lockstep"; "lockstep-noprun"; "twig";
+    "twig-seeded" ]
+
+let entry_key (e : Whirlpool.Topk_set.entry) = (e.root, e.score)
+
+(* On every fig6/fig8 workload query (the paper's XMark q1-q3) and the
+   Figure 2 book queries, for every backend: a complete run's certified
+   stream is exactly the final buffered top-k, in order.  (Mid-run the
+   stream is a stable prefix; at return the engines flush the
+   certified-at-end tail, so the whole list must match.) *)
+let test_stream_prefix_matches_final () =
+  let cases =
+    List.map
+      (fun q -> (Fixtures.books_index, q))
+      [ Fixtures.q2a; Fixtures.q2b; Fixtures.q2c; Fixtures.q2d ]
+    @ List.map
+        (fun q -> (Lazy.force Fixtures.xmark_index, q))
+        [ Fixtures.q1; Fixtures.q2; Fixtures.q3 ]
+  in
+  List.iter
+    (fun (idx, q) ->
+      let plan = Whirlpool.Run.compile idx (Fixtures.parse q) in
+      List.iter
+        (fun name ->
+          let algo =
+            Option.get (Whirlpool.Engine.Config.algo_of_string name)
+          in
+          let streamed = ref [] in
+          let config =
+            Whirlpool.Engine.Config.(
+              default |> with_algo algo
+              |> with_on_certified (fun e -> streamed := e :: !streamed))
+          in
+          let r = Wp_twig.Backend.run ~config plan ~k:5 in
+          let c msg = Printf.sprintf "%s --algo %s %s" q name msg in
+          Alcotest.(check bool) (c "complete") false r.partial;
+          Alcotest.(check bool)
+            (c "certified stream equals the final top-k")
+            true
+            (List.rev_map entry_key !streamed
+            = List.map entry_key r.answers))
+        stream_algos)
+    cases
+
+(* A stopped run must stop emitting without retracting: the stream
+   stays a prefix of the partial result's answers. *)
+let test_stream_partial_run_emits_prefix_only () =
+  let plan = books_plan Fixtures.q2d in
+  let streamed = ref [] in
+  let config =
+    Whirlpool.Engine.Config.(
+      default
+      |> with_should_stop (fun () -> true)
+      |> with_on_certified (fun e -> streamed := e :: !streamed))
+  in
+  let r = Whirlpool.Engine.run ~config plan ~k:3 in
+  Alcotest.(check bool) "partial" true r.partial;
+  let rec prefix xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | x :: xs', y :: ys' -> x = y && prefix xs' ys'
+    | _ :: _, [] -> false
+  in
+  Alcotest.(check bool) "stream is a prefix of the partial answers" true
+    (prefix (List.rev_map entry_key !streamed) (List.map entry_key r.answers))
+
+(* --- the event tier: sockets end to end --- *)
+
+let start_event_server ?http ~socket ~service () =
+  let m = Mutex.create () and c = Condition.create () in
+  let state = ref `Pending in
+  let set s =
+    Mutex.lock m;
+    state := s;
+    Condition.signal c;
+    Mutex.unlock m
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        match
+          Event.serve ~workers:2 ~queue_depth:8 ?http
+            ~on_ready:(fun server -> set (`Ready server))
+            ~socket ~service ()
+        with
+        | Ok () -> ()
+        | Error e -> set (`Failed e))
+      ()
+  in
+  Mutex.lock m;
+  while !state = `Pending do
+    Condition.wait c m
+  done;
+  let outcome = !state in
+  Mutex.unlock m;
+  match outcome with
+  | `Ready server -> (server, thread)
+  | `Failed e ->
+      Thread.join thread;
+      Alcotest.failf "event server failed to start: %s" e
+  | `Pending -> assert false
+[@@wp.allow
+  "lock-leak the startup handshake only assigns, signals and waits under \
+   the lock — none of which raise; a failure here ends the test binary \
+   anyway"]
+
+let test_event_end_to_end () =
+  with_corpus_dir (fun dir ->
+      let socket = temp_socket () in
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      let _server, thread = start_event_server ~socket ~service () in
+      (* Negotiation: default offer lands on v2, pinned v1 stays v1,
+         an over-eager v9 is capped at the server's current version. *)
+      let client = connect_exn socket in
+      Alcotest.(check int) "event tier negotiates v2" 2
+        (Client.version client);
+      let v1 = connect_exn ~version:1 socket in
+      Alcotest.(check int) "pinned v1 stays v1" 1 (Client.version v1);
+      Client.close v1;
+      let v9 = connect_exn ~version:9 socket in
+      Alcotest.(check int) "v9 capped at current" Protocol.current_version
+        (Client.version v9);
+      Client.close v9;
+      (let r = call_exn client (Protocol.Ping { id = 1 }) in
+       Alcotest.(check bool) "ping ok" true (r.status = Protocol.Ok));
+      (* Single-document query over v2: Part frames stream a prefix of
+         the Done reply's answers (a complete run streams all of
+         them). *)
+      let parts = ref [] in
+      (match
+         Client.stream client
+           ~on_part:(fun a -> parts := a :: !parts)
+           (Protocol.Query (query 2 ~doc:"a.xml" ~k:3 "/book[./title]"))
        with
+      | Error e -> Alcotest.failf "stream: %s" (Client.error_to_string e)
       | Ok r ->
-          Alcotest.(check bool) "unknown algo -> error reply" true
-            (r.status = Protocol.Error);
-          Alcotest.(check bool) "unknown algo typed bad_request" true
-            (r.code = Some Protocol.Bad_request)
-      | Error e -> Alcotest.failf "unknown-algo query: %s" e);
-      ignore (Wire.call client (Protocol.Stop { id = 3 }));
-      Wire.close client;
+          Alcotest.(check bool) "query ok" true (r.status = Protocol.Ok);
+          Alcotest.(check bool) "has answers" true (r.answers <> []);
+          let key (a : Protocol.answer) = (a.doc, a.root, a.score) in
+          Alcotest.(check bool)
+            "streamed parts equal the Done answers" true
+            (List.rev_map key !parts = List.map key r.answers));
+      (* Merged (multi-document) queries buffer — merge can displace —
+         so no Part frames, but the Done reply is complete. *)
+      let mparts = ref 0 in
+      (match
+         Client.stream client
+           ~on_part:(fun _ -> incr mparts)
+           (Protocol.Query (query 3 ~k:5 "/book[./isbn]"))
+       with
+      | Error e -> Alcotest.failf "merged stream: %s" (Client.error_to_string e)
+      | Ok r ->
+          Alcotest.(check bool) "merged ok" true (r.status = Protocol.Ok);
+          Alcotest.(check int) "merged queries do not stream" 0 !mparts;
+          Alcotest.(check bool) "merged has answers" true (r.answers <> []));
+      (* The service recorded a time-to-first-answer sample for the
+         streamed run. *)
+      (let r =
+         call_exn client
+           (Protocol.Metrics { id = 4; format = Protocol.Json_format })
+       in
+       match r.metrics with
+       | None -> Alcotest.fail "metrics reply lacks snapshot"
+       | Some snap -> (
+           match Json.member "ttfa_ms" snap with
+           | Some ttfa -> (
+               match Json.member "samples" ttfa with
+               | Some (Json.Int n) ->
+                   Alcotest.(check bool) "ttfa sampled" true (n >= 1)
+               | _ -> Alcotest.fail "ttfa_ms lacks samples")
+           | None -> Alcotest.fail "metrics lack ttfa_ms"));
+      (* A malformed frame gets an error reply; the server survives. *)
+      (let raw = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close raw with Unix.Unix_error _ -> ())
+         (fun () ->
+           Unix.connect raw (Unix.ADDR_UNIX socket);
+           (match Wire.write_frame raw "this is not json" with
+           | Ok () -> ()
+           | Error e -> Alcotest.failf "raw write: %s" e);
+           match Wire.read_frame raw with
+           | Ok reply -> (
+               match Protocol.parse_response reply with
+               | Ok r ->
+                   Alcotest.(check bool) "bad frame -> error reply" true
+                     (r.status = Protocol.Error)
+               | Error e -> Alcotest.failf "error reply unparsable: %s" e)
+           | Error e -> Alcotest.failf "raw read: %s" e));
+      (let r = call_exn client (Protocol.Stop { id = 5 }) in
+       Alcotest.(check bool) "stop acked" true (r.status = Protocol.Ok));
+      Client.close client;
+      Thread.join thread;
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists socket))
+
+let test_event_deadline_mid_stream () =
+  with_corpus_dir (fun dir ->
+      let socket = temp_socket () in
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      let _server, thread = start_event_server ~socket ~service () in
+      let client = connect_exn socket in
+      let parts = ref [] in
+      (match
+         Client.stream client
+           ~on_part:(fun a -> parts := a :: !parts)
+           (Protocol.Query
+              (query 1 ~doc:"a.xml" ~deadline_ms:0.0 "/book[./title]"))
+       with
+      | Error e -> Alcotest.failf "stream: %s" (Client.error_to_string e)
+      | Ok r ->
+          (* Expiry mid-stream: the reply is flagged partial and the
+             already-streamed prefix is never retracted — every Part
+             appears, in order, at the head of the Done answers. *)
+          Alcotest.(check bool) "partial after stream" true
+            (r.status = Protocol.Partial);
+          let key (a : Protocol.answer) = (a.doc, a.root, a.score) in
+          let rec prefix xs ys =
+            match (xs, ys) with
+            | [], _ -> true
+            | x :: xs', y :: ys' -> x = y && prefix xs' ys'
+            | _ :: _, [] -> false
+          in
+          Alcotest.(check bool) "streamed prefix kept" true
+            (prefix (List.rev_map key !parts) (List.map key r.answers)));
+      ignore (Client.call client (Protocol.Stop { id = 2 }));
+      Client.close client;
+      Thread.join thread)
+
+(* Abnormal disconnect: a client that vanishes mid-query must not leak
+   its socket or connection slot, and the in-flight run is cancelled. *)
+let test_event_killed_client_reclaims () =
+  with_xmark_corpus_dir 1 (fun dir ->
+      let socket = temp_socket () in
+      let service = service_with dir ~shards:1 in
+      let server, thread = start_event_server ~socket ~service () in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let payload =
+        Json.to_string
+          (Protocol.request_to_json
+             (Protocol.Query
+                (query 1 ~k:50 "//item[./name and ./incategory]")))
+      in
+      (match Wire.write_frame fd payload with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" e);
+      (* Vanish without reading the reply. *)
+      Unix.close fd;
+      let rec await tries =
+        let n = Event.conn_count server in
+        if n = 0 then ()
+        else if tries = 0 then
+          Alcotest.failf "connection slot leaked (%d still held)" n
+        else begin
+          Thread.delay 0.05;
+          await (tries - 1)
+        end
+      in
+      await 200;
+      (* The slot came back and the server still serves. *)
+      let client = connect_exn socket in
+      let r = call_exn client (Protocol.Ping { id = 9 }) in
+      Alcotest.(check bool) "still serving after kill" true
+        (r.status = Protocol.Ok);
+      ignore (Client.call client (Protocol.Stop { id = 10 }));
+      Client.close client;
+      Thread.join thread)
+
+(* --- HTTP gateway on the event loop --- *)
+
+let http_request ~port ~meth ~path ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\
+           Connection: close\r\n\r\n%s"
+          meth path (String.length body) body
+      in
+      let (_ : int) = Unix.write_substring fd req 0 (String.length req) in
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+      in
+      drain ();
+      let s = Buffer.contents buf in
+      let hdr_end =
+        let rec scan i =
+          if i + 3 >= String.length s then String.length s
+          else if
+            s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+            && s.[i + 3] = '\n'
+          then i
+          else scan (i + 1)
+        in
+        scan 0
+      in
+      let status =
+        match String.split_on_char ' ' s with
+        | _ :: code :: _ -> int_of_string_opt code
+        | _ -> None
+      in
+      let body =
+        if hdr_end + 4 <= String.length s then
+          String.sub s (hdr_end + 4) (String.length s - hdr_end - 4)
+        else ""
+      in
+      (status, body))
+
+let test_http_gateway () =
+  with_corpus_dir (fun dir ->
+      let socket = temp_socket () in
+      let service = Service.create ~catalog:(loaded_catalog dir) () in
+      let server, thread =
+        start_event_server ~http:0 ~socket ~service ()
+      in
+      let port =
+        match Event.http_port server with
+        | Some p -> p
+        | None -> Alcotest.fail "no http port bound"
+      in
+      (let status, body = http_request ~port ~meth:"GET" ~path:"/healthz" () in
+       Alcotest.(check (option int)) "healthz 200" (Some 200) status;
+       Alcotest.(check string) "healthz body" "ok\n" body);
+      (let status, body =
+         http_request ~port ~meth:"POST" ~path:"/query"
+           ~body:"{\"query\":\"/book[./title]\",\"k\":3}" ()
+       in
+       Alcotest.(check (option int)) "query 200" (Some 200) status;
+       match Json.of_string body with
+       | Error e -> Alcotest.failf "query reply not json: %s" e
+       | Ok j -> (
+           match Protocol.response_of_json j with
+           | Error e -> Alcotest.failf "query reply not a response: %s" e
+           | Ok r ->
+               Alcotest.(check bool) "http query ok" true
+                 (r.status = Protocol.Ok);
+               Alcotest.(check bool) "http query has answers" true
+                 (r.answers <> [])));
+      (let status, body = http_request ~port ~meth:"GET" ~path:"/metrics" () in
+       Alcotest.(check (option int)) "metrics 200" (Some 200) status;
+       (match Wp_obs.Registry.validate_exposition body with
+       | Ok () -> ()
+       | Error m -> Alcotest.failf "invalid exposition over http: %s" m);
+       Alcotest.(check bool) "request counted" true
+         (Test_stats.contains ~needle:"wp_serve_requests_total" body));
+      (let status, body =
+         http_request ~port ~meth:"GET" ~path:"/metrics.json" ()
+       in
+       Alcotest.(check (option int)) "metrics.json 200" (Some 200) status;
+       match Json.of_string body with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "metrics.json not json: %s" e);
+      (let status, _ = http_request ~port ~meth:"GET" ~path:"/warp" () in
+       Alcotest.(check (option int)) "404 on unknown route" (Some 404) status);
+      (let status, _ =
+         http_request ~port ~meth:"POST" ~path:"/query" ~body:"not json" ()
+       in
+       Alcotest.(check (option int)) "400 on bad body" (Some 400) status);
+      (* Wire and HTTP share one loop: stop over the wire ends both. *)
+      let client = connect_exn socket in
+      ignore (Client.call client (Protocol.Stop { id = 1 }));
+      Client.close client;
       Thread.join thread)
 
 let suite =
@@ -1024,4 +1424,15 @@ let suite =
     Alcotest.test_case "algo axis over the service" `Quick
       test_service_algo_backends;
     Alcotest.test_case "algo axis over the wire" `Quick test_algo_over_wire;
+    Alcotest.test_case "protocol v2 codec" `Quick test_protocol_v2_codec;
+    Alcotest.test_case "stream prefix matches final" `Quick
+      test_stream_prefix_matches_final;
+    Alcotest.test_case "stream partial run prefix only" `Quick
+      test_stream_partial_run_emits_prefix_only;
+    Alcotest.test_case "event tier end to end" `Quick test_event_end_to_end;
+    Alcotest.test_case "event deadline mid-stream" `Quick
+      test_event_deadline_mid_stream;
+    Alcotest.test_case "event killed client reclaims" `Quick
+      test_event_killed_client_reclaims;
+    Alcotest.test_case "http gateway" `Quick test_http_gateway;
   ]
